@@ -1,0 +1,37 @@
+//! E11 — the GAV corollary: relative containment under global-as-view is
+//! just ordinary containment of unfoldings, so it should cost orders of
+//! magnitude less than the LAV procedures on comparable inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qc_datalog::{parse_program, Symbol};
+use qc_mediator::gav::{relatively_contained_gav, GavSetting};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_gav");
+    g.sample_size(20);
+
+    // Mediated relations defined as unions of n source relations.
+    for n in [2usize, 4, 8, 16] {
+        let defs: String = (0..n)
+            .map(|i| format!("m(X, Y) :- s{i}(X, Y)."))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let setting = GavSetting::parse(&defs).unwrap();
+        let q1 = parse_program("q1(X) :- m(X, Y), m(Y, Z).").unwrap();
+        let q2 = parse_program("q2(X) :- m(X, Y).").unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("union_defs", n),
+            &setting,
+            |b, setting| {
+                b.iter(|| {
+                    relatively_contained_gav(&q1, &Symbol::new("q1"), &q2, &Symbol::new("q2"), setting)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E1 — Example 1 decisions: relative containment over the paper's
+//! running example, every ordered query pair, both decision routes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qc_bench::example1;
+use qc_mediator::relative::{relatively_contained, relatively_contained_by_plans};
+
+fn bench(c: &mut Criterion) {
+    let (views, queries) = example1();
+    let mut g = c.benchmark_group("e1_example1");
+    g.sample_size(20);
+    for (i, (qa, na)) in queries.iter().enumerate() {
+        for (j, (qb, nb)) in queries.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            g.bench_function(format!("expansion/{na}_in_{nb}"), |b| {
+                b.iter(|| relatively_contained(qa, na, qb, nb, &views).unwrap())
+            });
+            g.bench_function(format!("plans/{na}_in_{nb}"), |b| {
+                b.iter(|| relatively_contained_by_plans(qa, na, qb, nb, &views).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

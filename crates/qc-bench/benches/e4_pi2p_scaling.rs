@@ -1,0 +1,56 @@
+//! E4 — Theorem 3.3 scaling: deciding relative containment on reduction
+//! instances as the formula grows. Each universal variable doubles the
+//! plan union (the Π₂ᵖ structure); clauses widen the containing query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use qc_mediator::reductions::{random_cnf3, thm33_reduction};
+use qc_mediator::relative::relatively_contained;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_pi2p_scaling");
+    g.sample_size(10);
+
+    // Sweep universal variables m at fixed clauses.
+    for m in 1..=4usize {
+        let mut rng = StdRng::seed_from_u64(100 + m as u64);
+        let f = random_cnf3(2, m, 3, &mut rng);
+        let inst = thm33_reduction(&f);
+        g.bench_with_input(BenchmarkId::new("universal_vars", m), &inst, |b, inst| {
+            b.iter(|| {
+                relatively_contained(
+                    &inst.contained,
+                    &inst.contained_ans,
+                    &inst.container,
+                    &inst.container_ans,
+                    &inst.views,
+                )
+                .unwrap()
+            })
+        });
+    }
+
+    // Sweep clause count p at fixed m = 2.
+    for p in 1..=5usize {
+        let mut rng = StdRng::seed_from_u64(200 + p as u64);
+        let f = random_cnf3(2, 2, p, &mut rng);
+        let inst = thm33_reduction(&f);
+        g.bench_with_input(BenchmarkId::new("clauses", p), &inst, |b, inst| {
+            b.iter(|| {
+                relatively_contained(
+                    &inst.contained,
+                    &inst.contained_ans,
+                    &inst.container,
+                    &inst.container_ans,
+                    &inst.views,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

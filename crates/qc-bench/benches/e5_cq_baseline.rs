@@ -1,0 +1,44 @@
+//! E5 — the NP baseline: ordinary conjunctive-query containment
+//! (Chandra–Merlin), on the Aho–Sagiv–Ullman reduction instances and on
+//! chain queries. The paper contrasts its Π₂ᵖ-complete relative
+//! containment against exactly this problem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qc_bench::chain_query;
+use qc_containment::cq_contained;
+use qc_datalog::ConjunctiveQuery;
+use qc_mediator::reductions::{asu_reduction, random_cnf3};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_cq_baseline");
+    g.sample_size(20);
+
+    // ASU reduction: containment difficulty grows with variables.
+    for nvars in [3usize, 4, 5, 6] {
+        let mut rng = StdRng::seed_from_u64(nvars as u64);
+        let f = random_cnf3(nvars, 0, nvars, &mut rng);
+        let (q1, q2) = asu_reduction(&f);
+        g.bench_with_input(
+            BenchmarkId::new("asu_sat_reduction", nvars),
+            &(q1, q2),
+            |b, (q1, q2)| b.iter(|| cq_contained(q2, q1)),
+        );
+    }
+
+    // Chain-into-chain mappings.
+    for len in [4usize, 8, 12, 16] {
+        let (qa, _) = chain_query(len);
+        let (qb, _) = chain_query(len / 2);
+        let ca = ConjunctiveQuery::from_rule(&qa.rules()[0]);
+        let cb = ConjunctiveQuery::from_rule(&qb.rules()[0]);
+        g.bench_with_input(BenchmarkId::new("chain", len), &(ca, cb), |b, (ca, cb)| {
+            b.iter(|| (cq_contained(ca, cb), cq_contained(cb, ca)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

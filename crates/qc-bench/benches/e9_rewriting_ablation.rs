@@ -1,0 +1,56 @@
+//! E9 — ablation: the two independent maximally-contained-plan
+//! constructions (inverse rules + function-term elimination + unfolding
+//! vs MiniCon) as the number of views grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qc_datalog::Symbol;
+use qc_mediator::enumerate::{enumerated_plan, EnumerationLimits};
+use qc_mediator::fn_elim::eliminate_function_terms;
+use qc_mediator::inverse_rules::max_contained_plan;
+use qc_mediator::minicon::minicon_rewritings;
+use qc_mediator::workloads::{query_program, random_query, random_views, Shape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_rewriting_ablation");
+    g.sample_size(10);
+
+    for nviews in [2usize, 4, 8, 16] {
+        let mut rng = StdRng::seed_from_u64(nviews as u64);
+        let q = random_query(Shape::Chain, 3, 2, &mut rng);
+        let views = random_views(nviews, 2, &mut rng);
+        let prog = query_program(&q);
+
+        g.bench_with_input(
+            BenchmarkId::new("inverse_rules_route", nviews),
+            &(prog.clone(), views.clone()),
+            |b, (prog, views)| {
+                b.iter(|| {
+                    let plan =
+                        eliminate_function_terms(&max_contained_plan(prog, views)).unwrap();
+                    plan.unfold(&Symbol::new("q"))
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("minicon_route", nviews),
+            &(q.clone(), views.clone()),
+            |b, (q, views)| b.iter(|| minicon_rewritings(q, views)),
+        );
+        // The literal Theorem 3.1 enumeration explodes; only tiny sizes.
+        if nviews <= 2 {
+            g.bench_with_input(
+                BenchmarkId::new("enumeration_route", nviews),
+                &(q, views),
+                |b, (q, views)| {
+                    b.iter(|| enumerated_plan(q, views, &EnumerationLimits::default()))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Dense-linear-order constraint solving for comparison predicates.
+//!
+//! The PODS 2000 paper ("Query Containment for Data Integration Systems",
+//! §5) interprets the comparison predicates `<`, `>`, `<=`, `>=`, `!=` over a
+//! *dense* domain. This crate provides the corresponding constraint theory:
+//!
+//! * [`Rat`] — arbitrary rational constants (the canonical dense order);
+//! * [`CompOp`] — the six comparison operators, including `=`;
+//! * [`ConstraintSet`] — conjunctions of comparison atoms over variables and
+//!   rational constants, with satisfiability, entailment, and transitive
+//!   closure computed over a strict/weak order digraph;
+//! * [`Linearization`] — enumeration of every total preorder
+//!   ("linearization") of a set of terms consistent with a constraint set,
+//!   the engine behind Klug's containment test for conjunctive queries with
+//!   inequalities;
+//! * model extraction: concrete rational witnesses for satisfiable sets.
+//!
+//! Variables are dense-domain placeholders identified by a caller-assigned
+//! [`VarId`]; mapping from surface syntax to ids is the caller's concern
+//! (the `qc-datalog` crate does this for datalog terms).
+//!
+//! ```
+//! use qc_constraints::{CompOp, Constraint, ConstraintSet, Node};
+//!
+//! // Y < 1970 entails Y < 2000 and Y != 1970.
+//! let mut set = ConstraintSet::new();
+//! set.add(Node::var(0), CompOp::Lt, Node::int(1970));
+//! assert!(set.entails(Constraint::new(Node::var(0), CompOp::Lt, Node::int(2000))));
+//! assert!(set.entails(Constraint::new(Node::var(0), CompOp::Ne, Node::int(1970))));
+//! assert!(!set.entails(Constraint::new(Node::var(0), CompOp::Lt, Node::int(1900))));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod linearize;
+mod op;
+mod rat;
+mod set;
+
+pub use linearize::{for_each_linearization, linearizations, Linearization};
+pub use op::CompOp;
+pub use rat::Rat;
+pub use set::{Constraint, ConstraintSet, Node, VarId};

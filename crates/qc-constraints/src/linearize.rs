@@ -1,0 +1,321 @@
+//! Enumeration of linearizations (total preorders) of a node set.
+//!
+//! Klug's containment test for conjunctive queries with comparison
+//! predicates quantifies over every *linearization* of the contained
+//! query's terms that is consistent with its constraints: `Q1 ⊆ Q2` iff for
+//! each such linearization there is a containment mapping from `Q2` whose
+//! image satisfies it. This module enumerates exactly those linearizations.
+//!
+//! A linearization is an ordered partition `B_0 < B_1 < … < B_k` of the
+//! node set: nodes in one block are equal, and blocks increase strictly.
+
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+use crate::set::Closure;
+use crate::{CompOp, ConstraintSet, Node, Rat, VarId};
+
+/// A total preorder over a node set, as an ordered list of equality blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Linearization {
+    blocks: Vec<Vec<Node>>,
+}
+
+impl Linearization {
+    /// The equality blocks in strictly increasing order.
+    pub fn blocks(&self) -> &[Vec<Node>] {
+        &self.blocks
+    }
+
+    /// The block index of a node, if present.
+    pub fn block_of(&self, n: Node) -> Option<usize> {
+        self.blocks.iter().position(|b| b.contains(&n))
+    }
+
+    /// Whether `a op b` holds in this linearization. Both nodes must be
+    /// covered; returns `None` otherwise.
+    pub fn satisfies(&self, a: Node, op: CompOp, b: Node) -> Option<bool> {
+        let ia = self.block_of(a)?;
+        let ib = self.block_of(b)?;
+        Some(op.eval(ia.cmp(&ib)))
+    }
+
+    /// Whether every atom of `set` (over covered nodes) holds here.
+    pub fn satisfies_all(&self, set: &ConstraintSet) -> Option<bool> {
+        for c in set.atoms() {
+            if !self.satisfies(c.lhs, c.op, c.rhs)? {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+
+    /// Converts the linearization into an equivalent constraint set:
+    /// equalities within blocks, strict order between block representatives.
+    pub fn to_constraints(&self) -> ConstraintSet {
+        let mut out = ConstraintSet::new();
+        for block in &self.blocks {
+            for pair in block.windows(2) {
+                out.add(pair[0], CompOp::Eq, pair[1]);
+            }
+        }
+        for pair in self.blocks.windows(2) {
+            out.add(pair[0][0], CompOp::Lt, pair[1][0]);
+        }
+        out
+    }
+
+    /// A concrete rational assignment realizing this linearization, honoring
+    /// any constant nodes. Returns `None` if the linearization misorders
+    /// constants (cannot happen for linearizations produced by
+    /// [`for_each_linearization`]).
+    pub fn model(&self) -> Option<HashMap<VarId, Rat>> {
+        let set = self.to_constraints();
+        let vars: Vec<VarId> = self
+            .blocks
+            .iter()
+            .flatten()
+            .filter_map(|n| match n {
+                Node::Var(v) => Some(*v),
+                Node::Const(_) => None,
+            })
+            .collect();
+        set.model(&vars)
+    }
+}
+
+/// Visits every linearization of `nodes` consistent with `set`, stopping
+/// early when the visitor breaks. Returns `true` if the enumeration ran to
+/// completion (including the vacuous case of an unsatisfiable `set`, which
+/// has no linearizations), `false` if the visitor broke.
+///
+/// `nodes` must cover every node mentioned in `set`; nodes in `set` but not
+/// in `nodes` are added automatically so constraints are never silently
+/// ignored.
+pub fn for_each_linearization(
+    set: &ConstraintSet,
+    nodes: &[Node],
+    mut visit: impl FnMut(&Linearization) -> ControlFlow<()>,
+) -> bool {
+    let mut all_nodes: Vec<Node> = Vec::new();
+    for n in nodes.iter().copied().chain(set.nodes()) {
+        if !all_nodes.contains(&n) {
+            all_nodes.push(n);
+        }
+    }
+    let closure = match set.closure(&all_nodes) {
+        Some(c) => c,
+        None => return true, // unsatisfiable: zero linearizations
+    };
+    let mut blocks: Vec<Vec<Node>> = Vec::new();
+    place(&all_nodes, 0, &mut blocks, &closure, &mut visit).is_continue()
+}
+
+/// Collects every linearization of `nodes` consistent with `set`.
+pub fn linearizations(set: &ConstraintSet, nodes: &[Node]) -> Vec<Linearization> {
+    let mut out = Vec::new();
+    for_each_linearization(set, nodes, |l| {
+        out.push(l.clone());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Recursive placement: node `i` joins an existing block or starts a new
+/// block at any position, pruned against the constraint closure.
+fn place(
+    nodes: &[Node],
+    i: usize,
+    blocks: &mut Vec<Vec<Node>>,
+    closure: &Closure,
+    visit: &mut impl FnMut(&Linearization) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    if i == nodes.len() {
+        let lin = Linearization {
+            blocks: blocks.clone(),
+        };
+        return visit(&lin);
+    }
+    let node = nodes[i];
+
+    // Compatibility of `node` with each existing block, per position.
+    // same_ok[b]: node may be equal to block b's members.
+    // before_ok[b]: node may be strictly below block b's members.
+    // after_ok[b]: node may be strictly above block b's members.
+    let nblocks = blocks.len();
+    let mut same_ok = vec![true; nblocks];
+    let mut before_ok = vec![true; nblocks];
+    let mut after_ok = vec![true; nblocks];
+    for (b, block) in blocks.iter().enumerate() {
+        for &m in block {
+            // node = m forbidden if closure knows node < m, m < node, or node != m.
+            if closure.lt(node, m) || closure.lt(m, node) || closure.neq(node, m) {
+                same_ok[b] = false;
+            }
+            // node < m forbidden if closure knows m <= node.
+            if closure.le(m, node) {
+                before_ok[b] = false;
+            }
+            // m < node forbidden if closure knows node <= m.
+            if closure.le(node, m) {
+                after_ok[b] = false;
+            }
+        }
+    }
+
+    // Insert as a new singleton block at gap position g (before block g):
+    // requires after_ok for all blocks < g and before_ok for all blocks >= g.
+    for g in 0..=nblocks {
+        let ok = (0..g).all(|b| after_ok[b]) && (g..nblocks).all(|b| before_ok[b]);
+        if ok {
+            blocks.insert(g, vec![node]);
+            place(nodes, i + 1, blocks, closure, visit)?;
+            blocks.remove(g);
+        }
+    }
+    // Join existing block b: requires same_ok[b], after_ok for blocks < b,
+    // before_ok for blocks > b.
+    for b in 0..nblocks {
+        let ok = same_ok[b]
+            && (0..b).all(|x| after_ok[x])
+            && ((b + 1)..nblocks).all(|x| before_ok[x]);
+        if ok {
+            blocks[b].push(node);
+            place(nodes, i + 1, blocks, closure, visit)?;
+            blocks[b].pop();
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Node {
+        Node::var(i)
+    }
+
+    fn c(n: i64) -> Node {
+        Node::int(n)
+    }
+
+    #[test]
+    fn unconstrained_pair_has_three_linearizations() {
+        // x < y, x = y, x > y.
+        let lins = linearizations(&ConstraintSet::new(), &[v(0), v(1)]);
+        assert_eq!(lins.len(), 3);
+    }
+
+    #[test]
+    fn unconstrained_triple_has_thirteen() {
+        // Ordered Bell number B(3) = 13.
+        let lins = linearizations(&ConstraintSet::new(), &[v(0), v(1), v(2)]);
+        assert_eq!(lins.len(), 13);
+    }
+
+    #[test]
+    fn constraints_prune() {
+        let mut s = ConstraintSet::new();
+        s.add(v(0), CompOp::Lt, v(1));
+        let lins = linearizations(&s, &[v(0), v(1)]);
+        assert_eq!(lins.len(), 1);
+        assert_eq!(lins[0].satisfies(v(0), CompOp::Lt, v(1)), Some(true));
+    }
+
+    #[test]
+    fn le_gives_two() {
+        let mut s = ConstraintSet::new();
+        s.add(v(0), CompOp::Le, v(1));
+        let lins = linearizations(&s, &[v(0), v(1)]);
+        assert_eq!(lins.len(), 2);
+    }
+
+    #[test]
+    fn constants_are_fixed() {
+        // Constants 3 and 5 are already ordered: only var placement varies.
+        let lins = linearizations(&ConstraintSet::new(), &[c(3), c(5), v(0)]);
+        // v0: <3, =3, (3,5), =5, >5.
+        assert_eq!(lins.len(), 5);
+        for l in &lins {
+            assert_eq!(l.satisfies(c(3), CompOp::Lt, c(5)), Some(true));
+        }
+    }
+
+    #[test]
+    fn unsat_set_has_no_linearizations() {
+        let mut s = ConstraintSet::new();
+        s.add(v(0), CompOp::Lt, v(0));
+        assert!(linearizations(&s, &[v(0), v(1)]).is_empty());
+    }
+
+    #[test]
+    fn every_linearization_satisfies_the_set() {
+        let mut s = ConstraintSet::new();
+        s.add(v(0), CompOp::Le, v(1));
+        s.add(v(1), CompOp::Ne, v(2));
+        s.add(v(2), CompOp::Lt, c(10));
+        let lins = linearizations(&s, &[v(0), v(1), v(2), c(10)]);
+        assert!(!lins.is_empty());
+        for l in &lins {
+            assert_eq!(l.satisfies_all(&s), Some(true));
+        }
+    }
+
+    #[test]
+    fn linearizations_are_exhaustive_and_distinct() {
+        // Against brute force: every total preorder of 3 vars satisfying
+        // the set appears exactly once.
+        let mut s = ConstraintSet::new();
+        s.add(v(0), CompOp::Lt, v(2));
+        let lins = linearizations(&s, &[v(0), v(1), v(2)]);
+        let all = linearizations(&ConstraintSet::new(), &[v(0), v(1), v(2)]);
+        let expected: Vec<_> = all
+            .into_iter()
+            .filter(|l| l.satisfies_all(&s) == Some(true))
+            .collect();
+        assert_eq!(lins.len(), expected.len());
+        for l in &lins {
+            assert_eq!(lins.iter().filter(|x| *x == l).count(), 1);
+            assert!(expected.contains(l));
+        }
+    }
+
+    #[test]
+    fn early_exit_works() {
+        let mut count = 0;
+        let completed = for_each_linearization(&ConstraintSet::new(), &[v(0), v(1), v(2)], |_| {
+            count += 1;
+            if count == 2 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert!(!completed);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn model_realizes_linearization() {
+        let mut s = ConstraintSet::new();
+        s.add(v(0), CompOp::Lt, c(5));
+        for l in linearizations(&s, &[v(0), v(1), c(5)]) {
+            let m = l.model().expect("realizable");
+            let lin_set = l.to_constraints();
+            assert_eq!(lin_set.eval(&m), Some(true));
+        }
+    }
+
+    #[test]
+    fn nodes_from_set_are_added_automatically() {
+        let mut s = ConstraintSet::new();
+        s.add(v(7), CompOp::Lt, v(8));
+        let lins = linearizations(&s, &[v(0)]);
+        for l in &lins {
+            assert!(l.block_of(v(7)).is_some());
+            assert!(l.block_of(v(8)).is_some());
+            assert_eq!(l.satisfies(v(7), CompOp::Lt, v(8)), Some(true));
+        }
+    }
+}

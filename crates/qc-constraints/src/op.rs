@@ -1,0 +1,190 @@
+//! Comparison operators.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A comparison operator over the dense linear order.
+///
+/// The paper's comparison predicates are `<`, `>`, `<=`, `>=`, and `!=`
+/// (§5); we additionally support explicit `=`, which arises when comparing
+/// terms during containment tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum CompOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl CompOp {
+    /// All six operators.
+    pub const ALL: [CompOp; 6] = [
+        CompOp::Lt,
+        CompOp::Le,
+        CompOp::Eq,
+        CompOp::Ne,
+        CompOp::Ge,
+        CompOp::Gt,
+    ];
+
+    /// The operator with its arguments swapped: `a op b ⟺ b op.flip() a`.
+    pub fn flip(self) -> CompOp {
+        match self {
+            CompOp::Lt => CompOp::Gt,
+            CompOp::Le => CompOp::Ge,
+            CompOp::Eq => CompOp::Eq,
+            CompOp::Ne => CompOp::Ne,
+            CompOp::Ge => CompOp::Le,
+            CompOp::Gt => CompOp::Lt,
+        }
+    }
+
+    /// The logical negation: `¬(a op b) ⟺ a op.negate() b`.
+    pub fn negate(self) -> CompOp {
+        match self {
+            CompOp::Lt => CompOp::Ge,
+            CompOp::Le => CompOp::Gt,
+            CompOp::Eq => CompOp::Ne,
+            CompOp::Ne => CompOp::Eq,
+            CompOp::Ge => CompOp::Lt,
+            CompOp::Gt => CompOp::Le,
+        }
+    }
+
+    /// Evaluates the operator on a concrete [`Ordering`] between operands.
+    pub fn eval(self, ord: Ordering) -> bool {
+        match self {
+            CompOp::Lt => ord == Ordering::Less,
+            CompOp::Le => ord != Ordering::Greater,
+            CompOp::Eq => ord == Ordering::Equal,
+            CompOp::Ne => ord != Ordering::Equal,
+            CompOp::Ge => ord != Ordering::Less,
+            CompOp::Gt => ord == Ordering::Greater,
+        }
+    }
+
+    /// Whether `a self b` logically implies `a other b` over a linear order.
+    pub fn implies(self, other: CompOp) -> bool {
+        match (self, other) {
+            (a, b) if a == b => true,
+            (CompOp::Lt, CompOp::Le | CompOp::Ne) => true,
+            (CompOp::Gt, CompOp::Ge | CompOp::Ne) => true,
+            (CompOp::Eq, CompOp::Le | CompOp::Ge) => true,
+            _ => false,
+        }
+    }
+
+    /// Parses the surface syntax (`<`, `<=`, `=`, `!=`, `>=`, `>`).
+    pub fn parse(s: &str) -> Option<CompOp> {
+        match s {
+            "<" => Some(CompOp::Lt),
+            "<=" => Some(CompOp::Le),
+            "=" | "==" => Some(CompOp::Eq),
+            "!=" | "<>" => Some(CompOp::Ne),
+            ">=" => Some(CompOp::Ge),
+            ">" => Some(CompOp::Gt),
+            _ => None,
+        }
+    }
+
+    /// The surface syntax for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompOp::Lt => "<",
+            CompOp::Le => "<=",
+            CompOp::Eq => "=",
+            CompOp::Ne => "!=",
+            CompOp::Ge => ">=",
+            CompOp::Gt => ">",
+        }
+    }
+}
+
+impl fmt::Display for CompOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive() {
+        for op in CompOp::ALL {
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn negate_is_involutive() {
+        for op in CompOp::ALL {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        use Ordering::*;
+        assert!(CompOp::Lt.eval(Less));
+        assert!(!CompOp::Lt.eval(Equal));
+        assert!(CompOp::Le.eval(Equal));
+        assert!(CompOp::Ne.eval(Greater));
+        assert!(!CompOp::Ne.eval(Equal));
+        assert!(CompOp::Ge.eval(Greater));
+        assert!(CompOp::Ge.eval(Equal));
+    }
+
+    #[test]
+    fn negation_complements_eval() {
+        for op in CompOp::ALL {
+            for ord in [Ordering::Less, Ordering::Equal, Ordering::Greater] {
+                assert_eq!(op.eval(ord), !op.negate().eval(ord));
+            }
+        }
+    }
+
+    #[test]
+    fn flip_swaps_eval() {
+        for op in CompOp::ALL {
+            for ord in [Ordering::Less, Ordering::Equal, Ordering::Greater] {
+                assert_eq!(op.eval(ord), op.flip().eval(ord.reverse()));
+            }
+        }
+    }
+
+    #[test]
+    fn implication_is_sound() {
+        // a imp b must mean: whenever `a` holds of an ordering, so does `b`.
+        for a in CompOp::ALL {
+            for b in CompOp::ALL {
+                if a.implies(b) {
+                    for ord in [Ordering::Less, Ordering::Equal, Ordering::Greater] {
+                        if a.eval(ord) {
+                            assert!(b.eval(ord), "{a} implies {b} but fails on {ord:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for op in CompOp::ALL {
+            assert_eq!(CompOp::parse(op.symbol()), Some(op));
+        }
+        assert_eq!(CompOp::parse("<>"), Some(CompOp::Ne));
+        assert_eq!(CompOp::parse("=="), Some(CompOp::Eq));
+        assert_eq!(CompOp::parse("~"), None);
+    }
+}

@@ -1,0 +1,647 @@
+//! Conjunctions of comparison atoms and their decision procedures.
+//!
+//! A [`ConstraintSet`] is a conjunction of atoms `lhs op rhs` over
+//! [`Node`]s (variables and rational constants), interpreted over a dense
+//! linear order. Satisfiability and entailment are decided by computing the
+//! transitive closure of a strict/weak order digraph:
+//!
+//! * a set is unsatisfiable iff the closure contains a strict self-loop
+//!   (`x < x`) or a disequality between nodes forced equal;
+//! * `S ⊨ c` iff `S ∧ ¬c` is unsatisfiable (complete for this theory).
+//!
+//! Both checks are complete for dense orders without endpoints (the paper's
+//! interpretation, §5), because any strict-cycle-free weak order over
+//! finitely many nodes embeds into the rationals.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{CompOp, Rat};
+
+/// A caller-assigned variable identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A node of the constraint digraph: a variable or a rational constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Node {
+    /// A dense-domain variable.
+    Var(VarId),
+    /// A rational constant.
+    Const(Rat),
+}
+
+impl Node {
+    /// Convenience constructor for a variable node.
+    pub fn var(id: u32) -> Node {
+        Node::Var(VarId(id))
+    }
+
+    /// Convenience constructor for an integer-constant node.
+    pub fn int(n: i64) -> Node {
+        Node::Const(Rat::int(n))
+    }
+
+    /// The constant value, if this node is a constant.
+    pub fn as_const(self) -> Option<Rat> {
+        match self {
+            Node::Const(r) => Some(r),
+            Node::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Var(v) => write!(f, "{v}"),
+            Node::Const(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// A single comparison atom `lhs op rhs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// Left operand.
+    pub lhs: Node,
+    /// Comparison operator.
+    pub op: CompOp,
+    /// Right operand.
+    pub rhs: Node,
+}
+
+impl Constraint {
+    /// Creates a constraint.
+    pub fn new(lhs: Node, op: CompOp, rhs: Node) -> Constraint {
+        Constraint { lhs, op, rhs }
+    }
+
+    /// Whether this atom is a *semi-interval* constraint in the paper's
+    /// sense: `x θ c` (or `c θ x`) with `x` a variable, `c` a constant, and
+    /// θ one of `<`, `<=`, `>`, `>=`.
+    pub fn is_semi_interval(&self) -> bool {
+        let var_const = matches!(
+            (self.lhs, self.rhs),
+            (Node::Var(_), Node::Const(_)) | (Node::Const(_), Node::Var(_))
+        );
+        var_const
+            && matches!(
+                self.op,
+                CompOp::Lt | CompOp::Le | CompOp::Gt | CompOp::Ge
+            )
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// Pairwise order knowledge in the closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Edge {
+    /// No relationship known.
+    None,
+    /// `i <= j` known.
+    Le,
+    /// `i < j` known.
+    Lt,
+}
+
+impl Edge {
+    fn join_path(a: Edge, b: Edge) -> Edge {
+        // Composing a path: strict if any hop is strict; unrelated if any
+        // hop is unrelated.
+        match (a, b) {
+            (Edge::None, _) | (_, Edge::None) => Edge::None,
+            (Edge::Lt, _) | (_, Edge::Lt) => Edge::Lt,
+            _ => Edge::Le,
+        }
+    }
+
+    fn strengthen(self, other: Edge) -> Edge {
+        self.max(other)
+    }
+}
+
+/// A conjunction of comparison atoms, with decision procedures.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConstraintSet {
+    atoms: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// The empty (trivially true) constraint set.
+    pub fn new() -> ConstraintSet {
+        ConstraintSet::default()
+    }
+
+    /// Builds a set from a list of atoms.
+    pub fn from_atoms(atoms: impl IntoIterator<Item = Constraint>) -> ConstraintSet {
+        ConstraintSet {
+            atoms: atoms.into_iter().collect(),
+        }
+    }
+
+    /// Adds an atom to the conjunction.
+    pub fn push(&mut self, c: Constraint) {
+        self.atoms.push(c);
+    }
+
+    /// Adds `lhs op rhs` to the conjunction.
+    pub fn add(&mut self, lhs: Node, op: CompOp, rhs: Node) {
+        self.push(Constraint::new(lhs, op, rhs));
+    }
+
+    /// The atoms of the conjunction.
+    pub fn atoms(&self) -> &[Constraint] {
+        &self.atoms
+    }
+
+    /// Whether the conjunction is empty (trivially true).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// All nodes mentioned by the conjunction.
+    pub fn nodes(&self) -> Vec<Node> {
+        let mut seen = Vec::new();
+        for c in &self.atoms {
+            for n in [c.lhs, c.rhs] {
+                if !seen.contains(&n) {
+                    seen.push(n);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether every atom is a semi-interval constraint (§5 of the paper).
+    pub fn is_semi_interval(&self) -> bool {
+        self.atoms.iter().all(Constraint::is_semi_interval)
+    }
+
+    /// Conjunction of `self` and `other`.
+    pub fn and(&self, other: &ConstraintSet) -> ConstraintSet {
+        let mut atoms = self.atoms.clone();
+        atoms.extend(other.atoms.iter().copied());
+        ConstraintSet { atoms }
+    }
+
+    /// Decides satisfiability over the dense linear order.
+    pub fn is_satisfiable(&self) -> bool {
+        Closure::build(self, &[]).is_some()
+    }
+
+    /// Decides whether the conjunction entails `c` (i.e. every model of
+    /// `self` satisfies `c`). An unsatisfiable set entails everything.
+    pub fn entails(&self, c: Constraint) -> bool {
+        let mut neg = self.clone();
+        neg.push(Constraint::new(c.lhs, c.op.negate(), c.rhs));
+        !neg.is_satisfiable()
+    }
+
+    /// Decides whether the conjunction entails every atom of `other`.
+    pub fn entails_all(&self, other: &ConstraintSet) -> bool {
+        other.atoms.iter().all(|c| self.entails(*c))
+    }
+
+    /// Computes the pairwise closure over `extra_nodes ∪ nodes(self)`,
+    /// returning `None` when unsatisfiable. Exposed for the linearization
+    /// enumerator.
+    pub(crate) fn closure(&self, extra_nodes: &[Node]) -> Option<Closure> {
+        Closure::build(self, extra_nodes)
+    }
+
+    /// Produces a concrete rational model of a satisfiable conjunction: a
+    /// value for every variable mentioned (and every variable in
+    /// `extra_vars`). Distinct variables receive distinct values unless the
+    /// conjunction forces them equal. Returns `None` when unsatisfiable.
+    pub fn model(&self, extra_vars: &[VarId]) -> Option<HashMap<VarId, Rat>> {
+        let extra: Vec<Node> = extra_vars.iter().map(|v| Node::Var(*v)).collect();
+        let closure = Closure::build(self, &extra)?;
+        Some(closure.model())
+    }
+
+    /// Evaluates the conjunction under a complete assignment. Returns
+    /// `None` if a variable is missing from the assignment.
+    pub fn eval(&self, assignment: &HashMap<VarId, Rat>) -> Option<bool> {
+        for c in &self.atoms {
+            let l = node_value(c.lhs, assignment)?;
+            let r = node_value(c.rhs, assignment)?;
+            if !c.op.eval(l.cmp(&r)) {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+}
+
+fn node_value(n: Node, assignment: &HashMap<VarId, Rat>) -> Option<Rat> {
+    match n {
+        Node::Const(r) => Some(r),
+        Node::Var(v) => assignment.get(&v).copied(),
+    }
+}
+
+impl fmt::Display for ConstraintSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in &self.atoms {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Transitive closure of the order digraph of a satisfiable constraint set.
+#[derive(Debug)]
+pub(crate) struct Closure {
+    pub(crate) nodes: Vec<Node>,
+    index: HashMap<Node, usize>,
+    /// `rel[i][j]`: known relation from node `i` to node `j`.
+    rel: Vec<Vec<Edge>>,
+    /// `ne[i][j]`: `i != j` asserted (symmetric).
+    ne: Vec<Vec<bool>>,
+}
+
+impl Closure {
+    /// Builds the closure; `None` signals unsatisfiability.
+    #[allow(clippy::needless_range_loop)] // parallel index arrays read better
+    fn build(set: &ConstraintSet, extra_nodes: &[Node]) -> Option<Closure> {
+        let mut nodes = set.nodes();
+        for n in extra_nodes {
+            if !nodes.contains(n) {
+                nodes.push(*n);
+            }
+        }
+        let index: HashMap<Node, usize> =
+            nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let n = nodes.len();
+        let mut rel = vec![vec![Edge::None; n]; n];
+        let mut ne = vec![vec![false; n]; n];
+        for i in 0..n {
+            rel[i][i] = Edge::Le;
+        }
+
+        // Ground facts among constants.
+        for i in 0..n {
+            for j in 0..n {
+                if let (Node::Const(a), Node::Const(b)) = (nodes[i], nodes[j]) {
+                    if a < b {
+                        rel[i][j] = Edge::Lt;
+                        ne[i][j] = true;
+                        ne[j][i] = true;
+                    }
+                }
+            }
+        }
+
+        // Asserted atoms.
+        for c in &set.atoms {
+            let i = index[&c.lhs];
+            let j = index[&c.rhs];
+            match c.op {
+                CompOp::Lt => rel[i][j] = rel[i][j].strengthen(Edge::Lt),
+                CompOp::Le => rel[i][j] = rel[i][j].strengthen(Edge::Le),
+                CompOp::Gt => rel[j][i] = rel[j][i].strengthen(Edge::Lt),
+                CompOp::Ge => rel[j][i] = rel[j][i].strengthen(Edge::Le),
+                CompOp::Eq => {
+                    rel[i][j] = rel[i][j].strengthen(Edge::Le);
+                    rel[j][i] = rel[j][i].strengthen(Edge::Le);
+                }
+                CompOp::Ne => {
+                    ne[i][j] = true;
+                    ne[j][i] = true;
+                }
+            }
+        }
+
+        // Floyd–Warshall transitive closure with strictness propagation.
+        for k in 0..n {
+            for i in 0..n {
+                if rel[i][k] == Edge::None {
+                    continue;
+                }
+                for j in 0..n {
+                    let via = Edge::join_path(rel[i][k], rel[k][j]);
+                    rel[i][j] = rel[i][j].strengthen(via);
+                }
+            }
+        }
+
+        // Unsatisfiability: strict self-loop, or != between forced-equals.
+        for i in 0..n {
+            if rel[i][i] == Edge::Lt {
+                return None;
+            }
+            for j in 0..n {
+                if ne[i][j] && rel[i][j] >= Edge::Le && rel[j][i] >= Edge::Le {
+                    return None;
+                }
+                // A cycle through distinct nodes with a strict edge shows up
+                // as rel[i][i] = Lt after closure, so it is already covered.
+            }
+        }
+        Some(Closure {
+            nodes,
+            index,
+            rel,
+            ne,
+        })
+    }
+
+    fn idx(&self, n: Node) -> Option<usize> {
+        self.index.get(&n).copied()
+    }
+
+    /// `a <= b` in the closure (false when either node is unknown).
+    pub(crate) fn le(&self, a: Node, b: Node) -> bool {
+        match (self.idx(a), self.idx(b)) {
+            (Some(i), Some(j)) => self.rel[i][j] >= Edge::Le,
+            _ => false,
+        }
+    }
+
+    /// `a < b` in the closure.
+    pub(crate) fn lt(&self, a: Node, b: Node) -> bool {
+        match (self.idx(a), self.idx(b)) {
+            (Some(i), Some(j)) => self.rel[i][j] == Edge::Lt,
+            _ => false,
+        }
+    }
+
+    /// `a != b` asserted or implied by strict order in the closure.
+    pub(crate) fn neq(&self, a: Node, b: Node) -> bool {
+        match (self.idx(a), self.idx(b)) {
+            (Some(i), Some(j)) => self.ne[i][j] || self.rel[i][j] == Edge::Lt || self.rel[j][i] == Edge::Lt,
+            _ => false,
+        }
+    }
+
+    /// Extracts a concrete model. Must only be called on a closure that
+    /// passed the satisfiability checks in [`Closure::build`].
+    #[allow(clippy::needless_range_loop)] // parallel index arrays read better
+    fn model(&self) -> HashMap<VarId, Rat> {
+        let n = self.nodes.len();
+        // Union nodes forced equal into classes.
+        let mut class = vec![usize::MAX; n];
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            if class[i] != usize::MAX {
+                continue;
+            }
+            let id = classes.len();
+            let mut members = vec![i];
+            class[i] = id;
+            for j in (i + 1)..n {
+                if class[j] == usize::MAX
+                    && self.rel[i][j] >= Edge::Le
+                    && self.rel[j][i] >= Edge::Le
+                {
+                    class[j] = id;
+                    members.push(j);
+                }
+            }
+            classes.push(members);
+        }
+        let nclasses = classes.len();
+        // Fixed value per class, if it contains a constant.
+        let fixed: Vec<Option<Rat>> = classes
+            .iter()
+            .map(|ms| ms.iter().find_map(|&i| self.nodes[i].as_const()))
+            .collect();
+
+        // DAG edges between classes (strict or weak — either forces the
+        // topological order we assign along).
+        let edge = |a: usize, b: usize| -> bool {
+            classes[a]
+                .iter()
+                .any(|&i| classes[b].iter().any(|&j| self.rel[i][j] >= Edge::Le))
+                && a != b
+        };
+
+        // Kahn topological order.
+        let mut indeg = vec![0usize; nclasses];
+        for a in 0..nclasses {
+            for b in 0..nclasses {
+                if a != b && edge(a, b) {
+                    indeg[b] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..nclasses).filter(|&c| indeg[c] == 0).collect();
+        let mut order = Vec::with_capacity(nclasses);
+        while let Some(c) = queue.pop() {
+            order.push(c);
+            for b in 0..nclasses {
+                if b != c && edge(c, b) {
+                    indeg[b] -= 1;
+                    if indeg[b] == 0 {
+                        queue.push(b);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), nclasses, "class graph must be acyclic");
+
+        // Reserve all constant values so fresh picks never collide with a
+        // constant they may be != to.
+        let mut used: Vec<Rat> = fixed.iter().flatten().copied().collect();
+        let mut value = vec![Rat::ZERO; nclasses];
+        let mut assigned = vec![false; nclasses];
+        for &c in &order {
+            if let Some(v) = fixed[c] {
+                value[c] = v;
+                assigned[c] = true;
+                continue;
+            }
+            // Lower bound: assigned predecessors. Upper bound: constants
+            // above this class (constants are the only fixed values a later
+            // pick must stay below).
+            let mut lb: Option<Rat> = None;
+            for p in 0..nclasses {
+                if p != c && edge(p, c) && assigned[p] {
+                    lb = Some(lb.map_or(value[p], |v: Rat| v.max(value[p])));
+                }
+            }
+            let mut ub: Option<Rat> = None;
+            for s in 0..nclasses {
+                if s != c && edge(c, s) {
+                    if let Some(v) = fixed[s] {
+                        ub = Some(ub.map_or(v, |u: Rat| u.min(v)));
+                    }
+                }
+            }
+            let mut cand = match (lb, ub) {
+                (Some(l), Some(u)) => l.midpoint(u),
+                (Some(l), None) => l.above(),
+                (None, Some(u)) => u.below(),
+                (None, None) => Rat::ZERO,
+            };
+            // Nudge until distinct from every used value, staying inside
+            // the open interval: midpoints converge toward the bound
+            // without reaching it; unbounded sides step by 1.
+            while used.contains(&cand) {
+                cand = match (lb, ub) {
+                    (_, Some(u)) => cand.midpoint(u),
+                    (_, None) => cand.above(),
+                };
+            }
+            used.push(cand);
+            value[c] = cand;
+            assigned[c] = true;
+        }
+
+        let mut out = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Node::Var(v) = node {
+                out.insert(*v, value[class[i]]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Node {
+        Node::var(i)
+    }
+
+    fn c(n: i64) -> Node {
+        Node::int(n)
+    }
+
+    #[test]
+    fn empty_is_satisfiable() {
+        assert!(ConstraintSet::new().is_satisfiable());
+    }
+
+    #[test]
+    fn strict_cycle_is_unsat() {
+        let mut s = ConstraintSet::new();
+        s.add(v(0), CompOp::Lt, v(1));
+        s.add(v(1), CompOp::Le, v(2));
+        s.add(v(2), CompOp::Le, v(0));
+        assert!(!s.is_satisfiable());
+    }
+
+    #[test]
+    fn weak_cycle_is_sat() {
+        let mut s = ConstraintSet::new();
+        s.add(v(0), CompOp::Le, v(1));
+        s.add(v(1), CompOp::Le, v(0));
+        assert!(s.is_satisfiable());
+        assert!(s.entails(Constraint::new(v(0), CompOp::Eq, v(1))));
+    }
+
+    #[test]
+    fn ne_on_forced_equal_is_unsat() {
+        let mut s = ConstraintSet::new();
+        s.add(v(0), CompOp::Eq, v(1));
+        s.add(v(0), CompOp::Ne, v(1));
+        assert!(!s.is_satisfiable());
+    }
+
+    #[test]
+    fn constant_order_is_respected() {
+        let mut s = ConstraintSet::new();
+        s.add(c(5), CompOp::Lt, c(3));
+        assert!(!s.is_satisfiable());
+        let mut s2 = ConstraintSet::new();
+        s2.add(v(0), CompOp::Le, c(3));
+        s2.add(c(5), CompOp::Le, v(0));
+        assert!(!s2.is_satisfiable());
+    }
+
+    #[test]
+    fn entailment_through_constants() {
+        // x < 1970 entails x < 2000.
+        let mut s = ConstraintSet::new();
+        s.add(v(0), CompOp::Lt, c(1970));
+        assert!(s.entails(Constraint::new(v(0), CompOp::Lt, c(2000))));
+        assert!(!s.entails(Constraint::new(v(0), CompOp::Lt, c(1900))));
+        assert!(s.entails(Constraint::new(v(0), CompOp::Ne, c(1970))));
+    }
+
+    #[test]
+    fn equality_propagates_disequality() {
+        // x = y, y != z entails x != z.
+        let mut s = ConstraintSet::new();
+        s.add(v(0), CompOp::Eq, v(1));
+        s.add(v(1), CompOp::Ne, v(2));
+        assert!(s.entails(Constraint::new(v(0), CompOp::Ne, v(2))));
+    }
+
+    #[test]
+    fn unsat_entails_everything() {
+        let mut s = ConstraintSet::new();
+        s.add(v(0), CompOp::Lt, v(0));
+        assert!(s.entails(Constraint::new(v(1), CompOp::Eq, c(7))));
+    }
+
+    #[test]
+    fn model_satisfies_constraints() {
+        let mut s = ConstraintSet::new();
+        s.add(v(0), CompOp::Lt, v(1));
+        s.add(v(1), CompOp::Le, c(10));
+        s.add(v(2), CompOp::Eq, v(0));
+        s.add(v(3), CompOp::Ne, v(0));
+        s.add(c(0), CompOp::Lt, v(0));
+        let m = s.model(&[VarId(4)]).expect("satisfiable");
+        assert_eq!(s.eval(&m), Some(true));
+        // Extra variable got a value too.
+        assert!(m.contains_key(&VarId(4)));
+        // Forced equality holds; mere distinctness gives distinct values.
+        assert_eq!(m[&VarId(0)], m[&VarId(2)]);
+        assert_ne!(m[&VarId(0)], m[&VarId(3)]);
+    }
+
+    #[test]
+    fn model_respects_tight_constant_gaps() {
+        // 0 < x < y < 1 forces two distinct rationals inside (0, 1).
+        let mut s = ConstraintSet::new();
+        s.add(c(0), CompOp::Lt, v(0));
+        s.add(v(0), CompOp::Lt, v(1));
+        s.add(v(1), CompOp::Lt, c(1));
+        let m = s.model(&[]).expect("satisfiable (dense order)");
+        assert_eq!(s.eval(&m), Some(true));
+    }
+
+    #[test]
+    fn semi_interval_classification() {
+        assert!(Constraint::new(v(0), CompOp::Lt, c(1970)).is_semi_interval());
+        assert!(Constraint::new(c(3), CompOp::Ge, v(0)).is_semi_interval());
+        assert!(!Constraint::new(v(0), CompOp::Lt, v(1)).is_semi_interval());
+        assert!(!Constraint::new(v(0), CompOp::Eq, c(3)).is_semi_interval());
+        assert!(!Constraint::new(v(0), CompOp::Ne, c(3)).is_semi_interval());
+    }
+
+    #[test]
+    fn eval_detects_violation() {
+        let mut s = ConstraintSet::new();
+        s.add(v(0), CompOp::Lt, c(5));
+        let mut m = HashMap::new();
+        m.insert(VarId(0), Rat::int(7));
+        assert_eq!(s.eval(&m), Some(false));
+        m.insert(VarId(0), Rat::int(3));
+        assert_eq!(s.eval(&m), Some(true));
+        let empty = HashMap::new();
+        assert_eq!(s.eval(&empty), None);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for the dense-order constraint theory.
+
+use proptest::prelude::*;
+use qc_constraints::{
+    for_each_linearization, linearizations, CompOp, Constraint, ConstraintSet, Node, Rat,
+};
+use std::ops::ControlFlow;
+
+/// Random constraint sets over a few variables and small constants.
+fn arb_constraint_set(max_atoms: usize) -> impl Strategy<Value = ConstraintSet> {
+    let node = prop_oneof![
+        (0u32..4).prop_map(Node::var),
+        (-2i64..3).prop_map(Node::int),
+    ];
+    let op = prop_oneof![
+        Just(CompOp::Lt),
+        Just(CompOp::Le),
+        Just(CompOp::Eq),
+        Just(CompOp::Ne),
+        Just(CompOp::Ge),
+        Just(CompOp::Gt),
+    ];
+    proptest::collection::vec((node.clone(), op, node), 0..=max_atoms)
+        .prop_map(|atoms| {
+            ConstraintSet::from_atoms(
+                atoms
+                    .into_iter()
+                    .map(|(l, o, r)| Constraint::new(l, o, r)),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn satisfiable_sets_have_satisfying_models(set in arb_constraint_set(6)) {
+        if let Some(model) = set.model(&[]) {
+            prop_assert_eq!(set.eval(&model), Some(true), "{}", set);
+        } else {
+            // Unsat: adding nothing keeps it unsat; entails everything.
+            prop_assert!(!set.is_satisfiable());
+            prop_assert!(set.entails(Constraint::new(Node::var(99), CompOp::Lt, Node::int(0))));
+        }
+    }
+
+    #[test]
+    fn entailment_is_respected_by_models(set in arb_constraint_set(5)) {
+        // For every pair of nodes and operator: if entailed, every model
+        // satisfies it.
+        let Some(model) = set.model(&[]) else { return Ok(()); };
+        for a in set.nodes() {
+            for b in set.nodes() {
+                for op in CompOp::ALL {
+                    let c = Constraint::new(a, op, b);
+                    if set.entails(c) {
+                        let single = ConstraintSet::from_atoms([c]);
+                        prop_assert_eq!(
+                            single.eval(&model), Some(true),
+                            "{} entails {} but model violates it", set, c
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conjunction_entails_both_parts(a in arb_constraint_set(3), b in arb_constraint_set(3)) {
+        let both = a.and(&b);
+        if both.is_satisfiable() {
+            prop_assert!(both.entails_all(&a));
+            prop_assert!(both.entails_all(&b));
+        }
+    }
+
+    #[test]
+    fn linearizations_satisfy_and_are_distinct(set in arb_constraint_set(4)) {
+        let nodes = set.nodes();
+        if nodes.len() > 5 {
+            return Ok(());
+        }
+        let lins = linearizations(&set, &nodes);
+        prop_assert_eq!(lins.is_empty(), !set.is_satisfiable());
+        for (i, l) in lins.iter().enumerate() {
+            prop_assert_eq!(l.satisfies_all(&set), Some(true));
+            for l2 in &lins[i + 1..] {
+                prop_assert!(l != l2, "duplicate linearization");
+            }
+            // Each linearization is realizable by a concrete model.
+            let m = l.model().expect("consistent linearization has a model");
+            prop_assert_eq!(l.to_constraints().eval(&m), Some(true));
+        }
+    }
+
+    #[test]
+    fn every_model_matches_some_linearization(set in arb_constraint_set(4)) {
+        // The linearizations partition the models: the model we extract
+        // must satisfy exactly one of them... at least one.
+        let nodes = set.nodes();
+        if nodes.len() > 5 {
+            return Ok(());
+        }
+        let Some(model) = set.model(&[]) else { return Ok(()); };
+        let mut matched = false;
+        for_each_linearization(&set, &nodes, |l| {
+            if l.to_constraints().eval(&model) == Some(true) {
+                matched = true;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        prop_assert!(matched, "model {model:?} matches no linearization of {set}");
+    }
+
+    #[test]
+    fn entailment_is_transitively_closed(set in arb_constraint_set(5)) {
+        // If set ⊨ a<b and set ⊨ b<c then set ⊨ a<c.
+        let nodes = set.nodes();
+        for &a in &nodes {
+            for &b in &nodes {
+                for &c in &nodes {
+                    if set.entails(Constraint::new(a, CompOp::Lt, b))
+                        && set.entails(Constraint::new(b, CompOp::Lt, c))
+                    {
+                        prop_assert!(set.entails(Constraint::new(a, CompOp::Lt, c)));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rat_ordering_is_total_and_consistent(a in -50i64..50, b in 1i64..20, c in -50i64..50, d in 1i64..20) {
+        let x = Rat::new(a, b);
+        let y = Rat::new(c, d);
+        // Midpoint between distinct values is strictly between.
+        if x < y {
+            let m = x.midpoint(y);
+            prop_assert!(x < m && m < y);
+        }
+        prop_assert!(x.below() < x);
+        prop_assert!(x < x.above());
+        // Cross-multiplication agreement.
+        prop_assert_eq!(x < y, a * d < c * b);
+    }
+}

@@ -1,0 +1,135 @@
+//! Canonical (frozen) databases and the easy containment direction.
+//!
+//! Freezing a conjunctive query maps each variable to a fresh constant and
+//! keeps constants; the resulting database is *canonical*: for
+//! comparison-free queries, `Q1 ⊆ Q2` iff the frozen head of `Q1` is an
+//! answer of `Q2` over `freeze(Q1)` [Chandra–Merlin]. The same trick
+//! decides `UCQ ⊆ P` for an arbitrary datalog program `P` (evaluate `P` on
+//! each frozen disjunct), which is the easy direction of Theorem 3.2.
+
+use std::collections::HashMap;
+
+use qc_datalog::eval::{answers, EvalError, EvalOptions};
+use qc_datalog::{ConjunctiveQuery, Database, Program, Symbol, Term, Tuple, Ucq, Var};
+
+/// A frozen query: the canonical database plus the frozen head tuple.
+#[derive(Debug, Clone)]
+pub struct Frozen {
+    /// The canonical database (one fact per relational subgoal).
+    pub database: Database,
+    /// The frozen head tuple.
+    pub head: Tuple,
+}
+
+/// Freezes a comparison-free conjunctive query: each variable becomes a
+/// fresh symbolic constant `@v`.
+///
+/// # Panics
+/// Panics if the query has comparison subgoals (freezing one model of the
+/// constraints is not canonical; comparison queries go through
+/// [`crate::comparisons`]).
+pub fn freeze(q: &ConjunctiveQuery) -> Frozen {
+    assert!(
+        q.is_comparison_free(),
+        "freeze requires a comparison-free query"
+    );
+    let mut frozen_of: HashMap<Var, Term> = HashMap::new();
+    let mut freeze_term = |t: &Term| -> Term { freeze_term_rec(t, &mut frozen_of) };
+    let mut database = Database::new();
+    for a in &q.subgoals {
+        let tuple: Tuple = a.args.iter().map(&mut freeze_term).collect();
+        database.insert(a.pred.as_str(), tuple);
+    }
+    let head: Tuple = q.head.args.iter().map(&mut freeze_term).collect();
+    Frozen { database, head }
+}
+
+fn freeze_term_rec(t: &Term, frozen_of: &mut HashMap<Var, Term>) -> Term {
+    match t {
+        Term::Var(v) => frozen_of
+            .entry(v.clone())
+            .or_insert_with(|| Term::sym(format!("@{}", v.name())))
+            .clone(),
+        Term::Const(_) => t.clone(),
+        Term::App(f, args) => Term::App(
+            f.clone(),
+            args.iter().map(|a| freeze_term_rec(a, frozen_of)).collect(),
+        ),
+    }
+}
+
+/// Decides `u ⊆ P` for a comparison-free UCQ `u` and a datalog program `P`
+/// with answer predicate `answer`: freeze each disjunct, evaluate `P`,
+/// check the frozen head. Complete for comparison-free, function-free
+/// programs (the canonical-database argument).
+pub fn ucq_contained_in_datalog(
+    u: &Ucq,
+    program: &Program,
+    answer: &Symbol,
+    opts: &EvalOptions,
+) -> Result<bool, EvalError> {
+    for d in &u.disjuncts {
+        let frozen = freeze(d);
+        let rel = answers(program, &frozen.database, answer, opts)?;
+        if !rel.contains(&frozen.head) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_datalog::{parse_program, parse_query};
+
+    fn q(s: &str) -> ConjunctiveQuery {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn freeze_shape() {
+        let f = freeze(&q("q(X) :- r(X, Y), s(Y, 10)."));
+        assert_eq!(f.database.total_len(), 2);
+        assert_eq!(f.head, vec![Term::sym("@X")]);
+        assert!(f
+            .database
+            .contains_atom(&qc_datalog::Atom::new(
+                "s",
+                vec![Term::sym("@Y"), Term::int(10)]
+            )));
+    }
+
+    #[test]
+    fn freeze_respects_repeats() {
+        let f = freeze(&q("q() :- r(X, X)."));
+        let facts = f.database.facts();
+        assert_eq!(facts[0].args[0], facts[0].args[1]);
+    }
+
+    #[test]
+    fn ucq_in_datalog_transitive_closure() {
+        let p = parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
+        let ans = Symbol::new("t");
+        let opts = EvalOptions::default();
+        // 2-chains are contained in transitive closure...
+        let two = Ucq::single(q("t(X, Z) :- e(X, Y), e(Y, Z)."));
+        assert!(ucq_contained_in_datalog(&two, &p, &ans, &opts).unwrap());
+        // ...but reversed edges are not.
+        let rev = Ucq::single(q("t(X, Y) :- e(Y, X)."));
+        assert!(!ucq_contained_in_datalog(&rev, &p, &ans, &opts).unwrap());
+        // Union: both disjuncts must be contained.
+        let mixed = Ucq::new(vec![
+            q("t(X, Z) :- e(X, Y), e(Y, Z)."),
+            q("t(X, Y) :- e(Y, X)."),
+        ])
+        .unwrap();
+        assert!(!ucq_contained_in_datalog(&mixed, &p, &ans, &opts).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "comparison-free")]
+    fn freeze_rejects_comparisons() {
+        freeze(&q("q(X) :- r(X, Y), Y < 3."));
+    }
+}

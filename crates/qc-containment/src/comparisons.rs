@@ -1,0 +1,455 @@
+//! Complete containment test for conjunctive queries with comparison
+//! predicates over a dense order (Klug \[28\]; van der Meyden \[39\]).
+//!
+//! `Q1 ⊆ Q2` iff for **every** linearization `L` of Q1's terms (together
+//! with Q2's constants) consistent with Q1's comparison constraints, some
+//! disjunct of Q2 admits a containment mapping into the `L`-quotient of Q1
+//! whose comparison literals hold under `L`. The `L`-quotient identifies
+//! the terms `L` makes equal — the canonical database for `L` collapses
+//! them to one value, so the mapping target must too.
+//!
+//! Interpretation of constants (faithful to the paper's single dense
+//! domain): numeric constants sit at their known positions; symbolic
+//! constants (`red`) and function terms denote domain elements whose order
+//! is unknown. Distinct constants are distinct elements; function terms
+//! are unconstrained.
+//!
+//! A sound fast path avoids the exponential enumeration when a single
+//! mapping's comparison images are *entailed* by Q1's constraints —
+//! which settles every containment in the paper's examples.
+
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+use qc_constraints::{
+    for_each_linearization, CompOp, Constraint, ConstraintSet, Linearization, Node, Rat, VarId,
+};
+use qc_datalog::{Comparison, ConjunctiveQuery, Const, Subst, Term, Ucq, Var};
+
+use crate::homomorphism::{apply_mapping, for_each_containment_mapping, Mapping};
+
+/// Maps datalog terms to constraint-solver nodes.
+///
+/// * variables → solver variables;
+/// * numeric constants → solver constants;
+/// * symbolic constants and ground function terms → *pseudo-variables*
+///   (unknown positions in the dense order), with background disequalities
+///   between distinct constants.
+#[derive(Debug, Default)]
+pub struct NodeMap {
+    vars: HashMap<Var, VarId>,
+    pseudo: HashMap<Term, VarId>,
+    next: u32,
+    /// Numeric constants seen so far; the background facts assert that
+    /// every symbolic constant differs from each of them.
+    nums_seen: Vec<Rat>,
+}
+
+impl NodeMap {
+    /// Creates an empty map.
+    pub fn new() -> NodeMap {
+        NodeMap::default()
+    }
+
+    /// The node for a term (allocating ids on first sight).
+    pub fn node(&mut self, t: &Term) -> Node {
+        match t {
+            Term::Var(v) => {
+                if let Some(id) = self.vars.get(v) {
+                    return Node::Var(*id);
+                }
+                let id = VarId(self.next);
+                self.next += 1;
+                self.vars.insert(v.clone(), id);
+                Node::Var(id)
+            }
+            Term::Const(Const::Num(r)) => Node::Const(*r),
+            Term::Const(Const::Sym(_)) | Term::App(..) => {
+                if let Some(id) = self.pseudo.get(t) {
+                    return Node::Var(*id);
+                }
+                let id = VarId(self.next);
+                self.next += 1;
+                self.pseudo.insert(t.clone(), id);
+                Node::Var(id)
+            }
+        }
+    }
+
+    /// Background facts: distinct constants denote distinct elements.
+    /// (Pairs of numeric constants are ordered by value already; symbolic
+    /// constants get explicit `!=` against every other constant.)
+    pub fn background(&mut self) -> ConstraintSet {
+        let mut set = ConstraintSet::new();
+        let syms: Vec<(Term, VarId)> = self
+            .pseudo
+            .iter()
+            .filter(|(t, _)| matches!(t, Term::Const(Const::Sym(_))))
+            .map(|(t, id)| (t.clone(), *id))
+            .collect();
+        for (i, (_, a)) in syms.iter().enumerate() {
+            for (_, b) in syms.iter().skip(i + 1) {
+                set.add(Node::Var(*a), CompOp::Ne, Node::Var(*b));
+            }
+        }
+        // Symbolic constants differ from every numeric constant in play.
+        let nums: Vec<Node> = self
+            .nums_seen
+            .iter()
+            .map(|r| Node::Const(*r))
+            .collect();
+        for (_, a) in &syms {
+            for n in &nums {
+                set.add(Node::Var(*a), CompOp::Ne, *n);
+            }
+        }
+        set
+    }
+}
+
+/// Converts a list of comparison literals to a constraint set via `map`.
+pub fn comparisons_to_constraints(
+    comps: &[Comparison],
+    map: &mut NodeMap,
+) -> ConstraintSet {
+    let mut set = ConstraintSet::new();
+    for c in comps {
+        let l = map.node(&c.lhs);
+        let r = map.node(&c.rhs);
+        set.add(l, c.op, r);
+    }
+    set
+}
+
+/// Decides `q1 ⊆ u2` where both sides may contain comparison literals,
+/// interpreted over a dense order. Complete (Klug's test).
+pub fn cq_contained_in_ucq(q1: &ConjunctiveQuery, u2: &Ucq) -> bool {
+    if q1.head.arity() != u2.arity {
+        return false;
+    }
+    let mut map = NodeMap::new();
+
+    // Terms of q1 (the linearization universe) plus u2's constants.
+    let q1_terms = q1.all_terms();
+    let mut universe: Vec<(Term, Node)> = Vec::new();
+    for t in &q1_terms {
+        universe.push((t.clone(), map.node(t)));
+    }
+    for c in u2.consts() {
+        let t = Term::Const(c);
+        if !universe.iter().any(|(u, _)| u == &t) {
+            universe.push((t.clone(), map.node(&t)));
+        }
+    }
+    // Record every numeric constant so the background != facts cover them.
+    map.nums_seen = universe
+        .iter()
+        .filter_map(|(t, _)| match t {
+            Term::Const(Const::Num(r)) => Some(*r),
+            _ => None,
+        })
+        .collect();
+    // Also numeric constants inside u2's comparisons and q1's comparisons
+    // appear in the universe already via all_terms / consts.
+
+    let c1 = comparisons_to_constraints(&q1.comparisons, &mut map).and(&map.background());
+    if !c1.is_satisfiable() {
+        return true; // q1 is unsatisfiable: contained in everything
+    }
+
+    // Fast path: one mapping whose comparison images are entailed by C1
+    // covers every linearization at once.
+    let mut fast = false;
+    for d2 in &u2.disjuncts {
+        if exists_mapping_with(d2, q1, &mut map, |imgs, map| {
+            imgs.iter().all(|c| {
+                let l = map.node(&c.lhs);
+                let r = map.node(&c.rhs);
+                c1.entails(Constraint::new(l, c.op, r))
+            })
+        }) {
+            fast = true;
+            break;
+        }
+    }
+    if fast {
+        return true;
+    }
+
+    // Complete path: enumerate linearizations of the universe consistent
+    // with C1; each must be covered by some disjunct.
+    let nodes: Vec<Node> = universe.iter().map(|(_, n)| *n).collect();
+    for_each_linearization(&c1, &nodes, |lin| {
+        if linearization_covered(q1, u2, &universe, &mut map, lin) {
+            ControlFlow::Continue(())
+        } else {
+            ControlFlow::Break(())
+        }
+    })
+}
+
+/// Whether some disjunct of `u2` maps into the `lin`-quotient of `q1` with
+/// its comparisons satisfied by `lin`.
+fn linearization_covered(
+    q1: &ConjunctiveQuery,
+    u2: &Ucq,
+    universe: &[(Term, Node)],
+    map: &mut NodeMap,
+    lin: &Linearization,
+) -> bool {
+    // Quotient q1 by lin's equality blocks: pick a representative per
+    // block (the constant if present — at most one, since distinct
+    // constants are never equal under the background facts).
+    let mut rep_of_block: HashMap<usize, Term> = HashMap::new();
+    for (t, n) in universe {
+        let b = lin.block_of(*n).expect("universe covered");
+        let entry = rep_of_block.entry(b).or_insert_with(|| t.clone());
+        if matches!(t, Term::Const(_)) {
+            *entry = t.clone();
+        }
+    }
+    let mut sigma = Subst::new();
+    for (t, n) in universe {
+        let b = lin.block_of(*n).expect("universe covered");
+        let rep = &rep_of_block[&b];
+        if let Term::Var(v) = t {
+            if rep != t {
+                sigma.bind(v.clone(), rep.clone());
+            }
+        }
+        // Non-variable terms equated with a different representative can
+        // only be pseudo-terms equated with each other; constants never
+        // merge, and a function term equated with a variable keeps the
+        // constant/app as representative via the preference above. A
+        // function term equated with another function term cannot be
+        // expressed by substitution — such linearizations make the
+        // canonical database identify two ground terms, which only ever
+        // *adds* homomorphisms targeting them; we conservatively skip the
+        // identification (sound: we may answer "not covered" for a
+        // linearization that is covered, erring toward non-containment
+        // only in the presence of ground function terms, which the
+        // paper's constructions eliminate before containment checks).
+    }
+    let q1_quot = q1.substitute(&sigma);
+
+    for d2 in &u2.disjuncts {
+        let found = exists_mapping_with(d2, &q1_quot, map, |imgs, map| {
+            imgs.iter().all(|c| {
+                let l = map.node(&c.lhs);
+                let r = map.node(&c.rhs);
+                // The image terms are q1-quotient terms; their nodes are in
+                // the linearization universe (representatives are universe
+                // members). Fresh nodes (e.g. a constant of d2 pulled in by
+                // the mapping... cannot happen: images are q1 terms or d2
+                // constants, both in the universe).
+                lin.satisfies(l, c.op, r).unwrap_or(false)
+            })
+        });
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether a containment mapping `d2 → target` exists whose comparison
+/// images satisfy `check`.
+fn exists_mapping_with(
+    d2: &ConjunctiveQuery,
+    target: &ConjunctiveQuery,
+    map: &mut NodeMap,
+    mut check: impl FnMut(&[Comparison], &mut NodeMap) -> bool,
+) -> bool {
+    let mut found = false;
+    for_each_containment_mapping(d2, target, |m: &Mapping| {
+        let imgs: Vec<Comparison> = d2
+            .comparisons
+            .iter()
+            .map(|c| Comparison::new(apply_mapping(m, &c.lhs), c.op, apply_mapping(m, &c.rhs)))
+            .collect();
+        if check(&imgs, map) {
+            found = true;
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_datalog::parse_query;
+
+    fn q(s: &str) -> ConjunctiveQuery {
+        parse_query(s).unwrap()
+    }
+
+    fn contained(a: &str, b: &str) -> bool {
+        cq_contained_in_ucq(&q(a), &Ucq::single(q(b)))
+    }
+
+    #[test]
+    fn semi_interval_strengthening() {
+        // Y < 1960 is stronger than Y < 1970.
+        assert!(contained(
+            "q(X) :- car(X, Y), Y < 1960.",
+            "q(X) :- car(X, Y), Y < 1970."
+        ));
+        assert!(!contained(
+            "q(X) :- car(X, Y), Y < 1970.",
+            "q(X) :- car(X, Y), Y < 1960."
+        ));
+    }
+
+    #[test]
+    fn le_vs_lt() {
+        assert!(contained(
+            "q(X) :- car(X, Y), Y < 1970.",
+            "q(X) :- car(X, Y), Y <= 1970."
+        ));
+        assert!(!contained(
+            "q(X) :- car(X, Y), Y <= 1970.",
+            "q(X) :- car(X, Y), Y < 1970."
+        ));
+    }
+
+    #[test]
+    fn unsatisfiable_query_contained_in_everything() {
+        assert!(contained(
+            "q(X) :- car(X, Y), Y < 1960, Y > 1970.",
+            "q(X) :- zebra(X, X)."
+        ));
+    }
+
+    #[test]
+    fn constant_equality_via_comparison() {
+        // Y = 10 in the body acts like the constant 10.
+        assert!(contained(
+            "q(X) :- r(X, Y), Y = 10.",
+            "q(X) :- r(X, 10)."
+        ));
+        assert!(contained(
+            "q(X) :- r(X, 10).",
+            "q(X) :- r(X, Y), Y = 10."
+        ));
+    }
+
+    #[test]
+    fn klug_case_needs_linearization_split() {
+        // Classic: q1 :- r(X), r(Y) (no constraints) is contained in
+        // q2 :- r(A), r(B), A <= B — every linearization of {X, Y} admits
+        // a mapping (A, B pick the smaller/larger), but NO single mapping
+        // works for all linearizations.
+        assert!(contained(
+            "q() :- r(X), r(Y).",
+            "q() :- r(A), r(B), A <= B."
+        ));
+        // The strict version fails: the linearization X = Y kills it.
+        assert!(!contained(
+            "q() :- r(X), r(Y).",
+            "q() :- r(A), r(B), A < B."
+        ));
+    }
+
+    #[test]
+    fn union_split_by_order() {
+        // r(X), s(Y) ⊆ (A < B) ∪ (A >= B) needs the union per
+        // linearization: the distinct predicates force A -> X, B -> Y.
+        let q1 = q("q() :- r(X), s(Y).");
+        let u2 = Ucq::new(vec![
+            q("q() :- r(A), s(B), A < B."),
+            q("q() :- r(A), s(B), A >= B."),
+        ])
+        .unwrap();
+        assert!(cq_contained_in_ucq(&q1, &u2));
+        // Neither disjunct alone contains q1.
+        assert!(!cq_contained_in_ucq(&q1, &Ucq::single(u2.disjuncts[0].clone())));
+        assert!(!cq_contained_in_ucq(&q1, &Ucq::single(u2.disjuncts[1].clone())));
+    }
+
+    #[test]
+    fn containee_constraints_enable_mapping() {
+        // q1's own constraint Y < 1970 entails Y < 2000 for the mapping.
+        assert!(contained(
+            "q(X) :- car(X, Y), Y < 1970.",
+            "q(X) :- car(X, Z), Z < 2000."
+        ));
+    }
+
+    #[test]
+    fn symbolic_constants_have_unknown_order() {
+        // A variable equal to 'red' could be anywhere in the order, so
+        // Y < 1970 does not hold for it.
+        assert!(!contained(
+            "q(X) :- car(X, red).",
+            "q(X) :- car(X, Y), Y < 1970."
+        ));
+        // But distinct symbolic constants are distinct.
+        assert!(contained(
+            "q(X) :- car(X, red), car(X, blue).",
+            "q(X) :- car(X, A), car(X, B), A != B."
+        ));
+    }
+
+    #[test]
+    fn ne_requires_distinctness() {
+        assert!(!contained(
+            "q() :- r(X), r(Y).",
+            "q() :- r(A), r(B), A != B."
+        ));
+        assert!(contained(
+            "q() :- r(X), r(Y), X < Y.",
+            "q() :- r(A), r(B), A != B."
+        ));
+    }
+
+    #[test]
+    fn head_arity_mismatch() {
+        assert!(!contained("q(X) :- r(X, Y).", "q(X, Y) :- r(X, Y)."));
+    }
+
+    #[test]
+    fn comparison_free_agrees_with_chandra_merlin() {
+        let pairs = [
+            ("q(X) :- r(X, Y).", "q(X) :- r(X, Z).", true),
+            ("q(X) :- r(X, X).", "q(X) :- r(X, Y).", true),
+            ("q(X) :- r(X, Y).", "q(X) :- r(X, X).", false),
+        ];
+        for (a, b, expect) in pairs {
+            assert_eq!(contained(a, b), expect, "{a} vs {b}");
+            assert_eq!(
+                crate::cq::cq_contained(&q(a), &q(b)),
+                expect,
+                "dispatch {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn quotient_identification_matters() {
+        // q1 has separate X, Y; q2 requires them equal. Only the
+        // linearization X = Y admits a mapping, others fail -> overall
+        // not contained. But with q1 constraint X = Y, contained.
+        assert!(!contained("q() :- r(X), s(Y).", "q() :- r(A), s(A)."));
+        assert!(contained(
+            "q() :- r(X), s(Y), X = Y.",
+            "q() :- r(A), s(A)."
+        ));
+    }
+
+    #[test]
+    fn between_constants() {
+        // 1960 < Y < 1970 entails Y != 1965? No! Y could be 1965.
+        assert!(!contained(
+            "q(X) :- car(X, Y), Y > 1960, Y < 1970.",
+            "q(X) :- car(X, Y), Y != 1965."
+        ));
+        // It does entail Y != 1970 and Y != 1955.
+        assert!(contained(
+            "q(X) :- car(X, Y), Y > 1960, Y < 1970.",
+            "q(X) :- car(X, Y), Y != 1970."
+        ));
+    }
+}

@@ -1,0 +1,145 @@
+//! Uniform containment (Sagiv): a sound, fast, incomplete test for
+//! datalog ⊆ datalog.
+//!
+//! `P ⊆ᵤ Q` ("uniformly contained") holds when `P(D) ⊆ Q(D)` for every
+//! database `D` that may already contain IDB facts. Uniform containment
+//! implies ordinary containment (restrict to IDB-free databases) but not
+//! conversely. It is decidable by a chase: for each rule of `P`, freeze
+//! the body, evaluate `Q` over the frozen facts (with IDB facts seeded),
+//! and check that the frozen head is derived.
+//!
+//! Experiment E10 measures how often this fast path settles the
+//! containments arising in relative-containment workloads before the
+//! complete (and far more expensive) type-fixpoint procedure runs.
+
+use std::collections::HashMap;
+
+use qc_datalog::eval::{answers, EvalError, EvalOptions};
+use qc_datalog::{Atom, Database, Program, Rule, Symbol, Term, Var};
+
+/// Decides uniform containment `P ⊆ᵤ Q`.
+///
+/// `P` and `Q` must share their predicate vocabulary for the result to be
+/// meaningful (IDB predicates are matched by name). Sound for ordinary
+/// containment: `Ok(true)` implies `P ⊆ Q`; `Ok(false)` decides nothing.
+pub fn uniformly_contained(p: &Program, q: &Program, opts: &EvalOptions) -> Result<bool, EvalError> {
+    // Q, with every IDB predicate additionally fed from a seed relation, so
+    // that frozen IDB facts participate in the derivation.
+    let mut q_seeded = q.clone();
+    let mut seed_name: HashMap<Symbol, Symbol> = HashMap::new();
+    // Seed rules must exist for every IDB pred of P or Q mentioned in
+    // frozen bodies.
+    let mut idb: Vec<Symbol> = q.idb_preds().into_iter().collect();
+    for pred in p.idb_preds() {
+        if !idb.contains(&pred) {
+            idb.push(pred);
+        }
+    }
+    let arities_p = p.arities().map_err(|_| EvalError::NonGroundHead("arity".into()))?;
+    let arities_q = q.arities().map_err(|_| EvalError::NonGroundHead("arity".into()))?;
+    for pred in &idb {
+        let arity = arities_q
+            .get(pred)
+            .or_else(|| arities_p.get(pred))
+            .copied();
+        let Some(arity) = arity else { continue };
+        let seeded = Symbol::new(format!("{}__seed", pred));
+        seed_name.insert(pred.clone(), seeded.clone());
+        let args: Vec<Term> = (0..arity).map(|i| Term::var(format!("X{i}"))).collect();
+        q_seeded.push(Rule::new(
+            Atom {
+                pred: pred.clone(),
+                args: args.clone(),
+            },
+            vec![Atom {
+                pred: seeded,
+                args,
+            }
+            .into()],
+        ));
+    }
+
+    for rule in p.rules() {
+        // Freeze the rule body (variables become constants). Comparisons
+        // make the frozen-body argument unsound in general; reject them.
+        if rule.body_comparisons().next().is_some() {
+            return Ok(false);
+        }
+        let mut frozen_of: HashMap<Var, Term> = HashMap::new();
+        let mut freeze = |t: &Term| freeze_term(t, &mut frozen_of);
+        let mut db = Database::new();
+        for atom in rule.body_atoms() {
+            let pred = seed_name.get(&atom.pred).unwrap_or(&atom.pred).clone();
+            let tuple = atom.args.iter().map(&mut freeze).collect();
+            db.insert(pred.as_str(), tuple);
+        }
+        let head_tuple: Vec<Term> = rule.head.args.iter().map(&mut freeze).collect();
+        let derived = answers(&q_seeded, &db, &rule.head.pred, opts)?;
+        if !derived.contains(&head_tuple) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn freeze_term(t: &Term, frozen_of: &mut HashMap<Var, Term>) -> Term {
+    match t {
+        Term::Var(v) => frozen_of
+            .entry(v.clone())
+            .or_insert_with(|| Term::sym(format!("@{}", v.name())))
+            .clone(),
+        Term::Const(_) => t.clone(),
+        Term::App(f, args) => Term::App(
+            f.clone(),
+            args.iter().map(|a| freeze_term(a, frozen_of)).collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_datalog::parse_program;
+
+    fn prog(s: &str) -> Program {
+        parse_program(s).unwrap()
+    }
+
+    #[test]
+    fn identical_programs_uniformly_contained() {
+        let p = prog("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).");
+        assert!(uniformly_contained(&p, &p, &EvalOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn left_linear_in_general_tc() {
+        // Left-linear TC is uniformly contained in the nonlinear one.
+        let left = prog("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).");
+        let nonlinear = prog("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), t(Y, Z).");
+        assert!(uniformly_contained(&left, &nonlinear, &EvalOptions::default()).unwrap());
+        // The nonlinear step t(X,Y), t(Y,Z) -> t(X,Z) is NOT uniformly
+        // derivable from the left-linear program (with t seeded, e absent).
+        assert!(!uniformly_contained(&nonlinear, &left, &EvalOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn strict_subset_program() {
+        let small = prog("t(X, Y) :- e(X, Y).");
+        let big = prog("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).");
+        assert!(uniformly_contained(&small, &big, &EvalOptions::default()).unwrap());
+        assert!(!uniformly_contained(&big, &small, &EvalOptions::default()).unwrap());
+    }
+
+    #[test]
+    fn incompleteness_example() {
+        // Ordinary containment can hold where uniform fails: q(X) :- e(X, X)
+        // is contained in p's q (they're equal on IDB-free databases) but
+        // seeding makes them differ... here a classic: P derives q from a
+        // helper that is *equivalent* to Q's direct rule.
+        let p = prog("q(X) :- h(X). h(X) :- e(X, X).");
+        let q = prog("q(X) :- e(X, X).");
+        // Ordinary containment holds (unfold h), but uniform containment
+        // fails because a seeded h-fact derives q in P with no e-support.
+        assert!(!uniformly_contained(&p, &q, &EvalOptions::default()).unwrap());
+    }
+}

@@ -1,0 +1,201 @@
+//! Counterexample expansions: concrete refutations of datalog ⊆ UCQ.
+//!
+//! The type fixpoint of [`crate::datalog_ucq`] *decides* the containment
+//! but its abstraction discards the expansions themselves. When a user
+//! wants to see **why** `P ⊄ Q`, this module searches the expansions of
+//! `P` breadth-first (bounded by a rule-application budget) for one not
+//! contained in `Q` — a concrete proof tree whose conjunctive reading
+//! escapes every disjunct.
+//!
+//! The search is a semi-decision: a returned expansion is always a valid
+//! refutation; exhausting the budget proves nothing (use the fixpoint for
+//! the decision, this for the explanation).
+
+use std::collections::VecDeque;
+
+use qc_datalog::{
+    unify_atoms, ConjunctiveQuery, Literal, Program, Rule, Symbol, Ucq, VarGen,
+};
+
+use crate::comparisons::cq_contained_in_ucq;
+
+/// Limits for the expansion search.
+#[derive(Debug, Clone, Copy)]
+pub struct WitnessBudget {
+    /// Maximum number of rule applications per expansion.
+    pub max_unfoldings: usize,
+    /// Maximum number of partial expansions explored.
+    pub max_explored: usize,
+}
+
+impl Default for WitnessBudget {
+    fn default() -> WitnessBudget {
+        WitnessBudget {
+            max_unfoldings: 8,
+            max_explored: 50_000,
+        }
+    }
+}
+
+/// Searches for an expansion of `p`'s `answer` predicate that is **not**
+/// contained in `q`. Returns the expansion as a conjunctive query over
+/// `p`'s EDB vocabulary, or `None` if none was found within the budget.
+pub fn find_counterexample_expansion(
+    p: &Program,
+    answer: &Symbol,
+    q: &Ucq,
+    budget: &WitnessBudget,
+) -> Option<ConjunctiveQuery> {
+    let idb = p.idb_preds();
+    let mut gen = VarGen::new();
+    // Queue of partially-unfolded rules with their unfolding count.
+    let mut queue: VecDeque<(Rule, usize)> = p
+        .rules_for(answer)
+        .map(|r| (r.rename_apart(&mut gen), 1))
+        .collect();
+    let mut explored = 0usize;
+    while let Some((rule, unfoldings)) = queue.pop_front() {
+        explored += 1;
+        if explored > budget.max_explored {
+            return None;
+        }
+        // First remaining IDB subgoal, if any.
+        let idb_pos = rule
+            .body
+            .iter()
+            .position(|l| matches!(l, Literal::Atom(a) if idb.contains(&a.pred)));
+        match idb_pos {
+            None => {
+                // A complete expansion: test it.
+                let cq = ConjunctiveQuery::from_rule(&rule);
+                if !cq_contained_in_ucq(&cq, q) {
+                    return Some(cq.tidy_names());
+                }
+            }
+            Some(i) => {
+                if unfoldings >= budget.max_unfoldings {
+                    continue;
+                }
+                let Literal::Atom(call) = rule.body[i].clone() else {
+                    unreachable!()
+                };
+                for def in p.rules_for(&call.pred) {
+                    let def = def.rename_apart(&mut gen);
+                    if let Some(mgu) = unify_atoms(&call, &def.head) {
+                        let mut body = rule.body.clone();
+                        body.splice(i..=i, def.body.iter().cloned());
+                        let expanded =
+                            Rule::new(rule.head.clone(), body).substitute(&mgu);
+                        queue.push_back((expanded, unfoldings + 1));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datalog_ucq::{datalog_contained_in_ucq, FixpointBudget};
+    use qc_datalog::{parse_program, parse_query};
+
+    fn ucq(srcs: &[&str]) -> Ucq {
+        Ucq::new(srcs.iter().map(|s| parse_query(s).unwrap()).collect()).unwrap()
+    }
+
+    #[test]
+    fn finds_the_escaping_chain() {
+        // TC ⊄ paths of length ≤ 2: the witness is the 3-chain.
+        let p = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).",
+        )
+        .unwrap();
+        let q = ucq(&[
+            "t(A, B) :- e(A, B).",
+            "t(A, C) :- e(A, B), e(B, C).",
+        ]);
+        let w = find_counterexample_expansion(
+            &p,
+            &Symbol::new("t"),
+            &q,
+            &WitnessBudget::default(),
+        )
+        .expect("a witness exists");
+        assert_eq!(w.subgoals.len(), 3, "{w}");
+        // The witness genuinely escapes.
+        assert!(!cq_contained_in_ucq(&w, &q));
+    }
+
+    #[test]
+    fn no_witness_when_contained() {
+        let p = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).",
+        )
+        .unwrap();
+        let q = ucq(&["u(A, B) :- e(A, C), e(D, B)."]);
+        assert!(datalog_contained_in_ucq(
+            &p,
+            &Symbol::new("t"),
+            &q,
+            &FixpointBudget::default()
+        )
+        .unwrap());
+        assert!(find_counterexample_expansion(
+            &p,
+            &Symbol::new("t"),
+            &q,
+            &WitnessBudget::default()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn witness_agrees_with_the_fixpoint_on_samples() {
+        let cases = [
+            (
+                "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).",
+                vec!["u(A, B) :- e(A, B)."],
+            ),
+            (
+                "p(X) :- loop(X). p(Y) :- p(X), e(X, Y).",
+                vec!["u(A) :- loop(A)."],
+            ),
+            (
+                "p(X) :- loop(X). p(Y) :- p(X), e(X, Y).",
+                vec!["u(A) :- loop(A).", "u(A) :- loop(B), e(C, A)."],
+            ),
+        ];
+        for (psrc, qsrcs) in cases {
+            let p = parse_program(psrc).unwrap();
+            let ans = p.rules()[0].head.pred.clone();
+            let q = Ucq::new(qsrcs.iter().map(|s| parse_query(s).unwrap()).collect())
+                .unwrap();
+            let decided =
+                datalog_contained_in_ucq(&p, &ans, &q, &FixpointBudget::default()).unwrap();
+            let witness =
+                find_counterexample_expansion(&p, &ans, &q, &WitnessBudget::default());
+            assert_eq!(decided, witness.is_none(), "{psrc}");
+        }
+    }
+
+    #[test]
+    fn budget_limits_the_search() {
+        let p = parse_program(
+            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).",
+        )
+        .unwrap();
+        // The first escaping expansion needs 3 unfoldings; a budget of 2
+        // cannot find it.
+        let q = ucq(&[
+            "t(A, B) :- e(A, B).",
+            "t(A, C) :- e(A, B), e(B, C).",
+        ]);
+        let tiny = WitnessBudget {
+            max_unfoldings: 2,
+            max_explored: 1000,
+        };
+        assert!(find_counterexample_expansion(&p, &Symbol::new("t"), &q, &tiny).is_none());
+    }
+}

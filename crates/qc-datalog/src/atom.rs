@@ -1,0 +1,271 @@
+//! Atoms, comparison literals, and body literals.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use qc_constraints::CompOp;
+
+use crate::{Const, Symbol, Term, Var};
+
+/// A relational atom `p(t₁, …, tₙ)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Atom {
+    /// Predicate name.
+    pub pred: Symbol,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(pred: impl AsRef<str>, args: Vec<Term>) -> Atom {
+        Atom {
+            pred: Symbol::new(pred),
+            args,
+        }
+    }
+
+    /// The predicate's arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Whether every argument is ground.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_ground)
+    }
+
+    /// Adds the atom's variables to `out`.
+    pub fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        for t in &self.args {
+            t.collect_vars(out);
+        }
+    }
+
+    /// The atom's variables (sorted set).
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut s = BTreeSet::new();
+        self.collect_vars(&mut s);
+        s
+    }
+
+    /// Adds the atom's constants to `out`.
+    pub fn collect_consts(&self, out: &mut BTreeSet<Const>) {
+        for t in &self.args {
+            t.collect_consts(out);
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A comparison literal `t₁ θ t₂` with θ ∈ {<, <=, =, !=, >=, >}.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Comparison {
+    /// Left operand.
+    pub lhs: Term,
+    /// Comparison operator.
+    pub op: CompOp,
+    /// Right operand.
+    pub rhs: Term,
+}
+
+impl Comparison {
+    /// Creates a comparison literal.
+    pub fn new(lhs: Term, op: CompOp, rhs: Term) -> Comparison {
+        Comparison { lhs, op, rhs }
+    }
+
+    /// Adds the comparison's variables to `out`.
+    pub fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        self.lhs.collect_vars(out);
+        self.rhs.collect_vars(out);
+    }
+
+    /// The comparison's variables (sorted set).
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut s = BTreeSet::new();
+        self.collect_vars(&mut s);
+        s
+    }
+
+    /// Whether this is a *semi-interval* constraint in the paper's sense
+    /// (§5): `x θ c` or `c θ x` with `x` a variable, `c` a numeric
+    /// constant, and θ one of `<`, `<=`, `>`, `>=`.
+    pub fn is_semi_interval(&self) -> bool {
+        let shape_ok = matches!(
+            (&self.lhs, &self.rhs),
+            (Term::Var(_), Term::Const(Const::Num(_))) | (Term::Const(Const::Num(_)), Term::Var(_))
+        );
+        shape_ok
+            && matches!(
+                self.op,
+                CompOp::Lt | CompOp::Le | CompOp::Gt | CompOp::Ge
+            )
+    }
+
+    /// Evaluates the comparison if both operands are ground.
+    ///
+    /// Ordering comparisons (`<`, `<=`, `>`, `>=`) are defined only between
+    /// numeric constants; between anything else they are false (distinct
+    /// uninterpreted values have no known order). `=` and `!=` compare any
+    /// ground terms structurally.
+    ///
+    /// Returns `None` if an operand is non-ground.
+    pub fn eval_ground(&self) -> Option<bool> {
+        if !self.lhs.is_ground() || !self.rhs.is_ground() {
+            return None;
+        }
+        Some(match self.op {
+            CompOp::Eq => self.lhs == self.rhs,
+            CompOp::Ne => self.lhs != self.rhs,
+            CompOp::Lt | CompOp::Le | CompOp::Gt | CompOp::Ge => {
+                match (num_of(&self.lhs), num_of(&self.rhs)) {
+                    (Some(a), Some(b)) => self.op.eval(a.cmp(&b)),
+                    _ => false,
+                }
+            }
+        })
+    }
+}
+
+fn num_of(t: &Term) -> Option<qc_constraints::Rat> {
+    match t {
+        Term::Const(c) => c.as_num(),
+        _ => None,
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// A body literal: a relational atom or a comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Literal {
+    /// A relational atom.
+    Atom(Atom),
+    /// A comparison literal.
+    Comp(Comparison),
+}
+
+impl Literal {
+    /// The relational atom, if this literal is one.
+    pub fn as_atom(&self) -> Option<&Atom> {
+        match self {
+            Literal::Atom(a) => Some(a),
+            Literal::Comp(_) => None,
+        }
+    }
+
+    /// The comparison, if this literal is one.
+    pub fn as_comparison(&self) -> Option<&Comparison> {
+        match self {
+            Literal::Comp(c) => Some(c),
+            Literal::Atom(_) => None,
+        }
+    }
+
+    /// Adds the literal's variables to `out`.
+    pub fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Literal::Atom(a) => a.collect_vars(out),
+            Literal::Comp(c) => c.collect_vars(out),
+        }
+    }
+}
+
+impl From<Atom> for Literal {
+    fn from(a: Atom) -> Literal {
+        Literal::Atom(a)
+    }
+}
+
+impl From<Comparison> for Literal {
+    fn from(c: Comparison) -> Literal {
+        Literal::Comp(c)
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Atom(a) => write!(f, "{a}"),
+            Literal::Comp(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_vars_and_display() {
+        let a = Atom::new("r", vec![Term::var("X"), Term::int(3), Term::var("X")]);
+        assert_eq!(a.vars().len(), 1);
+        assert_eq!(a.to_string(), "r(X, 3, X)");
+        assert_eq!(a.arity(), 3);
+        assert!(!a.is_ground());
+    }
+
+    #[test]
+    fn comparison_ground_eval() {
+        let c = Comparison::new(Term::int(1965), CompOp::Lt, Term::int(1970));
+        assert_eq!(c.eval_ground(), Some(true));
+        let c2 = Comparison::new(Term::int(1975), CompOp::Lt, Term::int(1970));
+        assert_eq!(c2.eval_ground(), Some(false));
+        let c3 = Comparison::new(Term::var("Y"), CompOp::Lt, Term::int(1970));
+        assert_eq!(c3.eval_ground(), None);
+    }
+
+    #[test]
+    fn comparison_on_symbols() {
+        // Uninterpreted constants compare only for (in)equality.
+        let eq = Comparison::new(Term::sym("red"), CompOp::Eq, Term::sym("red"));
+        assert_eq!(eq.eval_ground(), Some(true));
+        let ne = Comparison::new(Term::sym("red"), CompOp::Ne, Term::sym("blue"));
+        assert_eq!(ne.eval_ground(), Some(true));
+        let lt = Comparison::new(Term::sym("red"), CompOp::Lt, Term::sym("blue"));
+        assert_eq!(lt.eval_ground(), Some(false));
+        // Function terms compare structurally for equality.
+        let f1 = Term::app("f", vec![Term::int(1)]);
+        let f2 = Term::app("f", vec![Term::int(1)]);
+        assert_eq!(
+            Comparison::new(f1, CompOp::Eq, f2).eval_ground(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn semi_interval() {
+        assert!(Comparison::new(Term::var("Y"), CompOp::Lt, Term::int(1970)).is_semi_interval());
+        assert!(Comparison::new(Term::int(3), CompOp::Ge, Term::var("X")).is_semi_interval());
+        assert!(!Comparison::new(Term::var("X"), CompOp::Lt, Term::var("Y")).is_semi_interval());
+        assert!(!Comparison::new(Term::var("X"), CompOp::Eq, Term::int(3)).is_semi_interval());
+        assert!(!Comparison::new(Term::var("X"), CompOp::Lt, Term::sym("red")).is_semi_interval());
+    }
+
+    #[test]
+    fn literal_accessors() {
+        let l: Literal = Atom::new("p", vec![]).into();
+        assert!(l.as_atom().is_some());
+        assert!(l.as_comparison().is_none());
+        let c: Literal = Comparison::new(Term::var("X"), CompOp::Lt, Term::int(1)).into();
+        assert!(c.as_atom().is_none());
+        assert_eq!(c.to_string(), "X < 1");
+    }
+}

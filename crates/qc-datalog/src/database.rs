@@ -1,0 +1,359 @@
+//! In-memory databases: ground relations with per-position indexes.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use crate::{Atom, ParseError, Symbol, Term};
+
+/// A ground tuple. Values are ground [`Term`]s: constants, or function
+/// terms (the labelled nulls produced by inverse-rule plans).
+pub type Tuple = Vec<Term>;
+
+/// A relation instance: a duplicate-free, insertion-ordered set of ground
+/// tuples with hash indexes on every position.
+///
+/// The per-position indexes keep join lookups in the evaluation engine
+/// constant-time per candidate; they are maintained incrementally on
+/// insert (relations are append-only during evaluation).
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    tuples: Vec<Tuple>,
+    set: HashMap<Tuple, usize>,
+    /// `index[i][v]` = row ids whose position `i` equals `v`.
+    index: Vec<HashMap<Term, Vec<u32>>>,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new() -> Relation {
+        Relation::default()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples, in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Whether the relation contains a tuple.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.set.contains_key(t)
+    }
+
+    /// Inserts a ground tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if the tuple is not ground or its arity
+    /// disagrees with previously inserted tuples.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        debug_assert!(t.iter().all(Term::is_ground), "non-ground tuple {t:?}");
+        if self.set.contains_key(&t) {
+            return false;
+        }
+        if self.index.len() < t.len() {
+            self.index.resize_with(t.len(), HashMap::new);
+        }
+        debug_assert!(
+            self.tuples.is_empty() || self.tuples[0].len() == t.len(),
+            "arity mismatch inserting {t:?}"
+        );
+        let id = self.tuples.len() as u32;
+        for (i, v) in t.iter().enumerate() {
+            self.index[i].entry(v.clone()).or_default().push(id);
+        }
+        self.set.insert(t.clone(), id as usize);
+        self.tuples.push(t);
+        true
+    }
+
+    /// Row ids whose position `pos` holds `value`.
+    pub fn rows_with(&self, pos: usize, value: &Term) -> &[u32] {
+        self.index
+            .get(pos)
+            .and_then(|m| m.get(value))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The tuple at a row id.
+    pub fn row(&self, id: u32) -> &Tuple {
+        &self.tuples[id as usize]
+    }
+
+    /// Iterates over candidate rows for a partially-ground pattern: if some
+    /// pattern position is ground, uses the most selective index; otherwise
+    /// scans. `pattern` positions that are `None` are unconstrained.
+    pub fn candidates<'a>(
+        &'a self,
+        bound: &[(usize, Term)],
+    ) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
+        if let Some((pos, val)) = bound
+            .iter()
+            .min_by_key(|(pos, val)| self.rows_with(*pos, val).len())
+        {
+            let rows = self.rows_with(*pos, val);
+            Box::new(rows.iter().map(move |&id| self.row(id)))
+        } else {
+            Box::new(self.tuples.iter())
+        }
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    fn from_iter<T: IntoIterator<Item = Tuple>>(iter: T) -> Relation {
+        let mut r = Relation::new();
+        for t in iter {
+            r.insert(t);
+        }
+        r
+    }
+}
+
+/// A database: a map from predicate names to relation instances.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: HashMap<Symbol, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// The relation for a predicate (empty if absent).
+    pub fn relation(&self, pred: &Symbol) -> Option<&Relation> {
+        self.relations.get(pred)
+    }
+
+    /// Number of tuples for a predicate.
+    pub fn len_of(&self, pred: &Symbol) -> usize {
+        self.relations.get(pred).map_or(0, Relation::len)
+    }
+
+    /// Total number of tuples.
+    pub fn total_len(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// The predicates with at least one tuple recorded (or registered).
+    pub fn preds(&self) -> impl Iterator<Item = &Symbol> {
+        self.relations.keys()
+    }
+
+    /// Inserts a ground fact; returns `true` if new.
+    pub fn insert(&mut self, pred: impl AsRef<str>, tuple: Tuple) -> bool {
+        self.relations
+            .entry(Symbol::new(pred))
+            .or_default()
+            .insert(tuple)
+    }
+
+    /// Inserts a ground atom as a fact.
+    ///
+    /// # Panics
+    /// Panics if the atom is not ground.
+    pub fn insert_atom(&mut self, atom: &Atom) -> bool {
+        assert!(atom.is_ground(), "fact must be ground: {atom}");
+        self.insert(atom.pred.as_str(), atom.args.clone())
+    }
+
+    /// Whether a ground atom is present.
+    pub fn contains_atom(&self, atom: &Atom) -> bool {
+        self.relations
+            .get(&atom.pred)
+            .is_some_and(|r| r.contains(&atom.args))
+    }
+
+    /// All facts as ground atoms, sorted for deterministic output.
+    pub fn facts(&self) -> Vec<Atom> {
+        let mut out: Vec<Atom> = self
+            .relations
+            .iter()
+            .flat_map(|(p, r)| {
+                r.tuples().iter().map(move |t| Atom {
+                    pred: p.clone(),
+                    args: t.clone(),
+                })
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Merges another database into this one.
+    pub fn merge(&mut self, other: &Database) {
+        for (p, r) in &other.relations {
+            let dst = self.relations.entry(p.clone()).or_default();
+            for t in r.tuples() {
+                dst.insert(t.clone());
+            }
+        }
+    }
+
+    /// Parses a database from fact syntax, e.g.
+    /// `edge(1, 2). edge(2, 3). color(1, red).`
+    pub fn parse(src: &str) -> Result<Database, ParseError> {
+        let program = crate::parse_program(src)?;
+        let mut db = Database::new();
+        for rule in program.rules() {
+            if !rule.body.is_empty() {
+                return Err(ParseError {
+                    message: format!("expected a fact, found rule {rule}"),
+                    line: 1,
+                    col: 1,
+                });
+            }
+            if !rule.head.is_ground() {
+                return Err(ParseError {
+                    message: format!("fact must be ground: {}", rule.head),
+                    line: 1,
+                    col: 1,
+                });
+            }
+            db.insert_atom(&rule.head);
+        }
+        Ok(db)
+    }
+
+    /// Loads tuples for one relation from CSV-ish text: one tuple per
+    /// line, comma-separated values. Values parse as numbers when they
+    /// look numeric, as symbolic constants otherwise; surrounding
+    /// whitespace is trimmed; empty lines and `#`-comment lines are
+    /// skipped.
+    ///
+    /// ```
+    /// use qc_datalog::{Database, Symbol};
+    /// let mut db = Database::new();
+    /// db.load_csv("car", "c1, corolla, 1988\n# a comment\nc2, ford, 1955\n")
+    ///     .unwrap();
+    /// assert_eq!(db.len_of(&Symbol::new("car")), 2);
+    /// ```
+    pub fn load_csv(&mut self, pred: &str, text: &str) -> Result<usize, ParseError> {
+        let mut n = 0;
+        let mut arity: Option<usize> = None;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let values: Vec<Term> = line
+                .split(',')
+                .map(|field| {
+                    let f = field.trim();
+                    match f.parse::<i64>() {
+                        Ok(i) => Term::int(i),
+                        Err(_) => Term::sym(f),
+                    }
+                })
+                .collect();
+            if let Some(a) = arity {
+                if a != values.len() {
+                    return Err(ParseError {
+                        message: format!(
+                            "csv row has {} fields, expected {a}",
+                            values.len()
+                        ),
+                        line: lineno + 1,
+                        col: 1,
+                    });
+                }
+            } else {
+                arity = Some(values.len());
+            }
+            self.insert(pred, values);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// The set of constants (and ground function terms) appearing in the
+    /// database.
+    pub fn active_domain(&self) -> BTreeSet<Term> {
+        let mut out = BTreeSet::new();
+        for r in self.relations.values() {
+            for t in r.tuples() {
+                for v in t {
+                    out.insert(v.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for a in self.facts() {
+            writeln!(f, "{a}.")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedup_and_index() {
+        let mut r = Relation::new();
+        assert!(r.insert(vec![Term::int(1), Term::int(2)]));
+        assert!(!r.insert(vec![Term::int(1), Term::int(2)]));
+        assert!(r.insert(vec![Term::int(1), Term::int(3)]));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows_with(0, &Term::int(1)).len(), 2);
+        assert_eq!(r.rows_with(1, &Term::int(2)).len(), 1);
+        assert!(r.rows_with(1, &Term::int(9)).is_empty());
+    }
+
+    #[test]
+    fn candidates_picks_selective_index() {
+        let mut r = Relation::new();
+        for i in 0..10 {
+            r.insert(vec![Term::int(1), Term::int(i)]);
+        }
+        let bound = vec![(0, Term::int(1)), (1, Term::int(5))];
+        let cands: Vec<_> = r.candidates(&bound).collect();
+        assert_eq!(cands.len(), 1);
+        let unbound: Vec<(usize, Term)> = vec![];
+        assert_eq!(r.candidates(&unbound).count(), 10);
+    }
+
+    #[test]
+    fn database_parse_and_facts() {
+        let db = Database::parse("edge(1, 2). edge(2, 3). color(1, red).").unwrap();
+        assert_eq!(db.total_len(), 3);
+        assert_eq!(db.len_of(&Symbol::new("edge")), 2);
+        assert!(db.contains_atom(&Atom::new("color", vec![Term::int(1), Term::sym("red")])));
+        assert!(Database::parse("p(X).").is_err());
+        assert!(Database::parse("p(X) :- q(X).").is_err());
+    }
+
+    #[test]
+    fn merge_and_active_domain() {
+        let mut a = Database::parse("p(1).").unwrap();
+        let b = Database::parse("p(2). q(red).").unwrap();
+        a.merge(&b);
+        assert_eq!(a.total_len(), 3);
+        let dom = a.active_domain();
+        assert_eq!(dom.len(), 3);
+        assert!(dom.contains(&Term::sym("red")));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let db = Database::parse("edge(1, 2). color(1, red).").unwrap();
+        let printed = db.to_string();
+        let db2 = Database::parse(&printed).unwrap();
+        assert_eq!(db.facts(), db2.facts());
+    }
+}

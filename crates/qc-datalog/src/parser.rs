@@ -1,0 +1,599 @@
+//! Recursive-descent parser for the paper's surface syntax.
+//!
+//! ```text
+//! q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y),
+//!                      Review(Model, Review, Rating), Y < 1970.
+//! edge(1, 2).                      % a fact
+//! p(X) :- q(f(X, 3), 'two words'). % function terms, quoted constants
+//! ```
+//!
+//! Conventions (matching the paper's examples):
+//!
+//! * an identifier followed by `(` at the top level of a body/head is a
+//!   predicate; inside argument lists it is a function symbol;
+//! * identifiers starting with an uppercase letter are **variables**
+//!   (`CarNo`, `Y`) — note that predicates may also be capitalized
+//!   (`CarDesc`), disambiguated by the following `(`;
+//! * identifiers starting with a lowercase letter are symbolic constants
+//!   (`red`, `corolla`); quoted strings (`'top rated'`) are symbolic
+//!   constants too;
+//! * numbers (`10`, `1970`, `-3`, `2.5`) are rational constants;
+//! * `_` is an anonymous variable — each occurrence is fresh;
+//! * comparisons are written infix: `Y < 1970`, `X != Z`;
+//! * `%` starts a line comment.
+
+use std::fmt;
+
+use qc_constraints::{CompOp, Rat};
+
+use crate::{Atom, Comparison, Const, Literal, Program, Rule, Term, Var};
+
+/// A parse error with 1-based line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Quoted(String),
+    Number(Rat),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Turnstile, // :-
+    Op(CompOp),
+    Underscore,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<Spanned>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else { break };
+            let tok = match c {
+                b'(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                b')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                b',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                b'.' => {
+                    self.bump();
+                    Tok::Dot
+                }
+                b':' => {
+                    self.bump();
+                    if self.peek() == Some(b'-') {
+                        self.bump();
+                        Tok::Turnstile
+                    } else {
+                        return Err(self.err("expected '-' after ':'"));
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'=') => {
+                            self.bump();
+                            Tok::Op(CompOp::Le)
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            Tok::Op(CompOp::Ne)
+                        }
+                        _ => Tok::Op(CompOp::Lt),
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Op(CompOp::Ge)
+                    } else {
+                        Tok::Op(CompOp::Gt)
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                    }
+                    Tok::Op(CompOp::Eq)
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Op(CompOp::Ne)
+                    } else {
+                        return Err(self.err("expected '=' after '!'"));
+                    }
+                }
+                b'\'' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            Some(b'\'') => break,
+                            Some(ch) => s.push(ch as char),
+                            None => return Err(self.err("unterminated quoted constant")),
+                        }
+                    }
+                    Tok::Quoted(s)
+                }
+                b'-' | b'0'..=b'9' => self.lex_number()?,
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let mut s = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == b'_' {
+                            s.push(c as char);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    if s == "_" {
+                        Tok::Underscore
+                    } else {
+                        Tok::Ident(s)
+                    }
+                }
+                other => {
+                    return Err(self.err(format!("unexpected character {:?}", other as char)))
+                }
+            };
+            out.push(Spanned { tok, line, col });
+        }
+        Ok(out)
+    }
+
+    fn lex_number(&mut self) -> Result<Tok, ParseError> {
+        let mut s = String::new();
+        if self.peek() == Some(b'-') {
+            s.push('-');
+            self.bump();
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.err("expected digit after '-'"));
+            }
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Decimal fraction: only if a digit follows the dot (so `p(1).`
+        // still ends the fact with Dot).
+        if self.peek() == Some(b'.') && matches!(self.src.get(self.pos + 1), Some(d) if d.is_ascii_digit())
+        {
+            self.bump(); // '.'
+            let mut frac = String::new();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    frac.push(c as char);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let whole: i64 = s
+                .parse()
+                .map_err(|_| self.err("integer part out of range"))?;
+            let digits = frac.len() as u32;
+            let num: i64 = frac
+                .parse()
+                .map_err(|_| self.err("fractional part out of range"))?;
+            let den = 10i64
+                .checked_pow(digits)
+                .ok_or_else(|| self.err("fraction too long"))?;
+            let sign = if s.starts_with('-') { -1 } else { 1 };
+            let value = Rat::new(whole * den + sign * num, den);
+            return Ok(Tok::Number(value));
+        }
+        let n: i64 = s.parse().map_err(|_| self.err("integer out of range"))?;
+        Ok(Tok::Number(Rat::int(n)))
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    anon_counter: u64,
+}
+
+impl Parser {
+    fn new(toks: Vec<Spanned>) -> Parser {
+        Parser {
+            toks,
+            pos: 0,
+            anon_counter: 0,
+        }
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self
+            .toks
+            .get(self.pos)
+            .map(|s| (s.line, s.col))
+            .or_else(|| self.toks.last().map(|s| (s.line, s.col)))
+            .unwrap_or((1, 1));
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {what}")))
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn anon_var(&mut self) -> Term {
+        let v = Term::var(format!("_A{}", self.anon_counter));
+        self.anon_counter += 1;
+        v
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule, ParseError> {
+        let head = self.parse_atom()?;
+        let body = if self.peek() == Some(&Tok::Turnstile) {
+            self.bump();
+            let mut body = vec![self.parse_literal()?];
+            while self.peek() == Some(&Tok::Comma) {
+                self.bump();
+                body.push(self.parse_literal()?);
+            }
+            body
+        } else {
+            Vec::new()
+        };
+        self.expect(&Tok::Dot, "'.' at end of rule")?;
+        Ok(Rule::new(head, body))
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        // An atom iff an identifier directly followed by '('.
+        if matches!(self.peek(), Some(Tok::Ident(_))) && self.peek2() == Some(&Tok::LParen) {
+            // Could still be a comparison whose LHS is a function term,
+            // but function terms in comparisons are rejected by
+            // validation anyway; treat ident+paren at literal position as
+            // an atom (matches the paper's syntax).
+            return Ok(Literal::Atom(self.parse_atom()?));
+        }
+        let lhs = self.parse_term()?;
+        let op = match self.bump() {
+            Some(Tok::Op(op)) => op,
+            _ => return Err(self.err_here("expected comparison operator")),
+        };
+        let rhs = self.parse_term()?;
+        Ok(Literal::Comp(Comparison::new(lhs, op, rhs)))
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, ParseError> {
+        let name = match self.bump() {
+            Some(Tok::Ident(s)) => s,
+            _ => return Err(self.err_here("expected predicate name")),
+        };
+        self.expect(&Tok::LParen, "'(' after predicate name")?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            args.push(self.parse_term()?);
+            while self.peek() == Some(&Tok::Comma) {
+                self.bump();
+                args.push(self.parse_term()?);
+            }
+        }
+        self.expect(&Tok::RParen, "')' closing argument list")?;
+        Ok(Atom::new(name, args))
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Underscore) => {
+                self.bump();
+                Ok(self.anon_var())
+            }
+            Some(Tok::Number(r)) => {
+                self.bump();
+                Ok(Term::Const(Const::Num(r)))
+            }
+            Some(Tok::Quoted(s)) => {
+                self.bump();
+                Ok(Term::Const(Const::sym(s)))
+            }
+            Some(Tok::Ident(name)) => {
+                self.bump();
+                if self.peek() == Some(&Tok::LParen) {
+                    // Function term.
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        args.push(self.parse_term()?);
+                        while self.peek() == Some(&Tok::Comma) {
+                            self.bump();
+                            args.push(self.parse_term()?);
+                        }
+                    }
+                    self.expect(&Tok::RParen, "')' closing function term")?;
+                    return Ok(Term::app(name, args));
+                }
+                let first = name.chars().next().expect("nonempty ident");
+                if first.is_ascii_uppercase() || first == '_' {
+                    Ok(Term::Var(Var::new(name)))
+                } else {
+                    Ok(Term::Const(Const::sym(name)))
+                }
+            }
+            _ => Err(self.err_here("expected term")),
+        }
+    }
+}
+
+/// Parses a single rule (or fact), e.g.
+/// `q(X) :- r(X, Y), Y < 1970.`
+pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
+    let toks = Lexer::new(src).tokenize()?;
+    let mut p = Parser::new(toks);
+    let rule = p.parse_rule()?;
+    if !p.at_end() {
+        return Err(p.err_here("trailing input after rule"));
+    }
+    Ok(rule)
+}
+
+/// Parses a whole program: a sequence of rules and facts.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = Lexer::new(src).tokenize()?;
+    let mut p = Parser::new(toks);
+    let mut rules = Vec::new();
+    while !p.at_end() {
+        rules.push(p.parse_rule()?);
+    }
+    Ok(Program::new(rules))
+}
+
+/// Parses a single rule as a [`crate::ConjunctiveQuery`].
+pub fn parse_query(src: &str) -> Result<crate::ConjunctiveQuery, ParseError> {
+    Ok(crate::ConjunctiveQuery::from_rule(&parse_rule(src)?))
+}
+
+/// Parses a single term, e.g. `f(X, 1970)`.
+pub fn parse_term(src: &str) -> Result<Term, ParseError> {
+    let toks = Lexer::new(src).tokenize()?;
+    let mut p = Parser::new(toks);
+    let t = p.parse_term()?;
+    if !p.at_end() {
+        return Err(p.err_here("trailing input after term"));
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example_query() {
+        let r = parse_rule(
+            "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
+        )
+        .unwrap();
+        assert_eq!(r.head.pred, "q1");
+        assert_eq!(r.body.len(), 2);
+        // `Review` appears both as a predicate and as a variable.
+        let review_atom = r.body_atoms().nth(1).unwrap();
+        assert_eq!(review_atom.pred, "Review");
+        assert_eq!(review_atom.args[1], Term::var("Review"));
+    }
+
+    #[test]
+    fn parses_constants() {
+        let r = parse_rule("v(X) :- CarDesc(X, M, red, Y), Y < 1970, M != 'de luxe'.").unwrap();
+        let cd = r.body_atoms().next().unwrap();
+        assert_eq!(cd.args[2], Term::sym("red"));
+        let comps: Vec<_> = r.body_comparisons().collect();
+        assert_eq!(comps[0].rhs, Term::int(1970));
+        assert_eq!(comps[1].rhs, Term::sym("de luxe"));
+    }
+
+    #[test]
+    fn parses_facts_and_programs() {
+        let p = parse_program(
+            "% facts\nedge(1, 2). edge(2, 3).\npath(X, Y) :- edge(X, Y).\npath(X, Z) :- path(X, Y), edge(Y, Z).",
+        )
+        .unwrap();
+        assert_eq!(p.rules().len(), 4);
+        assert!(p.is_recursive());
+    }
+
+    #[test]
+    fn parses_function_terms() {
+        let r =
+            parse_rule("CarDesc(C, M, f(C, M, Y), Y) :- AntiqueCars(C, M, Y).").unwrap();
+        assert!(r.has_function_terms());
+        assert_eq!(r.head.args[2], Term::app(
+            "f",
+            vec![Term::var("C"), Term::var("M"), Term::var("Y")]
+        ));
+    }
+
+    #[test]
+    fn anonymous_vars_are_fresh() {
+        let r = parse_rule("q(X) :- r(X, _, _).").unwrap();
+        let atom = r.body_atoms().next().unwrap();
+        assert_ne!(atom.args[1], atom.args[2]);
+    }
+
+    #[test]
+    fn parses_zero_ary_heads() {
+        let r = parse_rule("q() :- r(X).").unwrap();
+        assert_eq!(r.head.arity(), 0);
+        assert_eq!(r.to_string(), "q() :- r(X).");
+    }
+
+    #[test]
+    fn parses_decimals_and_negatives() {
+        let r = parse_rule("q(X) :- r(X), X > -3, X < 2.5.").unwrap();
+        let comps: Vec<_> = r.body_comparisons().collect();
+        assert_eq!(comps[0].rhs, Term::int(-3));
+        assert_eq!(comps[1].rhs, Term::Const(Const::Num(Rat::new(5, 2))));
+    }
+
+    #[test]
+    fn operators_all_parse() {
+        for (s, op) in [
+            ("<", CompOp::Lt),
+            ("<=", CompOp::Le),
+            ("=", CompOp::Eq),
+            ("!=", CompOp::Ne),
+            ("<>", CompOp::Ne),
+            (">=", CompOp::Ge),
+            (">", CompOp::Gt),
+        ] {
+            let r = parse_rule(&format!("q(X) :- r(X), X {s} 3.")).unwrap();
+            assert_eq!(r.body_comparisons().next().unwrap().op, op, "{s}");
+        }
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse_rule("q(X) :- r(X)").unwrap_err();
+        assert!(e.message.contains("'.'"));
+        let e2 = parse_rule("q(X) :~ r(X).").unwrap_err();
+        assert_eq!(e2.line, 1);
+        assert!(e2.col > 1);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let srcs = [
+            "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).",
+            "p(X, Y) :- e(X, Z), p(Z, Y), X != Y.",
+            "v(X) :- CarDesc(X, M, f(X, M), Y), Y < 1970.",
+            "t(1, two, 'three four').",
+        ];
+        for s in srcs {
+            let r = parse_rule(s).unwrap();
+            let printed = r.to_string();
+            let r2 = parse_rule(&printed).unwrap();
+            assert_eq!(r, r2, "{s}");
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Datalog rules.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{Atom, Comparison, Const, Literal, Subst, Term, Var, VarGen};
+
+/// A datalog rule `head :- l₁, …, lₙ.`
+///
+/// A rule with an empty body is a fact (when ground) or a tautological
+/// definition. The head of a query rule may be 0-ary (a *boolean* query,
+/// written `q()` — the paper calls this an "empty head").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Rule {
+    /// Head atom.
+    pub head: Atom,
+    /// Body literals (relational atoms and comparisons).
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// The relational atoms of the body, in order.
+    pub fn body_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(Literal::as_atom)
+    }
+
+    /// The comparison literals of the body, in order.
+    pub fn body_comparisons(&self) -> impl Iterator<Item = &Comparison> {
+        self.body.iter().filter_map(Literal::as_comparison)
+    }
+
+    /// All variables of the rule (head and body).
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut s = BTreeSet::new();
+        self.head.collect_vars(&mut s);
+        for l in &self.body {
+            l.collect_vars(&mut s);
+        }
+        s
+    }
+
+    /// Variables appearing in relational body atoms.
+    pub fn positive_body_vars(&self) -> BTreeSet<Var> {
+        let mut s = BTreeSet::new();
+        for a in self.body_atoms() {
+            a.collect_vars(&mut s);
+        }
+        s
+    }
+
+    /// The *existential* variables: body variables not in the head.
+    pub fn existential_vars(&self) -> BTreeSet<Var> {
+        let head_vars = self.head.vars();
+        let mut s = BTreeSet::new();
+        for l in &self.body {
+            l.collect_vars(&mut s);
+        }
+        s.retain(|v| !head_vars.contains(v));
+        s
+    }
+
+    /// All constants mentioned by the rule.
+    pub fn consts(&self) -> BTreeSet<Const> {
+        let mut s = BTreeSet::new();
+        self.head.collect_consts(&mut s);
+        for l in &self.body {
+            match l {
+                Literal::Atom(a) => a.collect_consts(&mut s),
+                Literal::Comp(c) => {
+                    c.lhs.collect_consts(&mut s);
+                    c.rhs.collect_consts(&mut s);
+                }
+            }
+        }
+        s
+    }
+
+    /// A variant of the rule with every variable renamed to a fresh one.
+    pub fn rename_apart(&self, gen: &mut VarGen) -> Rule {
+        let renaming = gen.renaming(&self.vars());
+        renaming.apply_rule(self)
+    }
+
+    /// A canonical variant: variables renamed to `_C0, _C1, …` in order of
+    /// first appearance (head first, then body left to right). Two rules
+    /// equal up to variable renaming canonicalize identically — used to
+    /// deduplicate generated rules.
+    pub fn canonicalize(&self) -> Rule {
+        use std::collections::HashMap;
+        let mut map: HashMap<Var, Var> = HashMap::new();
+        fn walk(t: &Term, map: &mut HashMap<Var, Var>) -> Term {
+            match t {
+                Term::Var(v) => {
+                    let n = map.len();
+                    Term::Var(
+                        map.entry(v.clone())
+                            .or_insert_with(|| Var::new(format!("_C{n}")))
+                            .clone(),
+                    )
+                }
+                Term::Const(_) => t.clone(),
+                Term::App(f, args) => {
+                    Term::App(f.clone(), args.iter().map(|a| walk(a, map)).collect())
+                }
+            }
+        }
+        let head = Atom {
+            pred: self.head.pred.clone(),
+            args: self.head.args.iter().map(|t| walk(t, &mut map)).collect(),
+        };
+        let body = self
+            .body
+            .iter()
+            .map(|l| match l {
+                Literal::Atom(a) => Literal::Atom(Atom {
+                    pred: a.pred.clone(),
+                    args: a.args.iter().map(|t| walk(t, &mut map)).collect(),
+                }),
+                Literal::Comp(c) => Literal::Comp(Comparison {
+                    lhs: walk(&c.lhs, &mut map),
+                    op: c.op,
+                    rhs: walk(&c.rhs, &mut map),
+                }),
+            })
+            .collect();
+        Rule { head, body }
+    }
+
+    /// Applies a substitution to the whole rule.
+    pub fn substitute(&self, s: &Subst) -> Rule {
+        s.apply_rule(self)
+    }
+
+    /// Whether any term in the rule is or contains a function term.
+    pub fn has_function_terms(&self) -> bool {
+        let term_has = |t: &Term| t.has_function() || t.depth() > 0;
+        self.head.args.iter().any(&term_has)
+            || self.body.iter().any(|l| match l {
+                Literal::Atom(a) => a.args.iter().any(&term_has),
+                Literal::Comp(c) => term_has(&c.lhs) || term_has(&c.rhs),
+            })
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_constraints::CompOp;
+
+    fn sample() -> Rule {
+        Rule::new(
+            Atom::new("q", vec![Term::var("X")]),
+            vec![
+                Atom::new("r", vec![Term::var("X"), Term::var("Y")]).into(),
+                Comparison::new(Term::var("Y"), CompOp::Lt, Term::int(1970)).into(),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let r = sample();
+        assert_eq!(r.body_atoms().count(), 1);
+        assert_eq!(r.body_comparisons().count(), 1);
+        assert_eq!(r.vars().len(), 2);
+        assert_eq!(r.existential_vars().len(), 1);
+        assert!(r.existential_vars().contains(&Var::new("Y")));
+        assert_eq!(r.consts().len(), 1);
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        assert_eq!(sample().to_string(), "q(X) :- r(X, Y), Y < 1970.");
+        let fact = Rule::new(Atom::new("p", vec![Term::int(1)]), vec![]);
+        assert_eq!(fact.to_string(), "p(1).");
+    }
+
+    #[test]
+    fn rename_apart_preserves_structure() {
+        let r = sample();
+        let mut gen = VarGen::new();
+        let r2 = r.rename_apart(&mut gen);
+        assert_eq!(r2.body.len(), r.body.len());
+        assert!(r2.vars().is_disjoint(&r.vars()));
+        // Shared variable occurrences stay shared.
+        let head_var = r2.head.args[0].clone();
+        let body_var = r2.body_atoms().next().unwrap().args[0].clone();
+        assert_eq!(head_var, body_var);
+    }
+
+    #[test]
+    fn function_term_detection() {
+        let mut r = sample();
+        assert!(!r.has_function_terms());
+        r.head.args[0] = Term::app("f", vec![Term::var("X")]);
+        assert!(r.has_function_terms());
+    }
+}

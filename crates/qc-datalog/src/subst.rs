@@ -1,0 +1,340 @@
+//! Substitutions, one-way matching, and most-general unification.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::{Atom, Comparison, Literal, Rule, Term, Var};
+
+/// A substitution from variables to terms.
+///
+/// Stored in *triangular* form: bindings may mention variables that are
+/// themselves bound; [`Subst::apply_term`] resolves chains. Bindings are
+/// acyclic by construction ([`Subst::bind`] performs the occurs check).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: BTreeMap<Var, Term>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The raw binding of `v`, unresolved.
+    pub fn get(&self, v: &Var) -> Option<&Term> {
+        self.map.get(v)
+    }
+
+    /// The fully resolved value of `v` (follows chains), or `None` if
+    /// unbound.
+    pub fn resolve(&self, v: &Var) -> Option<Term> {
+        let t = self.map.get(v)?;
+        Some(self.apply_term(t))
+    }
+
+    /// Binds `v` to `t` after resolving `t`, with an occurs check.
+    /// Returns `false` (and leaves the substitution unchanged) if `v`
+    /// occurs in the resolved term and the term is not `v` itself.
+    pub fn bind(&mut self, v: Var, t: Term) -> bool {
+        let resolved = self.apply_term(&t);
+        if resolved == Term::Var(v.clone()) {
+            return true; // binding a variable to itself is a no-op
+        }
+        if resolved.contains_var(&v) {
+            return false;
+        }
+        self.map.insert(v, resolved);
+        true
+    }
+
+    /// Applies the substitution to a term, resolving binding chains.
+    pub fn apply_term(&self, t: &Term) -> Term {
+        match t {
+            Term::Var(v) => match self.map.get(v) {
+                Some(bound) => self.apply_term(bound),
+                None => t.clone(),
+            },
+            Term::Const(_) => t.clone(),
+            Term::App(f, args) => {
+                Term::App(f.clone(), args.iter().map(|a| self.apply_term(a)).collect())
+            }
+        }
+    }
+
+    /// Applies the substitution to an atom.
+    pub fn apply_atom(&self, a: &Atom) -> Atom {
+        Atom {
+            pred: a.pred.clone(),
+            args: a.args.iter().map(|t| self.apply_term(t)).collect(),
+        }
+    }
+
+    /// Applies the substitution to a comparison.
+    pub fn apply_comparison(&self, c: &Comparison) -> Comparison {
+        Comparison {
+            lhs: self.apply_term(&c.lhs),
+            op: c.op,
+            rhs: self.apply_term(&c.rhs),
+        }
+    }
+
+    /// Applies the substitution to a literal.
+    pub fn apply_literal(&self, l: &Literal) -> Literal {
+        match l {
+            Literal::Atom(a) => Literal::Atom(self.apply_atom(a)),
+            Literal::Comp(c) => Literal::Comp(self.apply_comparison(c)),
+        }
+    }
+
+    /// Applies the substitution to a rule.
+    pub fn apply_rule(&self, r: &Rule) -> Rule {
+        Rule {
+            head: self.apply_atom(&r.head),
+            body: r.body.iter().map(|l| self.apply_literal(l)).collect(),
+        }
+    }
+
+    /// One-way matching: extends the substitution so that
+    /// `apply(pattern) == target`, where `target` is treated as fixed
+    /// (its variables are *not* bound). Returns `false` and may leave the
+    /// substitution partially extended on failure — callers clone or use
+    /// [`Subst::match_term`] on a scratch copy when they need rollback.
+    pub fn match_term(&mut self, pattern: &Term, target: &Term) -> bool {
+        let p = self.apply_term(pattern);
+        match (&p, target) {
+            (Term::Var(v), _) => self.bind(v.clone(), target.clone()),
+            (Term::Const(a), Term::Const(b)) => a == b,
+            (Term::App(f, fa), Term::App(g, ga)) => {
+                f == g
+                    && fa.len() == ga.len()
+                    && fa.iter().zip(ga).all(|(x, y)| self.match_term(x, y))
+            }
+            _ => false,
+        }
+    }
+
+    /// One-way matching of atoms (same predicate, arity, and arguments).
+    pub fn match_atom(&mut self, pattern: &Atom, target: &Atom) -> bool {
+        pattern.pred == target.pred
+            && pattern.args.len() == target.args.len()
+            && pattern
+                .args
+                .iter()
+                .zip(&target.args)
+                .all(|(p, t)| self.match_term(p, t))
+    }
+
+    /// The bound variables.
+    pub fn domain(&self) -> impl Iterator<Item = &Var> {
+        self.map.keys()
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, t)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} -> {}", self.apply_term(t))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Computes the most general unifier of two terms, treating variables on
+/// both sides as unifiable. Returns `None` if the terms do not unify.
+pub fn unify_terms(a: &Term, b: &Term) -> Option<Subst> {
+    let mut s = Subst::new();
+    if unify_into(&mut s, a, b) {
+        Some(s)
+    } else {
+        None
+    }
+}
+
+/// Computes the most general unifier of two atoms.
+pub fn unify_atoms(a: &Atom, b: &Atom) -> Option<Subst> {
+    if a.pred != b.pred || a.args.len() != b.args.len() {
+        return None;
+    }
+    let mut s = Subst::new();
+    for (x, y) in a.args.iter().zip(&b.args) {
+        if !unify_into(&mut s, x, y) {
+            return None;
+        }
+    }
+    Some(s)
+}
+
+/// Extends an existing substitution with the mgu of `a` and `b` (both
+/// interpreted under the current bindings). Returns `false` on failure;
+/// the substitution may then be partially extended, so callers that need
+/// rollback should work on a clone.
+pub fn unify_terms_with(s: &mut Subst, a: &Term, b: &Term) -> bool {
+    unify_into(s, a, b)
+}
+
+fn unify_into(s: &mut Subst, a: &Term, b: &Term) -> bool {
+    let a = s.apply_term(a);
+    let b = s.apply_term(b);
+    match (&a, &b) {
+        (Term::Var(v), _) => s.bind(v.clone(), b.clone()),
+        (_, Term::Var(w)) => s.bind(w.clone(), a.clone()),
+        (Term::Const(x), Term::Const(y)) => x == y,
+        (Term::App(f, fa), Term::App(g, ga)) => {
+            f == g && fa.len() == ga.len() && fa.iter().zip(ga).all(|(x, y)| unify_into(s, x, y))
+        }
+        _ => false,
+    }
+}
+
+/// A fresh-variable generator.
+///
+/// Produces names in a reserved namespace (`_G0`, `_G1`, …) that the parser
+/// cannot collide with (user variables never start with `_G` followed by a
+/// digit — the parser treats `_` alone as anonymous and generates `_A`
+/// names for it).
+///
+/// Freshness is **process-global**: every generator draws from one shared
+/// counter, so variables produced by different passes (unfolding,
+/// function-term elimination, plan expansion, pattern templates) can never
+/// capture each other. A renamed-apart rule really is apart from
+/// everything any generator ever produced.
+#[derive(Debug, Default)]
+pub struct VarGen {
+    _private: (),
+}
+
+/// The shared freshness counter behind every [`VarGen`].
+static GLOBAL_VAR_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl VarGen {
+    /// Creates a generator (all generators share one global counter).
+    pub fn new() -> VarGen {
+        VarGen::default()
+    }
+
+    fn next_id(&mut self) -> u64 {
+        GLOBAL_VAR_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// A fresh variable.
+    pub fn fresh(&mut self) -> Var {
+        Var::new(format!("_G{}", self.next_id()))
+    }
+
+    /// A fresh variable whose name hints at its origin, e.g. `_G7_Year`.
+    pub fn fresh_named(&mut self, hint: &str) -> Var {
+        Var::new(format!("_G{}_{}", self.next_id(), hint))
+    }
+
+    /// A substitution renaming every variable in `vars` to a fresh one.
+    pub fn renaming(&mut self, vars: &BTreeSet<Var>) -> Subst {
+        let mut s = Subst::new();
+        for v in vars {
+            let fresh = self.fresh_named(v.name());
+            s.bind(v.clone(), Term::Var(fresh));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    #[test]
+    fn bind_and_resolve_chain() {
+        let mut s = Subst::new();
+        assert!(s.bind(Var::new("X"), v("Y")));
+        assert!(s.bind(Var::new("Y"), Term::int(3)));
+        assert_eq!(s.apply_term(&v("X")), Term::int(3));
+    }
+
+    #[test]
+    fn occurs_check() {
+        let mut s = Subst::new();
+        assert!(!s.bind(Var::new("X"), Term::app("f", vec![v("X")])));
+        // Chain occurs check: X -> Y then Y -> f(X) must fail.
+        let mut s2 = Subst::new();
+        assert!(s2.bind(Var::new("X"), v("Y")));
+        assert!(!s2.bind(Var::new("Y"), Term::app("f", vec![v("X")])));
+    }
+
+    #[test]
+    fn self_binding_is_noop() {
+        let mut s = Subst::new();
+        assert!(s.bind(Var::new("X"), v("X")));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn match_is_one_way() {
+        let mut s = Subst::new();
+        // Pattern var binds to target...
+        assert!(s.match_term(&v("X"), &Term::int(5)));
+        // ...but a pattern constant does not match a target variable.
+        let mut s2 = Subst::new();
+        assert!(!s2.match_term(&Term::int(5), &v("X")));
+    }
+
+    #[test]
+    fn match_atom_consistency() {
+        let pat = Atom::new("r", vec![v("X"), v("X")]);
+        let mut s = Subst::new();
+        assert!(s.match_atom(&pat, &Atom::new("r", vec![Term::int(1), Term::int(1)])));
+        let mut s2 = Subst::new();
+        assert!(!s2.match_atom(&pat, &Atom::new("r", vec![Term::int(1), Term::int(2)])));
+    }
+
+    #[test]
+    fn unify_symmetric_cases() {
+        let u = unify_terms(&v("X"), &Term::int(3)).unwrap();
+        assert_eq!(u.apply_term(&v("X")), Term::int(3));
+        let u2 = unify_terms(&Term::int(3), &v("X")).unwrap();
+        assert_eq!(u2.apply_term(&v("X")), Term::int(3));
+        assert!(unify_terms(&Term::int(3), &Term::int(4)).is_none());
+    }
+
+    #[test]
+    fn unify_function_terms() {
+        let a = Term::app("f", vec![v("X"), Term::int(2)]);
+        let b = Term::app("f", vec![Term::sym("red"), v("Y")]);
+        let u = unify_terms(&a, &b).unwrap();
+        assert_eq!(u.apply_term(&a), u.apply_term(&b));
+        assert!(unify_terms(&a, &Term::app("g", vec![v("X"), Term::int(2)])).is_none());
+    }
+
+    #[test]
+    fn unify_atoms_shares_vars() {
+        let a = Atom::new("p", vec![v("X"), v("Y")]);
+        let b = Atom::new("p", vec![v("Y"), Term::int(1)]);
+        let u = unify_atoms(&a, &b).unwrap();
+        assert_eq!(u.apply_atom(&a), u.apply_atom(&b));
+        assert_eq!(u.apply_term(&v("X")), Term::int(1));
+    }
+
+    #[test]
+    fn vargen_renaming_is_injective_and_fresh() {
+        let mut g = VarGen::new();
+        let vars: BTreeSet<Var> = [Var::new("X"), Var::new("Y")].into_iter().collect();
+        let s = g.renaming(&vars);
+        let rx = s.apply_term(&v("X"));
+        let ry = s.apply_term(&v("Y"));
+        assert_ne!(rx, ry);
+        assert_ne!(rx, v("X"));
+        assert!(matches!(rx, Term::Var(ref w) if w.name().starts_with("_G")));
+    }
+}

@@ -1,0 +1,113 @@
+//! Cheap-to-clone interned-style strings.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable identifier (predicate name, constant symbol, function
+/// symbol, variable name).
+///
+/// Backed by `Arc<str>` so clones are a reference-count bump — symbolic
+/// algorithms copy names constantly, and per the perf-book guidance we keep
+/// that cheap. Equality and hashing are by string content, so two `Symbol`s
+/// built from equal strings are interchangeable.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Creates a symbol from a string.
+    pub fn new(s: impl AsRef<str>) -> Symbol {
+        Symbol(Arc::from(s.as_ref()))
+    }
+
+    /// The symbol's text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl serde::Serialize for Symbol {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Symbol {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Symbol, D::Error> {
+        String::deserialize(deserializer).map(Symbol::new)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl Borrow<str> for Symbol {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn content_equality() {
+        let a = Symbol::new("edge");
+        let b = Symbol::new(String::from("edge"));
+        assert_eq!(a, b);
+        assert_ne!(a, Symbol::new("node"));
+    }
+
+    #[test]
+    fn borrow_allows_str_lookup() {
+        let mut m: HashMap<Symbol, u32> = HashMap::new();
+        m.insert(Symbol::new("p"), 1);
+        assert_eq!(m.get("p"), Some(&1));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        assert_eq!(Symbol::new("CarDesc").to_string(), "CarDesc");
+    }
+}

@@ -1,0 +1,279 @@
+//! Terms: variables, constants, and function terms.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use qc_constraints::Rat;
+
+use crate::Symbol;
+
+/// A constant of the domain.
+///
+/// The paper distinguishes ordinary constants (`red`, `corolla`) from the
+/// numeric constants that comparison predicates act on (`10`, `1970`); we
+/// model this with two variants. All constants denote *distinct* domain
+/// elements; only numeric constants carry a known position in the dense
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Const {
+    /// An uninterpreted symbolic constant, e.g. `red`.
+    Sym(Symbol),
+    /// A rational numeric constant, e.g. `10` or `1970`.
+    Num(Rat),
+}
+
+impl Const {
+    /// Symbolic-constant constructor.
+    pub fn sym(s: impl AsRef<str>) -> Const {
+        Const::Sym(Symbol::new(s))
+    }
+
+    /// Integer-constant constructor.
+    pub fn int(n: i64) -> Const {
+        Const::Num(Rat::int(n))
+    }
+
+    /// The numeric value, if this is a numeric constant.
+    pub fn as_num(&self) -> Option<Rat> {
+        match self {
+            Const::Num(r) => Some(*r),
+            Const::Sym(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Sym(s) => {
+                // Quote anything the parser would not read back as a
+                // symbolic constant (must start lowercase, be alphanumeric).
+                let plain = s
+                    .as_str()
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_lowercase())
+                    && s.as_str().chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+                if plain {
+                    write!(f, "{s}")
+                } else {
+                    write!(f, "'{s}'")
+                }
+            }
+            Const::Num(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// A variable, identified by name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Var(pub Symbol);
+
+impl Var {
+    /// Creates a variable from a name.
+    pub fn new(name: impl AsRef<str>) -> Var {
+        Var(Symbol::new(name))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A term: a variable, a constant, or a function term `f(t₁, …, tₙ)`.
+///
+/// Function terms arise from the inverse-rules algorithm (\[15\] in the
+/// paper), which Skolemizes the existential variables of view definitions;
+/// they behave as uninterpreted constructors (two function terms unify only
+/// structurally).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant.
+    Const(Const),
+    /// A function term `f(t₁, …, tₙ)`.
+    App(Symbol, Vec<Term>),
+}
+
+impl Term {
+    /// Variable-term constructor.
+    pub fn var(name: impl AsRef<str>) -> Term {
+        Term::Var(Var::new(name))
+    }
+
+    /// Symbolic-constant-term constructor.
+    pub fn sym(name: impl AsRef<str>) -> Term {
+        Term::Const(Const::sym(name))
+    }
+
+    /// Integer-constant-term constructor.
+    pub fn int(n: i64) -> Term {
+        Term::Const(Const::int(n))
+    }
+
+    /// Function-term constructor.
+    pub fn app(f: impl AsRef<str>, args: Vec<Term>) -> Term {
+        Term::App(Symbol::new(f), args)
+    }
+
+    /// Whether the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Const(_) => true,
+            Term::App(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// Whether the term is or contains a function term.
+    pub fn has_function(&self) -> bool {
+        matches!(self, Term::App(..))
+    }
+
+    /// The nesting depth of function terms (constants and variables have
+    /// depth 0; `f(a)` has depth 1; `f(g(a))` has depth 2).
+    pub fn depth(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Const(_) => 0,
+            Term::App(_, args) => 1 + args.iter().map(Term::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Whether `v` occurs in the term.
+    pub fn contains_var(&self, v: &Var) -> bool {
+        match self {
+            Term::Var(w) => w == v,
+            Term::Const(_) => false,
+            Term::App(_, args) => args.iter().any(|t| t.contains_var(v)),
+        }
+    }
+
+    /// Adds every variable of the term to `out`.
+    pub fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Term::Var(v) => {
+                out.insert(v.clone());
+            }
+            Term::Const(_) => {}
+            Term::App(_, args) => {
+                for t in args {
+                    t.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// The variables of the term, in first-occurrence order is not needed;
+    /// returns a sorted set.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut s = BTreeSet::new();
+        self.collect_vars(&mut s);
+        s
+    }
+
+    /// Adds every constant of the term to `out`.
+    pub fn collect_consts(&self, out: &mut BTreeSet<Const>) {
+        match self {
+            Term::Var(_) => {}
+            Term::Const(c) => {
+                out.insert(c.clone());
+            }
+            Term::App(_, args) => {
+                for t in args {
+                    t.collect_consts(out);
+                }
+            }
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Term {
+        Term::Var(v)
+    }
+}
+
+impl From<Const> for Term {
+    fn from(c: Const) -> Term {
+        Term::Const(c)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::App(g, args) => {
+                write!(f, "{g}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groundness() {
+        assert!(Term::int(3).is_ground());
+        assert!(Term::sym("red").is_ground());
+        assert!(!Term::var("X").is_ground());
+        assert!(Term::app("f", vec![Term::int(1)]).is_ground());
+        assert!(!Term::app("f", vec![Term::var("X")]).is_ground());
+    }
+
+    #[test]
+    fn depth() {
+        assert_eq!(Term::var("X").depth(), 0);
+        assert_eq!(Term::app("f", vec![Term::int(1)]).depth(), 1);
+        assert_eq!(
+            Term::app("f", vec![Term::app("g", vec![Term::var("X")])]).depth(),
+            2
+        );
+        assert_eq!(Term::app("f", vec![]).depth(), 1);
+    }
+
+    #[test]
+    fn vars_collects_nested() {
+        let t = Term::app("f", vec![Term::var("X"), Term::app("g", vec![Term::var("Y")])]);
+        let vars = t.vars();
+        assert!(vars.contains(&Var::new("X")));
+        assert!(vars.contains(&Var::new("Y")));
+        assert_eq!(vars.len(), 2);
+        assert!(t.contains_var(&Var::new("Y")));
+        assert!(!t.contains_var(&Var::new("Z")));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Term::var("CarNo").to_string(), "CarNo");
+        assert_eq!(Term::sym("red").to_string(), "red");
+        assert_eq!(Term::int(1970).to_string(), "1970");
+        assert_eq!(
+            Term::app("f", vec![Term::var("X"), Term::int(2)]).to_string(),
+            "f(X, 2)"
+        );
+    }
+
+    #[test]
+    fn distinct_constant_kinds_differ() {
+        assert_ne!(Const::sym("10"), Const::int(10));
+    }
+}

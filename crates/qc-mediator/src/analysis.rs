@@ -1,0 +1,236 @@
+//! Source-set analysis: the paper's §1 motivation made executable.
+//!
+//! "An additional use in the data integration framework is to familiarize
+//! a user with the coverage and limitations of a large set of available
+//! data sources." This module answers the natural questions:
+//!
+//! * [`is_lossless`] — can the sources answer the query *completely*
+//!   (the maximally-contained plan is equivalent to the query), or only
+//!   partially?
+//! * [`unused_sources`] — which sources contribute nothing to a query's
+//!   plan (dropping them is provably harmless)?
+//! * [`source_coverage`] — which sources appear in the query's plan at
+//!   all?
+//! * [`equivalence_classes`] — partition a set of queries by relative
+//!   equivalence (queries the sources cannot distinguish).
+//!
+//! All analyses are over the *unrestricted* setting: binding-pattern
+//! adornments are ignored here (reachability-aware analysis would need
+//! the recursive executable plans of [`crate::binding`]).
+
+use std::collections::BTreeSet;
+
+use qc_containment::{cq_contained_in_ucq, ucq_contained};
+use qc_datalog::{Program, Symbol};
+
+use crate::expansion::expand_ucq;
+use crate::relative::{max_contained_ucq_plan, relatively_equivalent, RelativeError};
+use crate::schema::LavSetting;
+
+/// Whether the sources answer the query *losslessly*: the
+/// maximally-contained plan's expansion is equivalent to the query, so
+/// the certain answers coincide with the real answers on every consistent
+/// source instance (the plan is an exact rewriting).
+///
+/// `P1^exp ⊆ Q1` always holds (soundness); losslessness is the converse
+/// `Q1 ⊆ P1^exp`.
+pub fn is_lossless(
+    query: &Program,
+    answer: &Symbol,
+    views: &LavSetting,
+) -> Result<bool, RelativeError> {
+    let plan = max_contained_ucq_plan(query, answer, views)?;
+    let exp = expand_ucq(&plan, views);
+    let q = query.unfold(answer)?;
+    // Q ⊆ exp(P1): every disjunct of the query is covered by the
+    // expansion union.
+    Ok(q.disjuncts
+        .iter()
+        .all(|d| cq_contained_in_ucq(d, &exp)))
+}
+
+/// The sources that actually appear in the query's maximally-contained
+/// plan.
+pub fn source_coverage(
+    query: &Program,
+    answer: &Symbol,
+    views: &LavSetting,
+) -> Result<BTreeSet<Symbol>, RelativeError> {
+    let plan = max_contained_ucq_plan(query, answer, views)?;
+    Ok(plan
+        .disjuncts
+        .iter()
+        .flat_map(|d| d.subgoals.iter().map(|a| a.pred.clone()))
+        .collect())
+}
+
+/// The sources whose removal leaves the query's certain answers unchanged
+/// on **every** instance of the remaining sources: exactly those that
+/// contribute no disjunct to the (minimized) maximally-contained plan.
+///
+/// Note that a *mirrored* source (same view definition under another
+/// name) is **not** unused: source instances are independent under LAV,
+/// so an instance may populate one mirror and not the other — dropping
+/// either loses answers. Only sources the plan never touches are safe to
+/// drop.
+pub fn unused_sources(
+    query: &Program,
+    answer: &Symbol,
+    views: &LavSetting,
+) -> Result<Vec<Symbol>, RelativeError> {
+    let used = source_coverage(query, answer, views)?;
+    Ok(views
+        .names()
+        .into_iter()
+        .filter(|n| !used.contains(n))
+        .collect())
+}
+
+/// Sanity: dropping an unused source must keep the plan equivalent (used
+/// by the tests; public because it is a useful assertion for callers).
+pub fn dropping_preserves_plan(
+    query: &Program,
+    answer: &Symbol,
+    views: &LavSetting,
+    source: &str,
+) -> Result<bool, RelativeError> {
+    let full = max_contained_ucq_plan(query, answer, views)?;
+    let reduced = max_contained_ucq_plan(query, answer, &views.without(source))?;
+    Ok(ucq_contained(&full, &reduced) && ucq_contained(&reduced, &full))
+}
+
+/// Partitions queries into relative-equivalence classes: queries in one
+/// class have identical certain answers on every source instance, so the
+/// sources cannot distinguish them. Returns indexes into the input slice.
+pub fn equivalence_classes(
+    queries: &[(Program, Symbol)],
+    views: &LavSetting,
+) -> Result<Vec<Vec<usize>>, RelativeError> {
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    'next: for (i, (q, ans)) in queries.iter().enumerate() {
+        for class in &mut classes {
+            let (rq, rans) = &queries[class[0]];
+            if relatively_equivalent(q, ans, rq, rans, views)? {
+                class.push(i);
+                continue 'next;
+            }
+        }
+        classes.push(vec![i]);
+    }
+    Ok(classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::example1_sources;
+    use qc_datalog::parse_program;
+
+    fn s(n: &str) -> Symbol {
+        Symbol::new(n)
+    }
+
+    #[test]
+    fn losslessness_basics() {
+        // Identity view: lossless.
+        let v = LavSetting::parse(&["V(X, Y) :- p(X, Y)."]).unwrap();
+        let q = parse_program("q(X, Y) :- p(X, Y).").unwrap();
+        assert!(is_lossless(&q, &s("q"), &v).unwrap());
+        // Projection view: the join column is hidden — lossy for the
+        // full-row query, lossless for the projection query.
+        let vp = LavSetting::parse(&["V(X) :- p(X, Y)."]).unwrap();
+        assert!(!is_lossless(&q, &s("q"), &vp).unwrap());
+        let qp = parse_program("qp(X) :- p(X, Y).").unwrap();
+        assert!(is_lossless(&qp, &s("qp"), &vp).unwrap());
+    }
+
+    #[test]
+    fn example1_q2_is_lossless_q1_is_not() {
+        // Reviews are only exported at rating 10: Q2 (rating pinned to
+        // 10) is fully answerable when cars are red or antique... not
+        // quite — CarDesc colors beyond red/antique years escape. Neither
+        // is lossless; but the *plan-level* phenomenon of Example 1 is
+        // that Q1 and Q2 have the same certain answers.
+        let v = example1_sources();
+        let q1 = parse_program(
+            "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
+        )
+        .unwrap();
+        assert!(!is_lossless(&q1, &s("q1"), &v).unwrap());
+        // A query the sources DO answer losslessly: red cars' numbers.
+        let red = parse_program("red(C, M, Y) :- CarDesc(C, M, red, Y).").unwrap();
+        assert!(is_lossless(&red, &s("red"), &v).unwrap());
+    }
+
+    #[test]
+    fn coverage_and_redundancy() {
+        let v = example1_sources();
+        let q1 = parse_program(
+            "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
+        )
+        .unwrap();
+        let cov = source_coverage(&q1, &s("q1"), &v).unwrap();
+        assert!(cov.contains(&s("RedCars")));
+        assert!(cov.contains(&s("AntiqueCars")));
+        assert!(cov.contains(&s("CarAndDriver")));
+        // Every source is used for Q1.
+        assert!(unused_sources(&q1, &s("q1"), &v).unwrap().is_empty());
+
+        // A mirrored source is NOT unused: instances are independent, so
+        // each mirror can carry answers the other lacks.
+        let mut v2 = v.clone();
+        v2.sources.push(
+            crate::schema::SourceDescription::parse(
+                "RedCarsMirror(CarNo, Model, Year) :- CarDesc(CarNo, Model, red, Year).",
+            )
+            .unwrap(),
+        );
+        let unused = unused_sources(&q1, &s("q1"), &v2).unwrap();
+        assert!(unused.is_empty(), "{unused:?}");
+
+        // A source irrelevant to the query is unused, and dropping it
+        // keeps the plan equivalent.
+        let mut v3 = v.clone();
+        v3.sources.push(
+            crate::schema::SourceDescription::parse("Weather(City, Temp) :- weather(City, Temp).")
+                .unwrap(),
+        );
+        let unused = unused_sources(&q1, &s("q1"), &v3).unwrap();
+        assert_eq!(unused, vec![s("Weather")]);
+        assert!(dropping_preserves_plan(&q1, &s("q1"), &v3, "Weather").unwrap());
+        assert!(!dropping_preserves_plan(&q1, &s("q1"), &v3, "RedCars").unwrap());
+    }
+
+    #[test]
+    fn equivalence_classes_of_example1() {
+        let v = example1_sources();
+        let queries = vec![
+            (
+                parse_program(
+                    "q1(C, R) :- CarDesc(C, M, Col, Y), Review(M, R, S).",
+                )
+                .unwrap(),
+                s("q1"),
+            ),
+            (
+                parse_program(
+                    "q2(C, R) :- CarDesc(C, M, Col, Y), Review(M, R, 10).",
+                )
+                .unwrap(),
+                s("q2"),
+            ),
+            (
+                parse_program(
+                    "q3(C, R) :- CarDesc(C, M, Col, Y), Review(M, R, 10), Y < 1970.",
+                )
+                .unwrap(),
+                s("q3"),
+            ),
+        ];
+        let classes = equivalence_classes(&queries, &v).unwrap();
+        // Q1 ≡_V Q2; Q3 stands alone.
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0], vec![0, 1]);
+        assert_eq!(classes[1], vec![2]);
+    }
+}

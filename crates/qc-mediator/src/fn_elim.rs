@@ -1,0 +1,424 @@
+//! Function-term elimination (\[15\] in the paper).
+//!
+//! Inverse-rule plans construct Skolem terms; \[15\] shows how to remove
+//! them, yielding an equivalent plan over ordinary (function-free)
+//! predicates — the step from Example 2's plan to Example 3's. We
+//! implement the standard *pattern specialization*: abstract-interpret
+//! which argument *shapes* each IDB predicate can derive (`plain` value vs
+//! `f(…)` term, splicing the Skolem's arguments inline), specialize every
+//! predicate per shape vector, and keep only all-plain answers — which is
+//! also exactly the "discard answers containing function terms" rule of
+//! certain-answer semantics (§2.3).
+//!
+//! Skolem terms produced by the inverse-rules algorithm never nest (their
+//! arguments come from source tuples), so shapes are depth-1; nested
+//! shapes are reported as an error.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use qc_datalog::{
+    unify_terms_with, Atom, Literal, Program, Rule, Subst, Symbol, Term, VarGen,
+};
+
+/// Errors from [`eliminate_function_terms`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FnElimError {
+    /// A derivable tuple carries a nested function term (`f(g(…))`) —
+    /// cannot arise from inverse-rule plans.
+    NestedFunctionTerms(String),
+    /// A function term appeared in a comparison literal.
+    FunctionTermInComparison(String),
+    /// Specialization exceeded its budget (pattern explosion).
+    Budget,
+}
+
+impl fmt::Display for FnElimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FnElimError::NestedFunctionTerms(t) => {
+                write!(f, "nested function term {t} (not an inverse-rule plan?)")
+            }
+            FnElimError::FunctionTermInComparison(c) => {
+                write!(f, "function term in comparison {c}")
+            }
+            FnElimError::Budget => write!(f, "pattern specialization budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for FnElimError {}
+
+/// The shape of one argument position.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Shape {
+    /// An ordinary (non-functional) value.
+    Plain,
+    /// A term `f(t₁, …, tₖ)`; the tᵢ are plain and spliced inline.
+    Fun(Symbol, usize),
+}
+
+type ShapeVec = Vec<Shape>;
+
+fn shape_pred_name(pred: &Symbol, shapes: &ShapeVec) -> Symbol {
+    if shapes.iter().all(|s| *s == Shape::Plain) {
+        return pred.clone();
+    }
+    let mut name = String::from(pred.as_str());
+    name.push_str("__");
+    for s in shapes {
+        match s {
+            Shape::Plain => name.push('p'),
+            Shape::Fun(f, k) => {
+                name.push_str("_F");
+                name.push_str(f.as_str());
+                name.push_str(&k.to_string());
+                name.push('_');
+            }
+        }
+    }
+    Symbol::new(name)
+}
+
+/// Eliminates function terms from a plan, preserving the function-free
+/// answers of every IDB predicate under its original name (all-plain
+/// shapes keep the original predicate; functional shapes get specialized
+/// predicates).
+///
+/// The result is a function-free program equivalent to the input on
+/// function-free EDB databases in the certain-answer sense: for each IDB
+/// predicate `p`, the function-free tuples of `p` are exactly the tuples
+/// of `p` in the output.
+///
+/// ```
+/// use qc_datalog::parse_program;
+/// use qc_mediator::fn_elim::eliminate_function_terms;
+///
+/// // A Skolemized inverse-rule plan...
+/// let plan = parse_program(
+///     "p(X, f(X)) :- v(X).
+///      q(A) :- p(A, B).",
+/// ).unwrap();
+/// // ...becomes function-free, with q preserved.
+/// let elim = eliminate_function_terms(&plan).unwrap();
+/// assert!(!elim.has_function_terms());
+/// assert!(elim.rules().iter().any(|r| r.head.pred == "q"));
+/// ```
+pub fn eliminate_function_terms(plan: &Program) -> Result<Program, FnElimError> {
+    if !plan.has_function_terms() {
+        return Ok(plan.clone());
+    }
+    let idb = plan.idb_preds();
+
+    // Derivable shape vectors per IDB predicate.
+    let mut derivable: BTreeMap<Symbol, BTreeSet<ShapeVec>> = BTreeMap::new();
+    // Output rules, deduplicated.
+    let mut out: BTreeSet<Rule> = BTreeSet::new();
+    let budget = 100_000usize;
+
+    loop {
+        let mut changed = false;
+        for rule in plan.rules() {
+            let mut reports: Vec<(Rule, Symbol, ShapeVec)> = Vec::new();
+            specialize_rule(rule, &idb, &derivable, &mut |new_rule, head_pred, head_shapes| {
+                reports.push((new_rule, head_pred, head_shapes));
+                Ok(())
+            })?;
+            for (new_rule, head_pred, head_shapes) in reports {
+                if derivable.entry(head_pred).or_default().insert(head_shapes) {
+                    changed = true;
+                }
+                // Canonicalize so identical specializations produced in
+                // different iterations (with different fresh variables)
+                // deduplicate.
+                if out.insert(new_rule.canonicalize()) {
+                    changed = true;
+                }
+                if out.len() > budget {
+                    return Err(FnElimError::Budget);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let rules: Vec<Rule> = out.into_iter().collect();
+    Ok(Program::new(rules))
+}
+
+/// Specializes one rule for every combination of derivable body-atom
+/// shapes; reports each resulting rule with its head shape vector.
+fn specialize_rule(
+    rule: &Rule,
+    idb: &BTreeSet<Symbol>,
+    derivable: &BTreeMap<Symbol, BTreeSet<ShapeVec>>,
+    report: &mut dyn FnMut(Rule, Symbol, ShapeVec) -> Result<(), FnElimError>,
+) -> Result<(), FnElimError> {
+    // Collect IDB body-atom positions and their shape options.
+    let body_atoms: Vec<&Atom> = rule.body_atoms().collect();
+    let mut options: Vec<Vec<ShapeVec>> = Vec::new();
+    for a in &body_atoms {
+        if idb.contains(&a.pred) {
+            let Some(shapes) = derivable.get(&a.pred) else {
+                return Ok(()); // nothing derivable yet for this predicate
+            };
+            options.push(shapes.iter().cloned().collect());
+        } else {
+            options.push(vec![vec![Shape::Plain; a.arity()]]);
+        }
+    }
+
+    // Cartesian product of shape choices.
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        rule: &Rule,
+        body_atoms: &[&Atom],
+        options: &[Vec<ShapeVec>],
+        k: usize,
+        sigma: &Subst,
+        chosen: &mut Vec<ShapeVec>,
+        gen: &mut VarGen,
+        report: &mut dyn FnMut(Rule, Symbol, ShapeVec) -> Result<(), FnElimError>,
+    ) -> Result<(), FnElimError> {
+        if k == body_atoms.len() {
+            return finish(rule, body_atoms, sigma, chosen, report);
+        }
+        'shapes: for shapes in &options[k] {
+            // Unify each argument with its shape.
+            let mut sigma2 = sigma.clone();
+            for (arg, shape) in body_atoms[k].args.iter().zip(shapes) {
+                match shape {
+                    Shape::Plain => {} // checked at the end
+                    Shape::Fun(f, arity) => {
+                        let template = Term::App(
+                            f.clone(),
+                            (0..*arity).map(|_| Term::Var(gen.fresh())).collect(),
+                        );
+                        if !unify_terms_with(&mut sigma2, arg, &template) {
+                            continue 'shapes;
+                        }
+                    }
+                }
+            }
+            chosen.push(shapes.clone());
+            rec(rule, body_atoms, options, k + 1, &sigma2, chosen, gen, report)?;
+            chosen.pop();
+        }
+        Ok(())
+    }
+
+    /// Validates plain positions, derives the head shape, emits the
+    /// flattened rule.
+    fn finish(
+        rule: &Rule,
+        body_atoms: &[&Atom],
+        sigma: &Subst,
+        chosen: &[ShapeVec],
+        report: &mut dyn FnMut(Rule, Symbol, ShapeVec) -> Result<(), FnElimError>,
+    ) -> Result<(), FnElimError> {
+        // Plain positions must not have resolved to function terms.
+        for (a, shapes) in body_atoms.iter().zip(chosen) {
+            for (arg, shape) in a.args.iter().zip(shapes) {
+                if *shape == Shape::Plain && sigma.apply_term(arg).has_function() {
+                    return Ok(());
+                }
+            }
+        }
+        // Comparisons must stay function-free.
+        for c in rule.body_comparisons() {
+            let c2 = sigma.apply_comparison(c);
+            if c2.lhs.has_function() || c2.rhs.has_function() {
+                return Err(FnElimError::FunctionTermInComparison(c2.to_string()));
+            }
+        }
+        // Head shape and flattened head args.
+        let mut head_shapes: ShapeVec = Vec::new();
+        let mut head_args: Vec<Term> = Vec::new();
+        for arg in &rule.head.args {
+            let t = sigma.apply_term(arg);
+            match t {
+                Term::App(f, args) => {
+                    for a in &args {
+                        if a.has_function() {
+                            return Err(FnElimError::NestedFunctionTerms(
+                                Term::App(f.clone(), args.clone()).to_string(),
+                            ));
+                        }
+                    }
+                    head_shapes.push(Shape::Fun(f, args.len()));
+                    head_args.extend(args);
+                }
+                other => {
+                    head_shapes.push(Shape::Plain);
+                    head_args.push(other);
+                }
+            }
+        }
+        // Flattened body.
+        let mut body: Vec<Literal> = Vec::new();
+        let mut atom_i = 0usize;
+        for lit in &rule.body {
+            match lit {
+                Literal::Atom(a) => {
+                    let shapes = &chosen[atom_i];
+                    atom_i += 1;
+                    let mut args: Vec<Term> = Vec::new();
+                    for (arg, shape) in a.args.iter().zip(shapes) {
+                        let t = sigma.apply_term(arg);
+                        match shape {
+                            Shape::Plain => args.push(t),
+                            Shape::Fun(f, k) => match t {
+                                Term::App(g, gargs) => {
+                                    debug_assert_eq!(&g, f);
+                                    debug_assert_eq!(gargs.len(), *k);
+                                    args.extend(gargs);
+                                }
+                                _ => unreachable!("unified with the shape template"),
+                            },
+                        }
+                    }
+                    body.push(Literal::Atom(Atom {
+                        pred: shape_pred_name(&a.pred, shapes),
+                        args,
+                    }));
+                }
+                Literal::Comp(c) => body.push(Literal::Comp(sigma.apply_comparison(c))),
+            }
+        }
+        let head_pred_orig = rule.head.pred.clone();
+        let new_head = Atom {
+            pred: shape_pred_name(&rule.head.pred, &head_shapes),
+            args: head_args,
+        };
+        report(Rule::new(new_head, body), head_pred_orig, head_shapes)
+    }
+
+    let mut gen = VarGen::new();
+    let mut chosen = Vec::new();
+    rec(
+        rule,
+        &body_atoms,
+        &options,
+        0,
+        &Subst::new(),
+        &mut chosen,
+        &mut gen,
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inverse_rules::max_contained_plan;
+    use crate::schema::example1_sources;
+    use qc_datalog::eval::{answers, EvalOptions};
+    use qc_datalog::{parse_program, Database};
+
+    #[test]
+    fn example3_elimination_and_unfolding() {
+        // Example 2's plan P1 -> Example 3's function-free plan P1'.
+        let q1 = parse_program(
+            "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
+        )
+        .unwrap();
+        let plan = max_contained_plan(&q1, &example1_sources());
+        let elim = eliminate_function_terms(&plan).unwrap();
+        assert!(!elim.has_function_terms());
+        let ucq = elim.unfold(&Symbol::new("q1")).unwrap();
+        // Exactly the two conjunctive plans of Example 3.
+        assert_eq!(ucq.disjuncts.len(), 2);
+        let printed: Vec<String> = ucq.disjuncts.iter().map(|d| d.to_rule().to_string()).collect();
+        let has_red = printed.iter().any(|s| s.contains("RedCars") && s.contains("CarAndDriver"));
+        let has_antique =
+            printed.iter().any(|s| s.contains("AntiqueCars") && s.contains("CarAndDriver"));
+        assert!(has_red, "{printed:?}");
+        assert!(has_antique, "{printed:?}");
+    }
+
+    #[test]
+    fn elimination_preserves_function_free_answers() {
+        let q1 = parse_program(
+            "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
+        )
+        .unwrap();
+        let plan = max_contained_plan(&q1, &example1_sources());
+        let elim = eliminate_function_terms(&plan).unwrap();
+        let db = Database::parse(
+            "RedCars(c1, corolla, 1988). AntiqueCars(c2, ford, 1960).
+             CarAndDriver(corolla, nice). CarAndDriver(ford, classic).",
+        )
+        .unwrap();
+        let opts = EvalOptions::default();
+        let ans = Symbol::new("q1");
+        let with_fn = answers(&plan, &db, &ans, &opts).unwrap();
+        let without_fn = answers(&elim, &db, &ans, &opts).unwrap();
+        // Original plan's function-free answers == eliminated plan's.
+        let ff: Vec<_> = with_fn
+            .tuples()
+            .iter()
+            .filter(|t| t.iter().all(|v| !v.has_function()))
+            .cloned()
+            .collect();
+        assert_eq!(ff.len(), 2);
+        assert_eq!(without_fn.len(), 2);
+        for t in &ff {
+            assert!(without_fn.contains(t));
+        }
+    }
+
+    #[test]
+    fn plain_program_unchanged() {
+        let p = parse_program("q(X) :- r(X, Y).").unwrap();
+        assert_eq!(eliminate_function_terms(&p).unwrap(), p);
+    }
+
+    #[test]
+    fn join_on_skolem_survives() {
+        // Two atoms joining on a Skolem-valued column must still join
+        // after elimination (the spliced arguments align).
+        let plan = parse_program(
+            "p(X, f(X)) :- v(X).
+             r(Y, Z) :- p(Y, W), p(Z, W).
+             q(A, B) :- r(A, B).",
+        )
+        .unwrap();
+        let elim = eliminate_function_terms(&plan).unwrap();
+        assert!(!elim.has_function_terms());
+        let db = Database::parse("v(1). v(2).").unwrap();
+        let opts = EvalOptions::default();
+        let direct = answers(&plan, &db, &Symbol::new("q"), &opts).unwrap();
+        let elimd = answers(&elim, &db, &Symbol::new("q"), &opts).unwrap();
+        assert_eq!(direct.len(), 2); // (1,1), (2,2): f(1) != f(2)
+        assert_eq!(elimd.len(), direct.len());
+        for t in direct.tuples() {
+            assert!(elimd.contains(t));
+        }
+    }
+
+    #[test]
+    fn nested_function_terms_rejected() {
+        let plan = parse_program("p(f(X)) :- v(X). r(f(Y)) :- p(Y). q(Z) :- r(Z).").unwrap();
+        // p derives f(x); r(f(Y)) with Y = f(x) nests.
+        assert!(matches!(
+            eliminate_function_terms(&plan),
+            Err(FnElimError::NestedFunctionTerms(_))
+        ));
+    }
+
+    #[test]
+    fn skolem_mismatch_prunes_rule() {
+        // A body atom requiring a plain value never matches a predicate
+        // that only derives Skolem values in that column.
+        let plan = parse_program(
+            "p(X, f(X)) :- v(X).
+             q(X) :- p(X, 10).",
+        )
+        .unwrap();
+        let elim = eliminate_function_terms(&plan).unwrap();
+        let db = Database::parse("v(1).").unwrap();
+        let rel = answers(&elim, &db, &Symbol::new("q"), &EvalOptions::default()).unwrap();
+        assert!(rel.is_empty());
+    }
+}

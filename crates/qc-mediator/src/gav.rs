@@ -1,0 +1,111 @@
+//! Global-as-view relative containment (§1 and §6 of the paper).
+//!
+//! Under GAV, the *mediated* relations are defined as views over the
+//! source relations. As the paper notes, "algorithms and complexity
+//! results for relative containment are straightforward corollaries of
+//! traditional query containment results": unfolding a query through the
+//! GAV definitions yields a query over the sources whose answers are the
+//! certain answers, so `Q1 ⊑ Q2` relative to a GAV setting is ordinary
+//! containment of the unfoldings.
+
+use qc_containment::ucq_contained;
+use qc_datalog::{Program, Symbol, Ucq, UnfoldError};
+
+/// A GAV setting: each mediated relation is defined by rules over the
+/// source relations (possibly a union — multiple rules per relation).
+#[derive(Debug, Clone, Default)]
+pub struct GavSetting {
+    /// The mediated-relation definitions.
+    pub definitions: Program,
+}
+
+impl GavSetting {
+    /// Parses GAV definitions from rule syntax.
+    pub fn parse(src: &str) -> Result<GavSetting, qc_datalog::ParseError> {
+        Ok(GavSetting {
+            definitions: qc_datalog::parse_program(src)?,
+        })
+    }
+}
+
+/// Unfolds a (nonrecursive) query through the GAV definitions into a UCQ
+/// over the source relations.
+pub fn gav_unfold(
+    query: &Program,
+    answer: &Symbol,
+    setting: &GavSetting,
+) -> Result<Ucq, UnfoldError> {
+    let mut combined = query.clone();
+    combined.extend(&setting.definitions);
+    combined.unfold(answer)
+}
+
+/// Decides GAV relative containment by ordinary containment of the
+/// unfoldings (supports comparisons via the dense-order test).
+pub fn relatively_contained_gav(
+    q1: &Program,
+    ans1: &Symbol,
+    q2: &Program,
+    ans2: &Symbol,
+    setting: &GavSetting,
+) -> Result<bool, UnfoldError> {
+    let u1 = gav_unfold(q1, ans1, setting)?;
+    let u2 = gav_unfold(q2, ans2, setting)?;
+    Ok(ucq_contained(&u1, &u2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_datalog::parse_program;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+
+    #[test]
+    fn gav_unfolding_containment() {
+        // Mediated `car` is the union of two source catalogs.
+        let setting = GavSetting::parse(
+            "car(Id, Model) :- dealerA(Id, Model).
+             car(Id, Model) :- dealerB(Id, Model, Price).",
+        )
+        .unwrap();
+        let q1 = parse_program("q1(M) :- car(I, M).").unwrap();
+        let q2 = parse_program("q2(M) :- dealerA(I, M).").unwrap();
+        // dealerA-only is contained in the union, not vice versa.
+        assert!(relatively_contained_gav(&q2, &sym("q2"), &q1, &sym("q1"), &setting).unwrap());
+        assert!(!relatively_contained_gav(&q1, &sym("q1"), &q2, &sym("q2"), &setting).unwrap());
+    }
+
+    #[test]
+    fn gav_equivalence_through_definitions() {
+        // Two syntactically different queries collapse to the same
+        // unfolding.
+        let setting = GavSetting::parse("m(X) :- s(X, X).").unwrap();
+        let q1 = parse_program("q1(X) :- m(X).").unwrap();
+        let q2 = parse_program("q2(X) :- s(X, X).").unwrap();
+        assert!(relatively_contained_gav(&q1, &sym("q1"), &q2, &sym("q2"), &setting).unwrap());
+        assert!(relatively_contained_gav(&q2, &sym("q2"), &q1, &sym("q1"), &setting).unwrap());
+    }
+
+    #[test]
+    fn gav_with_comparisons() {
+        let setting = GavSetting::parse(
+            "old(Id) :- cars(Id, Y), Y < 1970.
+             all(Id) :- cars(Id, Y).",
+        )
+        .unwrap();
+        let q1 = parse_program("q1(I) :- old(I).").unwrap();
+        let q2 = parse_program("q2(I) :- all(I).").unwrap();
+        assert!(relatively_contained_gav(&q1, &sym("q1"), &q2, &sym("q2"), &setting).unwrap());
+        assert!(!relatively_contained_gav(&q2, &sym("q2"), &q1, &sym("q1"), &setting).unwrap());
+    }
+
+    #[test]
+    fn recursive_gav_rejected() {
+        let setting = GavSetting::parse("m(X, Y) :- s(X, Y). m(X, Z) :- m(X, Y), s(Y, Z).").unwrap();
+        let q = parse_program("q(X, Y) :- m(X, Y).").unwrap();
+        assert!(gav_unfold(&q, &sym("q"), &setting).is_err());
+    }
+}

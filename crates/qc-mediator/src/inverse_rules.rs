@@ -1,0 +1,144 @@
+//! The inverse-rules algorithm (Duschka–Genesereth–Levy, \[15\] in the
+//! paper).
+//!
+//! Each view definition is inverted into one rule per non-comparison
+//! subgoal; existential variables of the view become Skolem function terms
+//! over the view's head variables, keeping inverted rules safe (§2.3).
+//! The maximally-contained plan for a query is the union of the query's
+//! rules and the inverted view definitions — reproducing Example 2 of the
+//! paper exactly.
+
+use qc_datalog::{Atom, Literal, Program, Rule, Subst, Term};
+
+use crate::schema::LavSetting;
+
+/// Inverts every view definition of the setting.
+///
+/// For a view `V(X̄) :- b₁, …, bₙ, comparisons`, produces rules
+/// `bⱼσ :- V(X̄)` where σ maps each existential variable `z` of the view
+/// to the Skolem term `f_V_z(X̄)`. Comparison subgoals of the view are
+/// dropped (they constrain which tuples a source may contain; inversion
+/// of an *incomplete* source stays sound without them).
+///
+/// ```
+/// use qc_mediator::inverse_rules::inverse_rules;
+/// use qc_mediator::schema::LavSetting;
+///
+/// let views = LavSetting::parse(&["V(X) :- p(X, Y)."]).unwrap();
+/// let inv = inverse_rules(&views);
+/// assert_eq!(inv.rules()[0].to_string(), "p(X, f_V_Y(X)) :- V(X).");
+/// ```
+pub fn inverse_rules(views: &LavSetting) -> Program {
+    let mut out = Program::default();
+    for source in &views.sources {
+        let view = &source.view;
+        let head_atom = Atom {
+            pred: source.name.clone(),
+            args: view.head.args.clone(),
+        };
+        // Skolemize existential variables.
+        let mut sigma = Subst::new();
+        for z in view.existential_vars() {
+            let skolem = Term::App(
+                qc_datalog::Symbol::new(format!("f_{}_{}", source.name, z.name())),
+                view.head.args.clone(),
+            );
+            let bound = sigma.bind(z.clone(), skolem);
+            debug_assert!(bound, "skolem binding cannot fail the occurs check");
+        }
+        for subgoal in &view.subgoals {
+            let head = sigma.apply_atom(subgoal);
+            out.push(Rule::new(head, vec![Literal::Atom(head_atom.clone())]));
+        }
+    }
+    out
+}
+
+/// The maximally-contained query plan (no binding patterns): the query's
+/// rules plus the inverted view definitions (§2.3, Example 2). The plan's
+/// EDB relations are the source relations.
+pub fn max_contained_plan(query: &Program, views: &LavSetting) -> Program {
+    let mut plan = query.clone();
+    plan.extend(&inverse_rules(views));
+    plan
+}
+
+/// Fresh existential variables of view heads must not capture: the Skolem
+/// arguments are exactly the head variables, matching \[15\].
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{example1_sources, LavSetting};
+    use qc_datalog::{parse_program, parse_term};
+
+    #[test]
+    fn example2_inverse_rules() {
+        // The paper's Example 2, rule by rule.
+        let inv = inverse_rules(&example1_sources());
+        let rules: Vec<String> = inv.rules().iter().map(|r| r.to_string()).collect();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(
+            rules[0],
+            "CarDesc(CarNo, Model, red, Year) :- RedCars(CarNo, Model, Year)."
+        );
+        assert_eq!(
+            rules[1],
+            "CarDesc(CarNo, Model, f_AntiqueCars_Color(CarNo, Model, Year), Year) :- AntiqueCars(CarNo, Model, Year)."
+        );
+        assert_eq!(
+            rules[2],
+            "Review(Model, Review, 10) :- CarAndDriver(Model, Review)."
+        );
+    }
+
+    #[test]
+    fn example2_full_plan() {
+        let q1 = parse_program(
+            "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
+        )
+        .unwrap();
+        let plan = max_contained_plan(&q1, &example1_sources());
+        assert_eq!(plan.rules().len(), 4);
+        // EDBs of the plan are exactly the source relations.
+        let edb = plan.edb_preds();
+        for s in ["RedCars", "AntiqueCars", "CarAndDriver"] {
+            assert!(edb.contains(s), "{s}");
+        }
+        assert!(!edb.contains("CarDesc"));
+        assert!(plan.has_function_terms());
+    }
+
+    #[test]
+    fn multi_subgoal_views_invert_per_subgoal() {
+        let v = LavSetting::parse(&["V(X) :- p(X, Y), r(Y, Z), X != Z."]).unwrap();
+        let inv = inverse_rules(&v);
+        assert_eq!(inv.rules().len(), 2);
+        // Shared existential Y gets the same Skolem term in both rules.
+        let y1 = inv.rules()[0].head.args[1].clone();
+        let y2 = inv.rules()[1].head.args[0].clone();
+        assert_eq!(y1, y2);
+        assert_eq!(y1, parse_term("f_V_Y(X)").unwrap());
+        // Comparison dropped.
+        assert!(inv.rules().iter().all(|r| r.body_comparisons().next().is_none()));
+    }
+
+    #[test]
+    fn distinguished_vars_pass_through() {
+        let v = LavSetting::parse(&["V(X, Y) :- p(X, Y)."]).unwrap();
+        let inv = inverse_rules(&v);
+        assert_eq!(inv.rules()[0].to_string(), "p(X, Y) :- V(X, Y).");
+        assert!(!inv.has_function_terms());
+    }
+
+    #[test]
+    fn plan_is_recursive_iff_query_is() {
+        let views = example1_sources();
+        let nonrec = parse_program("q(X) :- CarDesc(X, M, C, Y).").unwrap();
+        assert!(!max_contained_plan(&nonrec, &views).is_recursive());
+        let rec = parse_program(
+            "q(X, Y) :- CarDesc(X, Y, C, Z). q(X, Y) :- q(X, W), CarDesc(W, Y, C, Z).",
+        )
+        .unwrap();
+        assert!(max_contained_plan(&rec, &views).is_recursive());
+    }
+}

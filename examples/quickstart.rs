@@ -1,0 +1,122 @@
+//! Quickstart: the paper's running example (Example 1), end to end.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Sets up the car/review mediated schema with the three sources of
+//! Example 1, then walks through everything §1–§2 of the paper does with
+//! them: classical containment, maximally-contained plans (Examples 2
+//! and 3), certain answers, and relative containment — including the
+//! source-removal twist at the end of Example 1.
+
+use relcont::containment::cq_contained;
+use relcont::datalog::eval::EvalOptions;
+use relcont::datalog::{parse_program, parse_query, Database, Symbol};
+use relcont::mediator::certain::certain_answers;
+use relcont::mediator::fn_elim::eliminate_function_terms;
+use relcont::mediator::inverse_rules::max_contained_plan;
+use relcont::mediator::relative::{relatively_contained, relatively_equivalent};
+use relcont::mediator::schema::LavSetting;
+
+fn main() {
+    // The mediated schema is virtual: CarDesc(CarNo, Model, Color, Year)
+    // and Review(Model, Review, Rating). The data lives in three sources,
+    // described local-as-view:
+    let views = LavSetting::parse(&[
+        "RedCars(CarNo, Model, Year) :- CarDesc(CarNo, Model, red, Year).",
+        "AntiqueCars(CarNo, Model, Year) :- CarDesc(CarNo, Model, Color, Year), Year < 1970.",
+        "CarAndDriver(Model, Review) :- Review(Model, Review, 10).",
+    ])
+    .expect("views parse");
+    println!("== Sources ==");
+    for s in &views.sources {
+        println!("  {}", s.view.to_rule());
+    }
+
+    // The three queries of Example 1.
+    let q1 = parse_program(
+        "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
+    )
+    .unwrap();
+    let q2 = parse_program(
+        "q2(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).",
+    )
+    .unwrap();
+    let q3 = parse_program(
+        "q3(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10), Y < 1970.",
+    )
+    .unwrap();
+
+    // Classical containment: Q2 ⊆ Q1 but not vice versa.
+    println!("\n== Classical containment ==");
+    let cq1 = parse_query(
+        "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
+    )
+    .unwrap();
+    let cq2 = parse_query(
+        "q2(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).",
+    )
+    .unwrap();
+    println!("  Q2 \u{2286} Q1: {}", cq_contained(&cq2, &cq1));
+    println!("  Q1 \u{2286} Q2: {}", cq_contained(&cq1, &cq2));
+
+    // Example 2: the maximally-contained plan via inverse rules.
+    println!("\n== Maximally-contained plan for Q1 (Example 2) ==");
+    let plan = max_contained_plan(&q1, &views);
+    for r in plan.rules() {
+        println!("  {r}");
+    }
+
+    // Example 3: eliminate the Skolem terms and unfold.
+    println!("\n== After function-term elimination + unfolding (Example 3) ==");
+    let elim = eliminate_function_terms(&plan).expect("elimination succeeds");
+    let ucq = elim.unfold(&Symbol::new("q1")).expect("nonrecursive");
+    for d in &ucq.disjuncts {
+        println!("  {}", d.to_rule());
+    }
+
+    // Certain answers over a concrete source instance.
+    println!("\n== Certain answers ==");
+    let instance = Database::parse(
+        "RedCars(c1, corolla, 1988).
+         AntiqueCars(c2, ford, 1960).
+         CarAndDriver(corolla, nice). CarAndDriver(ford, classic).",
+    )
+    .unwrap();
+    let opts = EvalOptions::default();
+    for (q, name) in [(&q1, "q1"), (&q2, "q2"), (&q3, "q3")] {
+        let ans = certain_answers(q, &Symbol::new(name), &views, &instance, &opts).unwrap();
+        let mut rows: Vec<String> = ans
+            .tuples()
+            .iter()
+            .map(|t| {
+                format!(
+                    "({})",
+                    t.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                )
+            })
+            .collect();
+        rows.sort();
+        println!("  certain({name}) = {{{}}}", rows.join(", "));
+    }
+
+    // Relative containment — the paper's contribution.
+    println!("\n== Relative containment (Definition 2.4) ==");
+    let s = |n: &str| Symbol::new(n);
+    let rel = |a: &_, an: &str, b: &_, bn: &str, v: &LavSetting| {
+        relatively_contained(a, &s(an), b, &s(bn), v).unwrap()
+    };
+    println!("  Q1 \u{2291}_V Q2: {}", rel(&q1, "q1", &q2, "q2", &views));
+    println!(
+        "  Q1 \u{2261}_V Q2: {}  (\"the two queries return the same certain answers\")",
+        relatively_equivalent(&q1, &s("q1"), &q2, &s("q2"), &views).unwrap()
+    );
+    println!("  Q1 \u{2291}_V Q3: {}", rel(&q1, "q1", &q3, "q3", &views));
+
+    let without_red = views.without("RedCars");
+    println!(
+        "  Q1 \u{2291}_V Q3 without RedCars: {}  (dropping a source flips the answer)",
+        rel(&q1, "q1", &q3, "q3", &without_red)
+    );
+}

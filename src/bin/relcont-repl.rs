@@ -1,0 +1,341 @@
+//! `relcont-repl` — an interactive session for exploring relative
+//! containment.
+//!
+//! ```text
+//! $ cargo run --bin relcont-repl
+//! > view RedCars(C, M, Y) :- CarDesc(C, M, red, Y).
+//! > view CarAndDriver(M, R) :- Review(M, R, 10).
+//! > query q1(C, R) :- CarDesc(C, M, Col, Y), Review(M, R, S).
+//! > query q2(C, R) :- CarDesc(C, M, Col, Y), Review(M, R, 10).
+//! > check q1 q2
+//! q1 vs q2: contained (only relative to the available sources)
+//! > fact RedCars(c1, corolla, 1988).
+//! > fact CarAndDriver(corolla, nice).
+//! > certain q1
+//! q1(c1, nice).
+//! ```
+//!
+//! Type `help` for the command list.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+
+use relcont::datalog::eval::EvalOptions;
+use relcont::datalog::{parse_rule, Database, Program, Symbol};
+use relcont::mediator::binding::reachable_certain_answers;
+use relcont::mediator::certain::{certain_answer_support, certain_answers};
+use relcont::mediator::analysis::{is_lossless, source_coverage, unused_sources};
+use relcont::mediator::relative::{
+    explain_containment, max_contained_ucq_plan, relatively_contained_bp,
+    relatively_contained_witness,
+};
+use relcont::mediator::schema::{LavSetting, SourceDescription};
+
+const HELP: &str = "\
+commands:
+  view <rule>.            declare a source (LAV view definition)
+  adorn <source> <bf..>   attach a binding-pattern adornment
+  complete <source>       mark a source closed-world
+  query <rule>.           declare a query (head predicate = its name)
+  fact <atom>.            add a source tuple
+  check <q1> <q2>         relative containment Q1 ⊑_V Q2 (with explanation)
+  why <q1> <q2>           witness plan when Q1 ⋢_V Q2
+  checkbp <q1> <q2>       same, under the binding-pattern adornments
+  plan <q>                print the maximally-contained plan
+  lossless <q>            can the sources answer <q> completely?
+  coverage <q>            which sources <q>'s plan uses / ignores
+  certain <q>             certain answers over the current facts
+  support <q> <atom>.     which source facts make <atom> certain
+  reachable <q>           reachable certain answers (binding patterns)
+  show                    list views, queries, and facts
+  reset                   clear everything
+  help                    this text
+  quit                    exit";
+
+struct Session {
+    views: LavSetting,
+    queries: BTreeMap<String, Program>,
+    facts: Database,
+}
+
+impl Session {
+    fn new() -> Session {
+        Session {
+            views: LavSetting::default(),
+            queries: BTreeMap::new(),
+            facts: Database::new(),
+        }
+    }
+
+    fn query(&self, name: &str) -> Result<(&Program, Symbol), String> {
+        self.queries
+            .get(name)
+            .map(|p| (p, Symbol::new(name)))
+            .ok_or_else(|| format!("unknown query {name:?} (declare it with `query`)"))
+    }
+
+    fn handle(&mut self, line: &str) -> Result<Option<String>, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            return Ok(None);
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "help" => Ok(Some(HELP.to_string())),
+            "view" => {
+                let src = SourceDescription::parse(rest).map_err(|e| e.to_string())?;
+                let name = src.name.clone();
+                self.views.sources.retain(|s| s.name != name);
+                self.views.sources.push(src);
+                Ok(Some(format!("source {name} declared")))
+            }
+            "adorn" => {
+                let mut parts = rest.split_whitespace();
+                let (Some(name), Some(pattern)) = (parts.next(), parts.next()) else {
+                    return Err("usage: adorn <source> <pattern>".into());
+                };
+                let idx = self
+                    .views
+                    .sources
+                    .iter()
+                    .position(|s| s.name == name)
+                    .ok_or_else(|| format!("unknown source {name:?}"))?;
+                if relcont::mediator::schema::Adornment::parse(pattern)
+                    .is_none_or(|a| a.arity() != self.views.sources[idx].view.head.arity())
+                {
+                    return Err(format!(
+                        "adornment must be over {{b, f}} and match {name}'s arity"
+                    ));
+                }
+                self.views.sources[idx] =
+                    self.views.sources[idx].clone().with_adornment(pattern);
+                Ok(Some(format!("{name} adorned with {pattern}")))
+            }
+            "complete" => {
+                let idx = self
+                    .views
+                    .sources
+                    .iter()
+                    .position(|s| s.name == rest)
+                    .ok_or_else(|| format!("unknown source {rest:?}"))?;
+                self.views.sources[idx].complete = true;
+                Ok(Some(format!("{rest} marked complete (closed-world)")))
+            }
+            "query" => {
+                let rule = parse_rule(rest).map_err(|e| e.to_string())?;
+                let name = rule.head.pred.to_string();
+                let entry = self
+                    .queries
+                    .entry(name.clone())
+                    .or_default();
+                entry.push(rule);
+                Ok(Some(format!("query {name} now has {} rule(s)", entry.rules().len())))
+            }
+            "fact" => {
+                let rule = parse_rule(rest).map_err(|e| e.to_string())?;
+                if !rule.body.is_empty() || !rule.head.is_ground() {
+                    return Err("facts must be ground atoms, e.g. `fact RedCars(c1, corolla, 1988).`".into());
+                }
+                self.facts.insert_atom(&rule.head);
+                Ok(Some(format!("{} fact(s) total", self.facts.total_len())))
+            }
+            "check" | "checkbp" => {
+                let mut parts = rest.split_whitespace();
+                let (Some(n1), Some(n2)) = (parts.next(), parts.next()) else {
+                    return Err(format!("usage: {cmd} <q1> <q2>"));
+                };
+                let (q1, a1) = self.query(n1)?;
+                let (q2, a2) = self.query(n2)?;
+                if cmd == "checkbp" {
+                    let holds = relatively_contained_bp(q1, &a1, q2, &a2, &self.views)
+                        .map_err(|e| e.to_string())?;
+                    Ok(Some(format!(
+                        "{n1} {} {n2} under the binding patterns",
+                        if holds { "\u{2291}" } else { "\u{22e2}" }
+                    )))
+                } else {
+                    let kind = explain_containment(q1, &a1, q2, &a2, &self.views)
+                        .map_err(|e| e.to_string())?;
+                    Ok(Some(format!("{n1} vs {n2}: {kind}")))
+                }
+            }
+            "why" => {
+                let mut parts = rest.split_whitespace();
+                let (Some(n1), Some(n2)) = (parts.next(), parts.next()) else {
+                    return Err("usage: why <q1> <q2>".into());
+                };
+                let (q1, a1) = self.query(n1)?;
+                let (q2, a2) = self.query(n2)?;
+                match relatively_contained_witness(q1, &a1, q2, &a2, &self.views)
+                    .map_err(|e| e.to_string())?
+                {
+                    Ok(()) => Ok(Some(format!("{n1} \u{2291} {n2}: no witness exists"))),
+                    Err(w) => Ok(Some(w.to_string())),
+                }
+            }
+            "plan" => {
+                let (q, a) = self.query(rest)?;
+                let plan =
+                    max_contained_ucq_plan(q, &a, &self.views).map_err(|e| e.to_string())?;
+                if plan.is_empty() {
+                    Ok(Some("the maximally-contained plan is empty".into()))
+                } else {
+                    Ok(Some(
+                        plan.disjuncts
+                            .iter()
+                            .map(|d| d.tidy_names().to_rule().to_string())
+                            .collect::<Vec<_>>()
+                            .join("\n"),
+                    ))
+                }
+            }
+            "support" => {
+                let (qname, atom_src) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or("usage: support <q> <atom>.")?;
+                let (q, a) = self.query(qname)?;
+                let atom_rule = parse_rule(atom_src.trim()).map_err(|e| e.to_string())?;
+                if !atom_rule.body.is_empty() || !atom_rule.head.is_ground() {
+                    return Err("the answer must be a ground atom".into());
+                }
+                let tuple = atom_rule.head.args.clone();
+                match certain_answer_support(
+                    q,
+                    &a,
+                    &self.views,
+                    &self.facts,
+                    &tuple,
+                    &EvalOptions::default(),
+                )
+                .map_err(|e| e.to_string())?
+                {
+                    None => Ok(Some("not a certain answer over the current facts".into())),
+                    Some(facts) => Ok(Some(
+                        facts
+                            .iter()
+                            .map(|(p, t)| {
+                                format!(
+                                    "{p}({})",
+                                    t.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join("\n"),
+                    )),
+                }
+            }
+            "lossless" => {
+                let (q, a) = self.query(rest)?;
+                let yes = is_lossless(q, &a, &self.views).map_err(|e| e.to_string())?;
+                Ok(Some(if yes {
+                    format!("{rest} is answered losslessly by the available sources")
+                } else {
+                    format!(
+                        "{rest} is only partially answerable (certain answers may miss real ones)"
+                    )
+                }))
+            }
+            "coverage" => {
+                let (q, a) = self.query(rest)?;
+                let used = source_coverage(q, &a, &self.views).map_err(|e| e.to_string())?;
+                let unused = unused_sources(q, &a, &self.views).map_err(|e| e.to_string())?;
+                Ok(Some(format!(
+                    "uses:   {}\nunused: {}",
+                    used.iter().map(ToString::to_string).collect::<Vec<_>>().join(", "),
+                    unused.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                )))
+            }
+            "certain" | "reachable" => {
+                let (q, a) = self.query(rest)?;
+                let rel = if cmd == "certain" {
+                    certain_answers(q, &a, &self.views, &self.facts, &EvalOptions::default())
+                } else {
+                    reachable_certain_answers(
+                        q,
+                        &a,
+                        &self.views,
+                        &self.facts,
+                        &EvalOptions::default(),
+                    )
+                }
+                .map_err(|e| e.to_string())?;
+                if rel.is_empty() {
+                    return Ok(Some("(no answers)".into()));
+                }
+                let mut rows: Vec<String> = rel
+                    .tuples()
+                    .iter()
+                    .map(|t| {
+                        format!(
+                            "{rest}({}).",
+                            t.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                        )
+                    })
+                    .collect();
+                rows.sort();
+                Ok(Some(rows.join("\n")))
+            }
+            "show" => {
+                let mut out = String::new();
+                out.push_str("views:\n");
+                for s in &self.views.sources {
+                    out.push_str(&format!("  {s}\n"));
+                }
+                out.push_str("queries:\n");
+                for (n, p) in &self.queries {
+                    for r in p.rules() {
+                        out.push_str(&format!("  {r}\n"));
+                    }
+                    let _ = n;
+                }
+                out.push_str(&format!("facts: {} tuple(s)\n", self.facts.total_len()));
+                Ok(Some(out.trim_end().to_string()))
+            }
+            "reset" => {
+                *self = Session::new();
+                Ok(Some("cleared".into()))
+            }
+            "quit" | "exit" => Err("__quit__".into()),
+            other => Err(format!("unknown command {other:?} (try `help`)")),
+        }
+    }
+}
+
+fn main() {
+    let stdin = io::stdin();
+    let mut session = Session::new();
+    let interactive = atty_stdin();
+    if interactive {
+        println!("relcont-repl — type `help` for commands");
+    }
+    loop {
+        if interactive {
+            print!("> ");
+            io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        match session.handle(&line) {
+            Ok(None) => {}
+            Ok(Some(out)) => println!("{out}"),
+            Err(e) if e == "__quit__" => break,
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+/// Rough interactivity check without external crates: honor a NO_PROMPT
+/// env var for scripted use, default to prompting.
+fn atty_stdin() -> bool {
+    std::env::var_os("NO_PROMPT").is_none()
+}

@@ -1,0 +1,333 @@
+//! `relcont` — command-line front end for relative query containment.
+//!
+//! ```text
+//! relcont check   --views FILE --q1 FILE [--ans1 P] --q2 FILE [--ans2 P] [--bp]
+//! relcont plan    --views FILE --query FILE [--ans P]
+//! relcont certain --views FILE --query FILE [--ans P] --instance FILE [--bp]
+//! relcont eval    --program FILE --data FILE --ans P
+//! ```
+//!
+//! Files hold datalog rules in the library's surface syntax. View files
+//! additionally accept directive lines:
+//!
+//! ```text
+//! %% adorn RedCars fbf     -- binding-pattern adornment (repeatable)
+//! %% complete CarAndDriver -- closed-world source
+//! ```
+//!
+//! When `--ans` is omitted, the head predicate of the file's first rule is
+//! used. Exit code 0 = containment holds / success, 1 = does not hold,
+//! 2 = usage or input error.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use relcont::datalog::eval::EvalOptions;
+use relcont::datalog::{parse_program, Database, Program, Symbol};
+use relcont::mediator::binding::reachable_certain_answers;
+use relcont::mediator::certain::certain_answers;
+use relcont::mediator::relative::{
+    explain_containment, max_contained_ucq_plan, relatively_contained_bp,
+    relatively_contained_witness, ContainmentKind,
+};
+use relcont::mediator::schema::LavSetting;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(holds) => {
+            if holds {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("relcont: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  relcont check   --views FILE --q1 FILE [--ans1 P] --q2 FILE [--ans2 P] [--bp]
+                  (prints a witness plan when the containment fails)
+  relcont plan    --views FILE --query FILE [--ans P]
+  relcont certain --views FILE --query FILE [--ans P]
+                  (--instance FILE and/or --csv pred=file[,pred=file...]) [--bp]
+  relcont eval    --program FILE --data FILE --ans P
+  relcont validate --views FILE [--query FILE]";
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let opts = parse_flags(rest)?;
+    match cmd.as_str() {
+        "check" => cmd_check(&opts),
+        "plan" => cmd_plan(&opts),
+        "certain" => cmd_certain(&opts),
+        "eval" => cmd_eval(&opts),
+        "validate" => cmd_validate(&opts),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+struct Flags {
+    values: BTreeMap<String, String>,
+    bp: bool,
+}
+
+impl Flags {
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn optional(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+}
+
+fn parse_flags(rest: &[String]) -> Result<Flags, String> {
+    let mut values = BTreeMap::new();
+    let mut bp = false;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("unexpected argument {flag:?}"));
+        };
+        if name == "bp" {
+            bp = true;
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        values.insert(name.to_string(), value.clone());
+    }
+    Ok(Flags { values, bp })
+}
+
+/// Loads a view file: rules plus `%% adorn` / `%% complete` directives.
+fn load_views(path: &str) -> Result<LavSetting, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut rules = String::new();
+    let mut directives: Vec<(String, Vec<String>)> = Vec::new();
+    for line in text.lines() {
+        if let Some(d) = line.trim().strip_prefix("%%") {
+            let parts: Vec<String> = d.split_whitespace().map(str::to_string).collect();
+            if let Some((head, tail)) = parts.split_first() {
+                directives.push((head.clone(), tail.to_vec()));
+            }
+        } else {
+            rules.push_str(line);
+            rules.push('\n');
+        }
+    }
+    let program = parse_program(&rules).map_err(|e| format!("{path}: {e}"))?;
+    let mut views = LavSetting::default();
+    for rule in program.rules() {
+        let src = relcont::mediator::schema::SourceDescription::parse(&rule.to_string())
+            .map_err(|e| format!("{path}: {e}"))?;
+        views.sources.push(src);
+    }
+    for (head, tail) in directives {
+        match head.as_str() {
+            "adorn" => {
+                let [name, pattern] = tail.as_slice() else {
+                    return Err(format!("{path}: %% adorn NAME PATTERN"));
+                };
+                let idx = views
+                    .sources
+                    .iter()
+                    .position(|s| s.name == name.as_str())
+                    .ok_or_else(|| format!("{path}: unknown source {name}"))?;
+                views.sources[idx] = views.sources[idx].clone().with_adornment(pattern);
+            }
+            "complete" => {
+                let [name] = tail.as_slice() else {
+                    return Err(format!("{path}: %% complete NAME"));
+                };
+                let idx = views
+                    .sources
+                    .iter()
+                    .position(|s| s.name == name.as_str())
+                    .ok_or_else(|| format!("{path}: unknown source {name}"))?;
+                views.sources[idx].complete = true;
+            }
+            other => return Err(format!("{path}: unknown directive %% {other}")),
+        }
+    }
+    Ok(views)
+}
+
+fn load_query(path: &str, ans: Option<&str>) -> Result<(Program, Symbol), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = parse_program(&text).map_err(|e| format!("{path}: {e}"))?;
+    let ans = match ans {
+        Some(a) => Symbol::new(a),
+        None => program
+            .rules()
+            .first()
+            .map(|r| r.head.pred.clone())
+            .ok_or_else(|| format!("{path}: empty program"))?,
+    };
+    Ok((program, ans))
+}
+
+fn cmd_check(flags: &Flags) -> Result<bool, String> {
+    let views = load_views(flags.required("views")?)?;
+    let (q1, ans1) = load_query(flags.required("q1")?, flags.optional("ans1"))?;
+    let (q2, ans2) = load_query(flags.required("q2")?, flags.optional("ans2"))?;
+    if flags.bp {
+        let holds = relatively_contained_bp(&q1, &ans1, &q2, &ans2, &views)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{ans1} {} {ans2} relative to {} adorned source(s)",
+            if holds { "\u{2291}" } else { "\u{22e2}" },
+            views.sources.len()
+        );
+        return Ok(holds);
+    }
+    let kind = explain_containment(&q1, &ans1, &q2, &ans2, &views).map_err(|e| e.to_string())?;
+    println!(
+        "{ans1} vs {ans2} relative to {} source(s): {kind}",
+        views.sources.len()
+    );
+    if matches!(kind, ContainmentKind::No) {
+        if let Ok(Err(w)) =
+            relatively_contained_witness(&q1, &ans1, &q2, &ans2, &views).map_err(|e| e.to_string())
+        {
+            println!("{w}");
+        }
+    }
+    Ok(!matches!(kind, ContainmentKind::No))
+}
+
+fn cmd_plan(flags: &Flags) -> Result<bool, String> {
+    let views = load_views(flags.required("views")?)?;
+    let (q, ans) = load_query(flags.required("query")?, flags.optional("ans"))?;
+    let plan = max_contained_ucq_plan(&q, &ans, &views).map_err(|e| e.to_string())?;
+    if plan.is_empty() {
+        println!("% the maximally-contained plan is empty (no certain answers ever)");
+    } else {
+        for d in &plan.disjuncts {
+            println!("{}", d.tidy_names().to_rule());
+        }
+    }
+    Ok(true)
+}
+
+fn cmd_certain(flags: &Flags) -> Result<bool, String> {
+    let views = load_views(flags.required("views")?)?;
+    let (q, ans) = load_query(flags.required("query")?, flags.optional("ans"))?;
+    let mut db = Database::new();
+    if let Some(path) = flags.optional("instance") {
+        let data = std::fs::read_to_string(path).map_err(|e| format!("instance: {e}"))?;
+        db.merge(&Database::parse(&data).map_err(|e| format!("instance: {e}"))?);
+    }
+    if let Some(specs) = flags.optional("csv") {
+        load_csv_specs(&mut db, specs)?;
+    }
+    if flags.optional("instance").is_none() && flags.optional("csv").is_none() {
+        return Err("certain needs --instance and/or --csv".into());
+    }
+    let rel = if flags.bp {
+        reachable_certain_answers(&q, &ans, &views, &db, &EvalOptions::default())
+    } else {
+        certain_answers(&q, &ans, &views, &db, &EvalOptions::default())
+    }
+    .map_err(|e| e.to_string())?;
+    let mut rows: Vec<String> = rel
+        .tuples()
+        .iter()
+        .map(|t| {
+            let mut line = String::new();
+            write!(line, "{ans}(").expect("write to string");
+            for (i, v) in t.iter().enumerate() {
+                if i > 0 {
+                    line.push_str(", ");
+                }
+                write!(line, "{v}").expect("write to string");
+            }
+            line.push_str(").");
+            line
+        })
+        .collect();
+    rows.sort();
+    for r in rows {
+        println!("{r}");
+    }
+    Ok(true)
+}
+
+fn cmd_validate(flags: &Flags) -> Result<bool, String> {
+    let views = load_views(flags.required("views")?)?;
+    let schema = relcont::mediator::schema::MediatedSchema::infer(&views);
+    schema
+        .validate_views(&views)
+        .map_err(|e| format!("views: {e}"))?;
+    println!(
+        "{} source(s) over a mediated schema of {} relation(s): consistent",
+        views.sources.len(),
+        views
+            .sources
+            .iter()
+            .flat_map(|s| s.view.subgoals.iter().map(|a| a.pred.clone()))
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    );
+    if let Some(qpath) = flags.optional("query") {
+        let (q, ans) = load_query(qpath, flags.optional("ans"))?;
+        schema
+            .validate_query(&q)
+            .map_err(|e| format!("query: {e}"))?;
+        for rule in q.rules() {
+            relcont::datalog::validate_rule(rule).map_err(|e| format!("query: {e}"))?;
+        }
+        println!("query {ans}: safe and consistent with the schema");
+    }
+    Ok(true)
+}
+
+/// Loads `--csv pred=file[,pred=file…]` specs into a database.
+fn load_csv_specs(db: &mut Database, specs: &str) -> Result<(), String> {
+    for spec in specs.split(',') {
+        let Some((pred, path)) = spec.split_once('=') else {
+            return Err(format!("--csv expects pred=file, got {spec:?}"));
+        };
+        let text =
+            std::fs::read_to_string(path.trim()).map_err(|e| format!("{path}: {e}"))?;
+        db.load_csv(pred.trim(), &text)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn cmd_eval(flags: &Flags) -> Result<bool, String> {
+    let text = std::fs::read_to_string(flags.required("program")?)
+        .map_err(|e| format!("program: {e}"))?;
+    let program = parse_program(&text).map_err(|e| format!("program: {e}"))?;
+    let data =
+        std::fs::read_to_string(flags.required("data")?).map_err(|e| format!("data: {e}"))?;
+    let db = Database::parse(&data).map_err(|e| format!("data: {e}"))?;
+    let ans = Symbol::new(flags.required("ans")?);
+    let rel = relcont::datalog::eval::answers(&program, &db, &ans, &EvalOptions::default())
+        .map_err(|e| e.to_string())?;
+    let mut rows: Vec<String> = rel
+        .tuples()
+        .iter()
+        .map(|t| format!("{:?}", t.iter().map(ToString::to_string).collect::<Vec<_>>()))
+        .collect();
+    rows.sort();
+    for r in rows {
+        println!("{r}");
+    }
+    Ok(true)
+}

@@ -1,0 +1,40 @@
+//! `relcont` — Relative query containment for data integration systems.
+//!
+//! Facade crate re-exporting the workspace libraries. See the README and
+//! `DESIGN.md` for the architecture; the individual crates are:
+//!
+//! * [`datalog`] — datalog AST, parser, validation, and evaluation engine;
+//! * [`constraints`] — dense-order comparison constraint solver;
+//! * [`containment`] — classical query containment procedures;
+//! * [`mediator`] — LAV data integration and relative containment (the
+//!   paper's contribution).
+//!
+//! The headline API is re-exported at the top level:
+//!
+//! ```
+//! use relcont::{parse_program, relatively_contained, LavSetting, Symbol};
+//!
+//! let views = LavSetting::parse(&[
+//!     "CarAndDriver(M, R) :- Review(M, R, 10).",
+//! ]).unwrap();
+//! let any = parse_program("qa(M, R) :- Review(M, R, S).").unwrap();
+//! let top = parse_program("qt(M, R) :- Review(M, R, 10).").unwrap();
+//! assert!(relatively_contained(
+//!     &any, &Symbol::new("qa"), &top, &Symbol::new("qt"), &views).unwrap());
+//! ```
+
+pub use qc_constraints as constraints;
+pub use qc_containment as containment;
+pub use qc_datalog as datalog;
+pub use qc_mediator as mediator;
+
+// Ergonomic top-level re-exports of the headline API.
+pub use qc_containment::{cq_contained, ucq_contained};
+pub use qc_datalog::{parse_program, parse_query, Database, Program, Symbol};
+pub use qc_mediator::analysis::{is_lossless, source_coverage, unused_sources};
+pub use qc_mediator::certain::certain_answers;
+pub use qc_mediator::relative::{
+    explain_containment, relatively_contained, relatively_contained_bp, relatively_equivalent,
+    ContainmentKind,
+};
+pub use qc_mediator::schema::LavSetting;

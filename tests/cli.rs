@@ -1,0 +1,266 @@
+//! End-to-end tests of the `relcont` CLI and `relcont-repl` binaries.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn write_tmp(dir: &std::path::Path, name: &str, content: &str) -> std::path::PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, content).expect("write temp file");
+    p
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("relcont-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).expect("create temp dir");
+    d
+}
+
+#[test]
+fn cli_check_and_plan_and_certain() {
+    let dir = tmpdir("basic");
+    let views = write_tmp(
+        &dir,
+        "views.dl",
+        "RedCars(CarNo, Model, Year) :- CarDesc(CarNo, Model, red, Year).
+         AntiqueCars(CarNo, Model, Year) :- CarDesc(CarNo, Model, Color, Year), Year < 1970.
+         CarAndDriver(Model, Review) :- Review(Model, Review, 10).",
+    );
+    let q1 = write_tmp(
+        &dir,
+        "q1.dl",
+        "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
+    );
+    let q2 = write_tmp(
+        &dir,
+        "q2.dl",
+        "q2(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).",
+    );
+    let data = write_tmp(
+        &dir,
+        "data.dl",
+        "RedCars(c1, corolla, 1988). CarAndDriver(corolla, nice).",
+    );
+    let bin = env!("CARGO_BIN_EXE_relcont");
+
+    // Only-relative containment: exit 0 and explanatory output.
+    let out = Command::new(bin)
+        .args(["check", "--views"])
+        .arg(&views)
+        .args(["--q1"])
+        .arg(&q1)
+        .args(["--q2"])
+        .arg(&q2)
+        .output()
+        .expect("run relcont");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("only relative"), "{stdout}");
+
+    // The classical direction reports "classically".
+    let out = Command::new(bin)
+        .args(["check", "--views"])
+        .arg(&views)
+        .args(["--q1"])
+        .arg(&q2)
+        .args(["--q2"])
+        .arg(&q1)
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("classically"));
+
+    // Plan printing.
+    let out = Command::new(bin)
+        .args(["plan", "--views"])
+        .arg(&views)
+        .args(["--query"])
+        .arg(&q1)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RedCars"), "{stdout}");
+    assert!(stdout.contains("AntiqueCars"), "{stdout}");
+
+    // Certain answers.
+    let out = Command::new(bin)
+        .args(["certain", "--views"])
+        .arg(&views)
+        .args(["--query"])
+        .arg(&q1)
+        .args(["--instance"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("q1(c1, nice)."), "{stdout}");
+}
+
+#[test]
+fn cli_binding_patterns_via_directives() {
+    let dir = tmpdir("bp");
+    let views = write_tmp(
+        &dir,
+        "views.dl",
+        "Catalog(Author, Isbn) :- authored(Isbn, Author).
+         PriceOf(Isbn, Price) :- price(Isbn, Price).
+         %% adorn Catalog bf
+         %% adorn PriceOf bf",
+    );
+    let q_eco = write_tmp(&dir, "qe.dl", "qe(P) :- authored(I, eco), price(I, P).");
+    let q_all = write_tmp(&dir, "qa.dl", "qa(P) :- price(I, P).");
+    let data = write_tmp(
+        &dir,
+        "data.dl",
+        "Catalog(eco, i1). PriceOf(i1, 30). PriceOf(i9, 99).",
+    );
+    let bin = env!("CARGO_BIN_EXE_relcont");
+
+    // BP containment: the broad query has no reachable answers.
+    let out = Command::new(bin)
+        .args(["check", "--bp", "--views"])
+        .arg(&views)
+        .args(["--q1"])
+        .arg(&q_all)
+        .args(["--q2"])
+        .arg(&q_eco)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    // Reachable certain answers exclude the unreachable price.
+    let out = Command::new(bin)
+        .args(["certain", "--bp", "--views"])
+        .arg(&views)
+        .args(["--query"])
+        .arg(&q_eco)
+        .args(["--instance"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("qe(30)."), "{stdout}");
+    assert!(!stdout.contains("99"), "{stdout}");
+}
+
+#[test]
+fn cli_reports_usage_errors() {
+    let bin = env!("CARGO_BIN_EXE_relcont");
+    let out = Command::new(bin).arg("bogus").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    let out = Command::new(bin).args(["check"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn repl_scripted_session() {
+    let bin = env!("CARGO_BIN_EXE_relcont-repl");
+    let mut child = Command::new(bin)
+        .env("NO_PROMPT", "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn repl");
+    let script = "view V(A, B) :- p(A, B).
+query qa(X) :- p(X, Y).
+query qb(X) :- p(X, X).
+check qb qa
+check qa qb
+fact V(a, a).
+certain qa
+plan qb
+boguscmd
+quit
+";
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("qb vs qa: contained (classically)"), "{stdout}");
+    assert!(stdout.contains("qa vs qb: not contained"), "{stdout}");
+    assert!(stdout.contains("qa(a)."), "{stdout}");
+    assert!(stdout.contains("error: unknown command"), "{stdout}");
+}
+
+#[test]
+fn cli_csv_and_validate() {
+    let dir = tmpdir("csv");
+    let views = write_tmp(
+        &dir,
+        "views.dl",
+        "RedCars(CarNo, Model, Year) :- CarDesc(CarNo, Model, red, Year).
+         CarAndDriver(Model, Review) :- Review(Model, Review, 10).",
+    );
+    let q1 = write_tmp(
+        &dir,
+        "q1.dl",
+        "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
+    );
+    let cars = write_tmp(&dir, "cars.csv", "c1, corolla, 1988\n# comment\nc2, beetle, 1971\n");
+    let reviews = write_tmp(&dir, "reviews.csv", "corolla, nice\nbeetle, meh\n");
+    let bin = env!("CARGO_BIN_EXE_relcont");
+
+    let out = Command::new(bin)
+        .args(["certain", "--views"])
+        .arg(&views)
+        .args(["--query"])
+        .arg(&q1)
+        .args([
+            "--csv",
+            &format!("RedCars={},CarAndDriver={}", cars.display(), reviews.display()),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("q1(c1, nice)."), "{stdout}");
+    assert!(stdout.contains("q1(c2, meh)."), "{stdout}");
+
+    // validate: consistent setup passes; a typo'd query fails with exit 2.
+    let out = Command::new(bin)
+        .args(["validate", "--views"])
+        .arg(&views)
+        .args(["--query"])
+        .arg(&q1)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let bad = write_tmp(&dir, "bad.dl", "q(X) :- CarDesc(X, M).");
+    let out = Command::new(bin)
+        .args(["validate", "--views"])
+        .arg(&views)
+        .args(["--query"])
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("arity"));
+}
+
+#[test]
+fn repl_analysis_commands() {
+    let bin = env!("CARGO_BIN_EXE_relcont-repl");
+    let mut child = Command::new(bin)
+        .env("NO_PROMPT", "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let script = "view V(A) :- p(A, B).
+view W(C, D) :- r(C, D).
+query q(X) :- p(X, Y).
+lossless q
+coverage q
+why q q
+quit
+";
+    child.stdin.as_mut().unwrap().write_all(script.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("losslessly"), "{stdout}");
+    assert!(stdout.contains("uses:   V"), "{stdout}");
+    assert!(stdout.contains("unused: W"), "{stdout}");
+    assert!(stdout.contains("no witness exists"), "{stdout}");
+}

@@ -1,0 +1,175 @@
+//! Experiment E7: §5 — comparison predicates. Theorem 5.1 (semi-interval
+//! everywhere), Theorems 5.2/5.3 (comparison-free contained query,
+//! arbitrary comparisons elsewhere), and the underlying dense-order
+//! containment machinery.
+
+use relcont::containment::cq_contained;
+use relcont::datalog::{parse_program, parse_query, Program, Symbol};
+use relcont::mediator::relative::relatively_contained;
+use relcont::mediator::schema::LavSetting;
+
+fn s(n: &str) -> Symbol {
+    Symbol::new(n)
+}
+
+fn prog(src: &str) -> Program {
+    parse_program(src).unwrap()
+}
+
+#[test]
+fn theorem_5_1_semi_interval_everywhere() {
+    // Queries and views all carry semi-interval constraints.
+    let v = LavSetting::parse(&[
+        "Sixties(Car, Year) :- forsale(Car, Year), Year >= 1960, Year < 1970.",
+        "PreWar(Car, Year) :- forsale(Car, Year), Year < 1939.",
+        "AnyCar(Car, Year) :- forsale(Car, Year).",
+    ])
+    .unwrap();
+    let antique = prog("qa(C) :- forsale(C, Y), Y < 1970.");
+    let vintage = prog("qv(C) :- forsale(C, Y), Y < 1950.");
+    let all = prog("qq(C) :- forsale(C, Y).");
+
+    assert!(relatively_contained(&vintage, &s("qv"), &antique, &s("qa"), &v).unwrap());
+    assert!(!relatively_contained(&antique, &s("qa"), &vintage, &s("qv"), &v).unwrap());
+    assert!(relatively_contained(&antique, &s("qa"), &all, &s("qq"), &v).unwrap());
+    assert!(!relatively_contained(&all, &s("qq"), &antique, &s("qa"), &v).unwrap());
+
+    // Without the unconstrained source, every reachable car is < 1970.
+    let narrowed = v.without("AnyCar");
+    assert!(relatively_contained(&all, &s("qq"), &antique, &s("qa"), &narrowed).unwrap());
+    // But not < 1950 (Sixties cars escape).
+    assert!(!relatively_contained(&all, &s("qq"), &vintage, &s("qv"), &narrowed).unwrap());
+    // Remove Sixties too and even vintage is implied? No: PreWar is
+    // < 1939 < 1950.
+    let only_prewar = narrowed.without("Sixties");
+    assert!(relatively_contained(&all, &s("qq"), &vintage, &s("qv"), &only_prewar).unwrap());
+}
+
+#[test]
+fn theorem_5_2_5_3_arbitrary_comparisons_on_the_right() {
+    // Q1 comparison-free; Q2 and the views carry arbitrary comparisons
+    // (including variable-variable ones).
+    let v = LavSetting::parse(&[
+        // Sells pairs where the asking price exceeds the estimate.
+        "Overpriced(Car, Ask, Est) :- listing(Car, Ask, Est), Ask > Est.",
+        "AllListings(Car, Ask, Est) :- listing(Car, Ask, Est).",
+    ])
+    .unwrap();
+    let q_over = prog("qo(C) :- listing(C, A, E), A > E.");
+    let q_plain = prog("qp(C) :- listing(C, A, E).");
+
+    // Everything retrievable from Overpriced satisfies A > E; the plain
+    // query is NOT relatively contained in the overpriced one because
+    // AllListings retrieves everything.
+    assert!(!relatively_contained(&q_plain, &s("qp"), &q_over, &s("qo"), &v).unwrap());
+    let only_over = v.without("AllListings");
+    assert!(relatively_contained(&q_plain, &s("qp"), &q_over, &s("qo"), &only_over).unwrap());
+    // The other direction (Q1 with comparisons, views with var-var
+    // comparisons) is outside Theorems 5.1–5.3 and must be reported as
+    // unsupported rather than answered wrongly.
+    assert!(
+        relatively_contained(&q_over, &s("qo"), &q_plain, &s("qp"), &only_over).is_err(),
+        "arbitrary comparisons in Q1 are an open problem"
+    );
+}
+
+#[test]
+fn klug_test_classics() {
+    // The dense-order containment test behind the theorems.
+    let le = parse_query("q() :- r(A), s(B), A <= B.").unwrap();
+    let lt = parse_query("q() :- r(A), s(B), A < B.").unwrap();
+    let free = parse_query("q() :- r(X), s(Y).").unwrap();
+    assert!(cq_contained(&lt, &le));
+    assert!(!cq_contained(&le, &lt));
+    assert!(cq_contained(&lt, &free));
+    assert!(!cq_contained(&free, &lt));
+
+    // The union-split phenomenon: only the union of the two orders
+    // contains the unconstrained query.
+    let u = relcont::datalog::Ucq::new(vec![
+        parse_query("q() :- r(A), s(B), A < B.").unwrap(),
+        parse_query("q() :- r(A), s(B), A >= B.").unwrap(),
+    ])
+    .unwrap();
+    assert!(relcont::containment::cq_contained_in_ucq(&free, &u));
+}
+
+#[test]
+fn semi_interval_relative_equivalence() {
+    // Two syntactically different windows that coincide on everything
+    // retrievable.
+    let v = LavSetting::parse(&[
+        "Narrow(C, Y) :- stock(C, Y), Y < 1950.",
+    ])
+    .unwrap();
+    let qa = prog("qa(C) :- stock(C, Y), Y < 1960.");
+    let qb = prog("qb(C) :- stock(C, Y), Y < 1955.");
+    // Both plans are just Narrow; relative equivalence holds though the
+    // queries differ classically.
+    assert!(relatively_contained(&qa, &s("qa"), &qb, &s("qb"), &v).unwrap());
+    assert!(relatively_contained(&qb, &s("qb"), &qa, &s("qa"), &v).unwrap());
+    let ca = parse_query("qa(C) :- stock(C, Y), Y < 1960.").unwrap();
+    let cb = parse_query("qb(C) :- stock(C, Y), Y < 1955.").unwrap();
+    assert!(!cq_contained(&ca, &cb));
+}
+
+#[test]
+fn theorem_5_1_positive_union_queries() {
+    // Theorem 5.1 is stated for *positive* queries: unions with
+    // semi-interval constraints.
+    let v = LavSetting::parse(&[
+        "Cheap(C, P) :- sale(C, P), P < 100.",
+        "Luxury(C, P) :- sale(C, P), P > 10000.",
+    ])
+    .unwrap();
+    // A union query: bargains or splurges.
+    let extremes = prog(
+        "qe(C) :- sale(C, P), P < 50.
+         qe(C) :- sale(C, P), P > 20000.",
+    );
+    let anything = prog("qa(C) :- sale(C, P).");
+    assert!(relatively_contained(&extremes, &s("qe"), &anything, &s("qa"), &v).unwrap());
+    // The union plan has two disjuncts (one per branch).
+    let plan = relcont::mediator::relative::max_contained_ucq_plan(&extremes, &s("qe"), &v)
+        .unwrap();
+    assert_eq!(plan.disjuncts.len(), 2, "{plan}");
+    // Everything retrievable is < 100 or > 10000: the full-range query is
+    // NOT contained in the extremes query (a 99-priced car answers qa,
+    // and is retrievable, but is not < 50).
+    assert!(!relatively_contained(&anything, &s("qa"), &extremes, &s("qe"), &v).unwrap());
+    // But it IS contained in the "under 100 or over 10000" union.
+    let bands = prog(
+        "qb(C) :- sale(C, P), P < 100.
+         qb(C) :- sale(C, P), P > 10000.",
+    );
+    assert!(relatively_contained(&anything, &s("qa"), &bands, &s("qb"), &v).unwrap());
+}
+
+#[test]
+fn boundary_strictness_matters() {
+    let v = LavSetting::parse(&["UpTo1970(C, Y) :- stock(C, Y), Y <= 1970."]).unwrap();
+    let strict = prog("qs(C) :- stock(C, Y), Y < 1970.");
+    let weak = prog("qw(C) :- stock(C, Y), Y <= 1970.");
+    assert!(relatively_contained(&strict, &s("qs"), &weak, &s("qw"), &v).unwrap());
+    // A year-1970 car is retrievable and answers qw but not qs.
+    assert!(!relatively_contained(&weak, &s("qw"), &strict, &s("qs"), &v).unwrap());
+}
+
+#[test]
+fn equality_pinning_constants() {
+    // Views pin a column to a constant; = in queries interacts with it.
+    let v = LavSetting::parse(&[
+        "TopRated(M, R) :- review(M, R, 10).",
+        "Rated(M, R, S) :- review(M, R, S), S >= 9.",
+    ])
+    .unwrap();
+    let q_top = prog("qt(M) :- review(M, R, 10).");
+    let q_any = prog("qn(M) :- review(M, R, S).");
+    let q_nine = prog("q9(M) :- review(M, R, S), S >= 9.");
+    assert!(relatively_contained(&q_top, &s("qt"), &q_any, &s("qn"), &v).unwrap());
+    assert!(relatively_contained(&q_top, &s("qt"), &q_nine, &s("q9"), &v).unwrap());
+    // Everything retrievable is rated >= 9.
+    assert!(relatively_contained(&q_any, &s("qn"), &q_nine, &s("q9"), &v).unwrap());
+    // But not everything is rated exactly 10.
+    assert!(!relatively_contained(&q_any, &s("qn"), &q_top, &s("qt"), &v).unwrap());
+}

@@ -1,0 +1,141 @@
+//! Experiment E1: every claim of the paper's Example 1, end to end,
+//! through the public API.
+
+use relcont::containment::cq_contained;
+use relcont::datalog::eval::EvalOptions;
+use relcont::datalog::{parse_program, parse_query, Database, Program, Symbol, Term};
+use relcont::mediator::certain::certain_answers;
+use relcont::mediator::relative::{
+    relatively_contained, relatively_contained_by_plans, relatively_equivalent,
+};
+use relcont::mediator::schema::LavSetting;
+
+fn views() -> LavSetting {
+    LavSetting::parse(&[
+        "RedCars(CarNo, Model, Year) :- CarDesc(CarNo, Model, red, Year).",
+        "AntiqueCars(CarNo, Model, Year) :- CarDesc(CarNo, Model, Color, Year), Year < 1970.",
+        "CarAndDriver(Model, Review) :- Review(Model, Review, 10).",
+    ])
+    .unwrap()
+}
+
+fn q1() -> Program {
+    parse_program(
+        "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
+    )
+    .unwrap()
+}
+
+fn q2() -> Program {
+    parse_program(
+        "q2(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).",
+    )
+    .unwrap()
+}
+
+fn q3() -> Program {
+    parse_program(
+        "q3(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10), Y < 1970.",
+    )
+    .unwrap()
+}
+
+fn s(n: &str) -> Symbol {
+    Symbol::new(n)
+}
+
+#[test]
+fn classical_claims() {
+    // "In the traditional context, the query Q2 is contained in query Q1
+    //  ... but Q1 is not contained in Q2."
+    let (a, b) = (
+        parse_query(&q1().rules()[0].to_string()).unwrap(),
+        parse_query(&q2().rules()[0].to_string()).unwrap(),
+    );
+    assert!(cq_contained(&b, &a));
+    assert!(!cq_contained(&a, &b));
+    // "Likewise, Q3 is contained in Q2, but not vice versa."
+    let c = parse_query(&q3().rules()[0].to_string()).unwrap();
+    assert!(cq_contained(&c, &b));
+    assert!(!cq_contained(&b, &c));
+}
+
+#[test]
+fn relative_claims() {
+    let v = views();
+    // "Q1 is contained in Q2 relative to the sources, and in fact the two
+    //  queries return the same certain answers."
+    assert!(relatively_contained(&q1(), &s("q1"), &q2(), &s("q2"), &v).unwrap());
+    assert!(relatively_equivalent(&q1(), &s("q1"), &q2(), &s("q2"), &v).unwrap());
+    // "Q1 is not contained in Q3 relative to the sources."
+    assert!(!relatively_contained(&q1(), &s("q1"), &q3(), &s("q3"), &v).unwrap());
+    // "If the RedCars source were not available, then Q1 would be
+    //  contained in Q3 relative to the available sources."
+    let without = v.without("RedCars");
+    assert!(relatively_contained(&q1(), &s("q1"), &q3(), &s("q3"), &without).unwrap());
+}
+
+#[test]
+fn relative_containment_routes_agree() {
+    // The expansion route (Thm 5.2 style) and the plan-comparison route
+    // (Thm 3.1/5.1 style) must agree on every pair.
+    let v = views();
+    let queries = [(q1(), "q1"), (q2(), "q2"), (q3(), "q3")];
+    for (qa, na) in &queries {
+        for (qb, nb) in &queries {
+            let exp = relatively_contained(qa, &s(na), qb, &s(nb), &v).unwrap();
+            let plans = relatively_contained_by_plans(qa, &s(na), qb, &s(nb), &v).unwrap();
+            assert_eq!(exp, plans, "{na} vs {nb}");
+        }
+    }
+}
+
+#[test]
+fn certain_answers_coincide_for_q1_q2() {
+    let v = views();
+    let db = Database::parse(
+        "RedCars(c1, corolla, 1988). RedCars(c3, beetle, 1971).
+         AntiqueCars(c2, ford, 1955).
+         CarAndDriver(corolla, nice). CarAndDriver(ford, classic).
+         CarAndDriver(unusedmodel, meh).",
+    )
+    .unwrap();
+    let opts = EvalOptions::default();
+    let a1 = certain_answers(&q1(), &s("q1"), &v, &db, &opts).unwrap();
+    let a2 = certain_answers(&q2(), &s("q2"), &v, &db, &opts).unwrap();
+    let set1: std::collections::BTreeSet<_> = a1.tuples().iter().cloned().collect();
+    let set2: std::collections::BTreeSet<_> = a2.tuples().iter().cloned().collect();
+    assert_eq!(set1, set2);
+    assert_eq!(set1.len(), 2);
+    assert!(set1.contains(&vec![Term::sym("c1"), Term::sym("nice")]));
+    assert!(set1.contains(&vec![Term::sym("c2"), Term::sym("classic")]));
+
+    // Q3 keeps only the antique's review — "it is possible to retrieve
+    // reviews of red cars made after 1970" is exactly what Q3 loses.
+    let a3 = certain_answers(&q3(), &s("q3"), &v, &db, &opts).unwrap();
+    assert_eq!(a3.len(), 1);
+    assert!(a3.contains(&vec![Term::sym("c2"), Term::sym("classic")]));
+}
+
+#[test]
+fn relative_containment_respects_monotone_source_removal_on_example() {
+    // Removing sources can only shrink certain answers of both sides;
+    // on this example every containment that holds with all three
+    // sources still holds with fewer.
+    let v = views();
+    let subsets = [
+        v.clone(),
+        v.without("RedCars"),
+        v.without("AntiqueCars"),
+        v.without("CarAndDriver"),
+        v.without("RedCars").without("AntiqueCars"),
+    ];
+    // Q3 ⊑ Q2 classically, hence under every source subset.
+    for sub in &subsets {
+        assert!(relatively_contained(&q3(), &s("q3"), &q2(), &s("q2"), sub).unwrap());
+    }
+    // Without CarAndDriver no query has any certain answers: everything
+    // is relatively contained in everything.
+    let no_reviews = v.without("CarAndDriver");
+    assert!(relatively_contained(&q2(), &s("q2"), &q3(), &s("q3"), &no_reviews).unwrap());
+}

@@ -1,0 +1,174 @@
+//! Experiment E8: the paper's Example 5 — complete (closed-world) sources
+//! change relative containment.
+
+use std::collections::BTreeSet;
+
+use relcont::datalog::eval::EvalOptions;
+use relcont::datalog::{parse_program, Database, Symbol, Term, Tuple};
+use relcont::mediator::certain::{BruteForceOracle, OracleAnswer, World};
+use relcont::mediator::relative::relatively_contained;
+use relcont::mediator::schema::LavSetting;
+
+fn views() -> LavSetting {
+    LavSetting::parse(&[
+        "v1(X) :- p(X, Y).",
+        "v2(Y) :- p(X, Y).",
+        "v3(X, Y) :- p(X, Y), r(X, Y).",
+    ])
+    .unwrap()
+}
+
+#[test]
+fn open_world_q1_contained_in_q2() {
+    // "Under the assumption of incomplete sources, Q1 ⊑_V Q2. In
+    //  particular, views v1 and v2 don't provide any certain answers to
+    //  q1."
+    let v = views();
+    let q1 = parse_program("q1(X, Y) :- p(X, Y).").unwrap();
+    let q2 = parse_program("q2(X, Y) :- r(X, Y).").unwrap();
+    assert!(relatively_contained(&q1, &Symbol::new("q1"), &q2, &Symbol::new("q2"), &v).unwrap());
+    // Oracle confirmation on the instance I = {v1(a), v2(b)}.
+    let db = Database::parse("v1(a). v2(b).").unwrap();
+    let oracle = BruteForceOracle::with_symbols(&["a", "b"], World::Open);
+    let got = oracle
+        .certain(&q1, &Symbol::new("q1"), &v, &db, &EvalOptions::default())
+        .unwrap();
+    assert_eq!(got, OracleAnswer::Certain(BTreeSet::new()));
+}
+
+#[test]
+fn closed_world_breaks_the_containment() {
+    // "under the assumption of complete sources, consider the view
+    //  instance I = {v1(a), v2(b)}. Since v1 and v2 are complete, it must
+    //  be the case that p(a, b) is true, so (a, b) is a certain answer of
+    //  Q1. However, Q2 has no certain answers, so Q1 ⋢_V Q2."
+    let mut v = views();
+    v.sources[0].complete = true;
+    v.sources[1].complete = true;
+    let q1 = parse_program("q1(X, Y) :- p(X, Y).").unwrap();
+    let q2 = parse_program("q2(X, Y) :- r(X, Y).").unwrap();
+    let db = Database::parse("v1(a). v2(b).").unwrap();
+    let oracle = BruteForceOracle::with_symbols(&["a", "b"], World::AsDeclared);
+    let opts = EvalOptions::default();
+
+    let got1 = oracle
+        .certain(&q1, &Symbol::new("q1"), &v, &db, &opts)
+        .unwrap();
+    let expected: BTreeSet<Tuple> = [vec![Term::sym("a"), Term::sym("b")]].into_iter().collect();
+    assert_eq!(got1, OracleAnswer::Certain(expected));
+
+    let got2 = oracle
+        .certain(&q2, &Symbol::new("q2"), &v, &db, &opts)
+        .unwrap();
+    assert_eq!(got2, OracleAnswer::Certain(BTreeSet::new()));
+    // Hence certain(Q1, I) ⊄ certain(Q2, I): the relative containment that
+    // held open-world fails closed-world — the oracle is the witness,
+    // since closed-world decision procedures are an open problem (§6).
+}
+
+#[test]
+fn why_the_closed_world_forces_p_a_b() {
+    // With the two-constant domain, completeness of v1 and v2 pins p
+    // down: p ⊆ {a} × {b}; nonempty in both columns — so p = {(a, b)}.
+    // The oracle must therefore also see r-free databases only.
+    let mut v = views();
+    v.sources[0].complete = true;
+    v.sources[1].complete = true;
+    let who = parse_program("w(X, Y) :- p(X, Y).").unwrap();
+    let db = Database::parse("v1(a). v2(b). v3(a, b).").unwrap();
+    // With v3(a, b) stored too, r(a, b) is additionally forced.
+    let oracle = BruteForceOracle::with_symbols(&["a", "b"], World::AsDeclared);
+    let got = oracle
+        .certain(&who, &Symbol::new("w"), &v, &db, &EvalOptions::default())
+        .unwrap();
+    let expected: BTreeSet<Tuple> = [vec![Term::sym("a"), Term::sym("b")]].into_iter().collect();
+    assert_eq!(got, OracleAnswer::Certain(expected));
+    let q2 = parse_program("q2(X, Y) :- r(X, Y).").unwrap();
+    let got2 = oracle
+        .certain(&q2, &Symbol::new("q2"), &v, &db, &EvalOptions::default())
+        .unwrap();
+    assert_eq!(
+        got2,
+        OracleAnswer::Certain([vec![Term::sym("a"), Term::sym("b")]].into_iter().collect())
+    );
+}
+
+#[test]
+fn counterexample_search_mechanizes_example5() {
+    use relcont::mediator::certain::find_containment_counterexample;
+    // Closed world: the search must find a witness instance — Example 5's
+    // own I = {v1(a), v2(b)} (or an equivalent one).
+    let mut v = views();
+    v.sources[0].complete = true;
+    v.sources[1].complete = true;
+    let q1 = parse_program("q1(X, Y) :- p(X, Y).").unwrap();
+    let q2 = parse_program("q2(X, Y) :- r(X, Y).").unwrap();
+    // Shrink the search space: a single-constant domain suffices to break
+    // the containment (I = {v1(a), v2(a)} forces p(a, a)).
+    let oracle = BruteForceOracle::with_symbols(&["a"], World::AsDeclared);
+    let witness = find_containment_counterexample(
+        &oracle,
+        &q1,
+        &Symbol::new("q1"),
+        &q2,
+        &Symbol::new("q2"),
+        &v,
+        &EvalOptions::default(),
+    )
+    .unwrap();
+    let (instance, tuple) = witness.expect("closed world breaks the containment");
+    assert_eq!(tuple, vec![Term::sym("a"), Term::sym("a")]);
+    // The witness instance must mention v1 or v2 (the complete sources).
+    assert!(instance.total_len() >= 1, "{instance}");
+
+    // Open world: no counterexample exists. (The domain needs two
+    // constants: over a single constant, `v1(a)` would force `p(a, a)`
+    // within the bounded domain, which over-approximates the open-world
+    // semantics.)
+    let open = views();
+    let oracle = BruteForceOracle::with_symbols(&["a", "b"], World::Open);
+    let none = find_containment_counterexample(
+        &oracle,
+        &q1,
+        &Symbol::new("q1"),
+        &q2,
+        &Symbol::new("q2"),
+        &open,
+        &EvalOptions::default(),
+    )
+    .unwrap();
+    assert!(none.is_none());
+}
+
+#[test]
+fn open_world_oracle_agrees_with_plan_route_on_example5_family() {
+    // Sweep tiny instances: the oracle (semantics) and the plan-based
+    // certain answers must coincide under the open world.
+    let v = views();
+    let q1 = parse_program("q1(X, Y) :- p(X, Y).").unwrap();
+    let instances = [
+        "v1(a).",
+        "v2(b).",
+        "v1(a). v2(b).",
+        "v3(a, b).",
+        "v1(a). v3(a, b).",
+        "v3(a, a). v3(b, b).",
+    ];
+    let oracle = BruteForceOracle::with_symbols(&["a", "b"], World::Open);
+    for src in instances {
+        let db = Database::parse(src).unwrap();
+        let got = oracle
+            .certain(&q1, &Symbol::new("q1"), &v, &db, &EvalOptions::default())
+            .unwrap();
+        let plan = relcont::mediator::certain::certain_answers(
+            &q1,
+            &Symbol::new("q1"),
+            &v,
+            &db,
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        let plan_set: BTreeSet<Tuple> = plan.tuples().iter().cloned().collect();
+        assert_eq!(got, OracleAnswer::Certain(plan_set), "instance {src}");
+    }
+}

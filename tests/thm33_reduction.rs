@@ -1,0 +1,167 @@
+//! Experiment E4: Theorem 3.3 — the Π₂ᵖ-hardness reduction, validated
+//! against a brute-force ∀∃-3CNF solver at a larger scale than the unit
+//! tests.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use relcont::mediator::reductions::{random_cnf3, thm33_reduction, Cnf3, CnfVar, Lit};
+use relcont::mediator::relative::{relatively_contained, relatively_contained_by_plans};
+
+fn decide(f: &Cnf3) -> bool {
+    let inst = thm33_reduction(f);
+    relatively_contained(
+        &inst.contained,
+        &inst.contained_ans,
+        &inst.container,
+        &inst.container_ans,
+        &inst.views,
+    )
+    .unwrap()
+}
+
+#[test]
+fn paper_example_formula() {
+    let l = |var, positive| Lit { var, positive };
+    let f = Cnf3 {
+        num_x: 2,
+        num_y: 2,
+        clauses: vec![
+            [
+                l(CnfVar::X(0), true),
+                l(CnfVar::X(1), true),
+                l(CnfVar::Y(0), true),
+            ],
+            [
+                l(CnfVar::X(0), false),
+                l(CnfVar::X(1), false),
+                l(CnfVar::Y(1), true),
+            ],
+        ],
+    };
+    assert!(f.is_forall_exists_satisfiable());
+    assert!(decide(&f));
+}
+
+#[test]
+fn tautological_clause_set() {
+    // A clause plus its x-mirror: always ∃-satisfiable for every y.
+    let l = |var, positive| Lit { var, positive };
+    let f = Cnf3 {
+        num_x: 3,
+        num_y: 1,
+        clauses: vec![
+            [
+                l(CnfVar::X(0), true),
+                l(CnfVar::X(1), true),
+                l(CnfVar::X(2), true),
+            ],
+            [
+                l(CnfVar::X(0), false),
+                l(CnfVar::X(1), false),
+                l(CnfVar::Y(0), true),
+            ],
+        ],
+    };
+    assert_eq!(decide(&f), f.is_forall_exists_satisfiable());
+    assert!(decide(&f));
+}
+
+#[test]
+fn y_only_clause_can_fail() {
+    // (y0 ∨ y1 ∨ x0): with y0 = y1 = false, needs x0 = true. And
+    // (¬x0 ∨ y0 ∨ y1): needs x0 = false then. ∀∃-unsat at y0=y1=0.
+    let l = |var, positive| Lit { var, positive };
+    let f = Cnf3 {
+        num_x: 1,
+        num_y: 2,
+        clauses: vec![
+            [
+                l(CnfVar::Y(0), true),
+                l(CnfVar::Y(1), true),
+                l(CnfVar::X(0), true),
+            ],
+            [
+                l(CnfVar::X(0), false),
+                l(CnfVar::Y(0), true),
+                l(CnfVar::Y(1), true),
+            ],
+        ],
+    };
+    assert!(!f.is_forall_exists_satisfiable());
+    assert!(!decide(&f));
+}
+
+#[test]
+fn random_sweep_agrees_with_brute_force() {
+    let mut rng = StdRng::seed_from_u64(333);
+    let mut sat = 0;
+    let mut unsat = 0;
+    for trial in 0..30 {
+        let f = random_cnf3(2, 2, 2 + trial % 4, &mut rng);
+        let expected = f.is_forall_exists_satisfiable();
+        if expected {
+            sat += 1;
+        } else {
+            unsat += 1;
+        }
+        assert_eq!(decide(&f), expected, "trial {trial}: {f:?}");
+    }
+    // The sweep must exercise both outcomes to be meaningful.
+    assert!(sat >= 3, "sat formulas: {sat}");
+    assert!(unsat >= 3, "unsat formulas: {unsat}");
+}
+
+#[test]
+fn plan_comparison_route_agrees_on_reduction_instances() {
+    let mut rng = StdRng::seed_from_u64(777);
+    for trial in 0..6 {
+        let f = random_cnf3(2, 1, 1 + trial % 3, &mut rng);
+        let inst = thm33_reduction(&f);
+        let a = relatively_contained(
+            &inst.contained,
+            &inst.contained_ans,
+            &inst.container,
+            &inst.container_ans,
+            &inst.views,
+        )
+        .unwrap();
+        let b = relatively_contained_by_plans(
+            &inst.contained,
+            &inst.contained_ans,
+            &inst.container,
+            &inst.container_ans,
+            &inst.views,
+        )
+        .unwrap();
+        assert_eq!(a, b, "trial {trial}");
+    }
+}
+
+#[test]
+fn containment_direction_is_not_symmetric() {
+    // Q1' ⊑ Q2' (the reverse direction) asks whether every satisfying-row
+    // database matches the clause structure — generally false.
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut found_asym = false;
+    for _ in 0..10 {
+        let f = random_cnf3(2, 1, 2, &mut rng);
+        if !f.is_forall_exists_satisfiable() {
+            continue;
+        }
+        let inst = thm33_reduction(&f);
+        let fwd = decide(&f);
+        let rev = relatively_contained(
+            &inst.container,
+            &inst.container_ans,
+            &inst.contained,
+            &inst.contained_ans,
+            &inst.views,
+        )
+        .unwrap();
+        if fwd && !rev {
+            found_asym = true;
+            break;
+        }
+    }
+    assert!(found_asym, "expected an asymmetric instance");
+}
