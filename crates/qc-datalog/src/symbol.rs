@@ -27,14 +27,14 @@ impl Symbol {
 }
 
 impl serde::Serialize for Symbol {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(self.as_str())
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_owned())
     }
 }
 
-impl<'de> serde::Deserialize<'de> for Symbol {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Symbol, D::Error> {
-        String::deserialize(deserializer).map(Symbol::new)
+impl serde::Deserialize for Symbol {
+    fn from_value(v: &serde::Value) -> Result<Symbol, serde::Error> {
+        String::from_value(v).map(Symbol::new)
     }
 }
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/binding_patterns-33552488e27419e0.d: tests/binding_patterns.rs
+
+/root/repo/target/debug/deps/binding_patterns-33552488e27419e0: tests/binding_patterns.rs
+
+tests/binding_patterns.rs:

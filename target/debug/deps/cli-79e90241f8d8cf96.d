@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-79e90241f8d8cf96.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-79e90241f8d8cf96: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_relcont=/root/repo/target/debug/relcont
+# env-dep:CARGO_BIN_EXE_relcont-repl=/root/repo/target/debug/relcont-repl

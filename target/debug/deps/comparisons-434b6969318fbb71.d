@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comparisons-434b6969318fbb71.d: tests/comparisons.rs
+
+/root/repo/target/debug/deps/comparisons-434b6969318fbb71: tests/comparisons.rs
+
+tests/comparisons.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-eda5504199a8b88c.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-eda5504199a8b88c: tests/edge_cases.rs
+
+tests/edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/enterprise_scenario-1ae5655bc8c4f880.d: tests/enterprise_scenario.rs
+
+/root/repo/target/debug/deps/enterprise_scenario-1ae5655bc8c4f880: tests/enterprise_scenario.rs
+
+tests/enterprise_scenario.rs:

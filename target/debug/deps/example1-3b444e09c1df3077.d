@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/example1-3b444e09c1df3077.d: tests/example1.rs
+
+/root/repo/target/debug/deps/example1-3b444e09c1df3077: tests/example1.rs
+
+tests/example1.rs:

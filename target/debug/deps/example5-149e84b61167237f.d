@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/example5-149e84b61167237f.d: tests/example5.rs
+
+/root/repo/target/debug/deps/example5-149e84b61167237f: tests/example5.rs
+
+tests/example5.rs:

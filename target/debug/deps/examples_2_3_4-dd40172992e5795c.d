@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/examples_2_3_4-dd40172992e5795c.d: tests/examples_2_3_4.rs
+
+/root/repo/target/debug/deps/examples_2_3_4-dd40172992e5795c: tests/examples_2_3_4.rs
+
+tests/examples_2_3_4.rs:

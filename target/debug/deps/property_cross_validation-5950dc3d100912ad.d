@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_cross_validation-5950dc3d100912ad.d: tests/property_cross_validation.rs
+
+/root/repo/target/debug/deps/property_cross_validation-5950dc3d100912ad: tests/property_cross_validation.rs
+
+tests/property_cross_validation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-ce4243a9f19149ad.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ce4243a9f19149ad.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ce4243a9f19149ad.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:

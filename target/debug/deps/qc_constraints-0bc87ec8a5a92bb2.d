@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qc_constraints-0bc87ec8a5a92bb2.d: crates/qc-constraints/src/lib.rs crates/qc-constraints/src/linearize.rs crates/qc-constraints/src/op.rs crates/qc-constraints/src/rat.rs crates/qc-constraints/src/set.rs
+
+/root/repo/target/debug/deps/libqc_constraints-0bc87ec8a5a92bb2.rlib: crates/qc-constraints/src/lib.rs crates/qc-constraints/src/linearize.rs crates/qc-constraints/src/op.rs crates/qc-constraints/src/rat.rs crates/qc-constraints/src/set.rs
+
+/root/repo/target/debug/deps/libqc_constraints-0bc87ec8a5a92bb2.rmeta: crates/qc-constraints/src/lib.rs crates/qc-constraints/src/linearize.rs crates/qc-constraints/src/op.rs crates/qc-constraints/src/rat.rs crates/qc-constraints/src/set.rs
+
+crates/qc-constraints/src/lib.rs:
+crates/qc-constraints/src/linearize.rs:
+crates/qc-constraints/src/op.rs:
+crates/qc-constraints/src/rat.rs:
+crates/qc-constraints/src/set.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qc_containment-cc5dd1e9961069b0.d: crates/qc-containment/src/lib.rs crates/qc-containment/src/canonical.rs crates/qc-containment/src/comparisons.rs crates/qc-containment/src/cq.rs crates/qc-containment/src/datalog_ucq.rs crates/qc-containment/src/homomorphism.rs crates/qc-containment/src/uniform.rs crates/qc-containment/src/witness.rs
+
+/root/repo/target/debug/deps/libqc_containment-cc5dd1e9961069b0.rlib: crates/qc-containment/src/lib.rs crates/qc-containment/src/canonical.rs crates/qc-containment/src/comparisons.rs crates/qc-containment/src/cq.rs crates/qc-containment/src/datalog_ucq.rs crates/qc-containment/src/homomorphism.rs crates/qc-containment/src/uniform.rs crates/qc-containment/src/witness.rs
+
+/root/repo/target/debug/deps/libqc_containment-cc5dd1e9961069b0.rmeta: crates/qc-containment/src/lib.rs crates/qc-containment/src/canonical.rs crates/qc-containment/src/comparisons.rs crates/qc-containment/src/cq.rs crates/qc-containment/src/datalog_ucq.rs crates/qc-containment/src/homomorphism.rs crates/qc-containment/src/uniform.rs crates/qc-containment/src/witness.rs
+
+crates/qc-containment/src/lib.rs:
+crates/qc-containment/src/canonical.rs:
+crates/qc-containment/src/comparisons.rs:
+crates/qc-containment/src/cq.rs:
+crates/qc-containment/src/datalog_ucq.rs:
+crates/qc-containment/src/homomorphism.rs:
+crates/qc-containment/src/uniform.rs:
+crates/qc-containment/src/witness.rs:

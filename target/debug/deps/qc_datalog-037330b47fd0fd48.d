@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qc_datalog-037330b47fd0fd48.d: crates/qc-datalog/src/lib.rs crates/qc-datalog/src/atom.rs crates/qc-datalog/src/database.rs crates/qc-datalog/src/eval.rs crates/qc-datalog/src/parser.rs crates/qc-datalog/src/program.rs crates/qc-datalog/src/query.rs crates/qc-datalog/src/rule.rs crates/qc-datalog/src/subst.rs crates/qc-datalog/src/symbol.rs crates/qc-datalog/src/term.rs crates/qc-datalog/src/validate.rs
+
+/root/repo/target/debug/deps/libqc_datalog-037330b47fd0fd48.rlib: crates/qc-datalog/src/lib.rs crates/qc-datalog/src/atom.rs crates/qc-datalog/src/database.rs crates/qc-datalog/src/eval.rs crates/qc-datalog/src/parser.rs crates/qc-datalog/src/program.rs crates/qc-datalog/src/query.rs crates/qc-datalog/src/rule.rs crates/qc-datalog/src/subst.rs crates/qc-datalog/src/symbol.rs crates/qc-datalog/src/term.rs crates/qc-datalog/src/validate.rs
+
+/root/repo/target/debug/deps/libqc_datalog-037330b47fd0fd48.rmeta: crates/qc-datalog/src/lib.rs crates/qc-datalog/src/atom.rs crates/qc-datalog/src/database.rs crates/qc-datalog/src/eval.rs crates/qc-datalog/src/parser.rs crates/qc-datalog/src/program.rs crates/qc-datalog/src/query.rs crates/qc-datalog/src/rule.rs crates/qc-datalog/src/subst.rs crates/qc-datalog/src/symbol.rs crates/qc-datalog/src/term.rs crates/qc-datalog/src/validate.rs
+
+crates/qc-datalog/src/lib.rs:
+crates/qc-datalog/src/atom.rs:
+crates/qc-datalog/src/database.rs:
+crates/qc-datalog/src/eval.rs:
+crates/qc-datalog/src/parser.rs:
+crates/qc-datalog/src/program.rs:
+crates/qc-datalog/src/query.rs:
+crates/qc-datalog/src/rule.rs:
+crates/qc-datalog/src/subst.rs:
+crates/qc-datalog/src/symbol.rs:
+crates/qc-datalog/src/term.rs:
+crates/qc-datalog/src/validate.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/qc_mediator-43528c48c2f100c0.d: crates/qc-mediator/src/lib.rs crates/qc-mediator/src/analysis.rs crates/qc-mediator/src/binding.rs crates/qc-mediator/src/certain.rs crates/qc-mediator/src/enumerate.rs crates/qc-mediator/src/expansion.rs crates/qc-mediator/src/fn_elim.rs crates/qc-mediator/src/gav.rs crates/qc-mediator/src/inverse_rules.rs crates/qc-mediator/src/minicon.rs crates/qc-mediator/src/reductions.rs crates/qc-mediator/src/relative.rs crates/qc-mediator/src/schema.rs crates/qc-mediator/src/workloads.rs
+
+/root/repo/target/debug/deps/libqc_mediator-43528c48c2f100c0.rlib: crates/qc-mediator/src/lib.rs crates/qc-mediator/src/analysis.rs crates/qc-mediator/src/binding.rs crates/qc-mediator/src/certain.rs crates/qc-mediator/src/enumerate.rs crates/qc-mediator/src/expansion.rs crates/qc-mediator/src/fn_elim.rs crates/qc-mediator/src/gav.rs crates/qc-mediator/src/inverse_rules.rs crates/qc-mediator/src/minicon.rs crates/qc-mediator/src/reductions.rs crates/qc-mediator/src/relative.rs crates/qc-mediator/src/schema.rs crates/qc-mediator/src/workloads.rs
+
+/root/repo/target/debug/deps/libqc_mediator-43528c48c2f100c0.rmeta: crates/qc-mediator/src/lib.rs crates/qc-mediator/src/analysis.rs crates/qc-mediator/src/binding.rs crates/qc-mediator/src/certain.rs crates/qc-mediator/src/enumerate.rs crates/qc-mediator/src/expansion.rs crates/qc-mediator/src/fn_elim.rs crates/qc-mediator/src/gav.rs crates/qc-mediator/src/inverse_rules.rs crates/qc-mediator/src/minicon.rs crates/qc-mediator/src/reductions.rs crates/qc-mediator/src/relative.rs crates/qc-mediator/src/schema.rs crates/qc-mediator/src/workloads.rs
+
+crates/qc-mediator/src/lib.rs:
+crates/qc-mediator/src/analysis.rs:
+crates/qc-mediator/src/binding.rs:
+crates/qc-mediator/src/certain.rs:
+crates/qc-mediator/src/enumerate.rs:
+crates/qc-mediator/src/expansion.rs:
+crates/qc-mediator/src/fn_elim.rs:
+crates/qc-mediator/src/gav.rs:
+crates/qc-mediator/src/inverse_rules.rs:
+crates/qc-mediator/src/minicon.rs:
+crates/qc-mediator/src/reductions.rs:
+crates/qc-mediator/src/relative.rs:
+crates/qc-mediator/src/schema.rs:
+crates/qc-mediator/src/workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recursion_and_gav-771165de8c5faf3c.d: tests/recursion_and_gav.rs
+
+/root/repo/target/debug/deps/recursion_and_gav-771165de8c5faf3c: tests/recursion_and_gav.rs
+
+tests/recursion_and_gav.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/relcont-16e0c8775550211b.d: src/bin/relcont.rs
+
+/root/repo/target/debug/deps/relcont-16e0c8775550211b: src/bin/relcont.rs
+
+src/bin/relcont.rs:

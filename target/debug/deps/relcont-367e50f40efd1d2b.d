@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/relcont-367e50f40efd1d2b.d: src/lib.rs
+
+/root/repo/target/debug/deps/relcont-367e50f40efd1d2b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/relcont-ee74ed40708717dd.d: src/lib.rs
+
+/root/repo/target/debug/deps/librelcont-ee74ed40708717dd.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librelcont-ee74ed40708717dd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/relcont-f82096c280f0fb76.d: src/bin/relcont.rs
+
+/root/repo/target/debug/deps/relcont-f82096c280f0fb76: src/bin/relcont.rs
+
+src/bin/relcont.rs:

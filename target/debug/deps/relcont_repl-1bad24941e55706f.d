@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/relcont_repl-1bad24941e55706f.d: src/bin/relcont-repl.rs
+
+/root/repo/target/debug/deps/relcont_repl-1bad24941e55706f: src/bin/relcont-repl.rs
+
+src/bin/relcont-repl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/relcont_repl-e132a91a9ab3463d.d: src/bin/relcont-repl.rs
+
+/root/repo/target/debug/deps/relcont_repl-e132a91a9ab3463d: src/bin/relcont-repl.rs
+
+src/bin/relcont-repl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/seed_probe_tmp-a24079a223d1f06a.d: tests/seed_probe_tmp.rs
+
+/root/repo/target/debug/deps/seed_probe_tmp-a24079a223d1f06a: tests/seed_probe_tmp.rs
+
+tests/seed_probe_tmp.rs:

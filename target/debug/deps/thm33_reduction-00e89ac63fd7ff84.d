@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thm33_reduction-00e89ac63fd7ff84.d: tests/thm33_reduction.rs
+
+/root/repo/target/debug/deps/thm33_reduction-00e89ac63fd7ff84: tests/thm33_reduction.rs
+
+tests/thm33_reduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/antiques_dealer-d45896b070e257d6.d: examples/antiques_dealer.rs
+
+/root/repo/target/debug/examples/antiques_dealer-d45896b070e257d6: examples/antiques_dealer.rs
+
+examples/antiques_dealer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardness_explorer-b13ea371702d48bc.d: examples/hardness_explorer.rs
+
+/root/repo/target/debug/examples/hardness_explorer-b13ea371702d48bc: examples/hardness_explorer.rs
+
+examples/hardness_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_walkthrough-dadd902045bac279.d: examples/paper_walkthrough.rs
+
+/root/repo/target/debug/examples/paper_walkthrough-dadd902045bac279: examples/paper_walkthrough.rs
+
+examples/paper_walkthrough.rs:

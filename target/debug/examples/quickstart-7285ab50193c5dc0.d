@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7285ab50193c5dc0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7285ab50193c5dc0: examples/quickstart.rs
+
+examples/quickstart.rs:

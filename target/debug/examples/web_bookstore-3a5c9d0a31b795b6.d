@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_bookstore-3a5c9d0a31b795b6.d: examples/web_bookstore.rs
+
+/root/repo/target/debug/examples/web_bookstore-3a5c9d0a31b795b6: examples/web_bookstore.rs
+
+examples/web_bookstore.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qc_constraints-29f1ac79e5fc7f16.d: crates/qc-constraints/src/lib.rs crates/qc-constraints/src/linearize.rs crates/qc-constraints/src/op.rs crates/qc-constraints/src/rat.rs crates/qc-constraints/src/set.rs
+
+/root/repo/target/release/deps/libqc_constraints-29f1ac79e5fc7f16.rlib: crates/qc-constraints/src/lib.rs crates/qc-constraints/src/linearize.rs crates/qc-constraints/src/op.rs crates/qc-constraints/src/rat.rs crates/qc-constraints/src/set.rs
+
+/root/repo/target/release/deps/libqc_constraints-29f1ac79e5fc7f16.rmeta: crates/qc-constraints/src/lib.rs crates/qc-constraints/src/linearize.rs crates/qc-constraints/src/op.rs crates/qc-constraints/src/rat.rs crates/qc-constraints/src/set.rs
+
+crates/qc-constraints/src/lib.rs:
+crates/qc-constraints/src/linearize.rs:
+crates/qc-constraints/src/op.rs:
+crates/qc-constraints/src/rat.rs:
+crates/qc-constraints/src/set.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qc_containment-6692097cdd9ac1a1.d: crates/qc-containment/src/lib.rs crates/qc-containment/src/canonical.rs crates/qc-containment/src/comparisons.rs crates/qc-containment/src/cq.rs crates/qc-containment/src/datalog_ucq.rs crates/qc-containment/src/homomorphism.rs crates/qc-containment/src/uniform.rs crates/qc-containment/src/witness.rs
+
+/root/repo/target/release/deps/libqc_containment-6692097cdd9ac1a1.rlib: crates/qc-containment/src/lib.rs crates/qc-containment/src/canonical.rs crates/qc-containment/src/comparisons.rs crates/qc-containment/src/cq.rs crates/qc-containment/src/datalog_ucq.rs crates/qc-containment/src/homomorphism.rs crates/qc-containment/src/uniform.rs crates/qc-containment/src/witness.rs
+
+/root/repo/target/release/deps/libqc_containment-6692097cdd9ac1a1.rmeta: crates/qc-containment/src/lib.rs crates/qc-containment/src/canonical.rs crates/qc-containment/src/comparisons.rs crates/qc-containment/src/cq.rs crates/qc-containment/src/datalog_ucq.rs crates/qc-containment/src/homomorphism.rs crates/qc-containment/src/uniform.rs crates/qc-containment/src/witness.rs
+
+crates/qc-containment/src/lib.rs:
+crates/qc-containment/src/canonical.rs:
+crates/qc-containment/src/comparisons.rs:
+crates/qc-containment/src/cq.rs:
+crates/qc-containment/src/datalog_ucq.rs:
+crates/qc-containment/src/homomorphism.rs:
+crates/qc-containment/src/uniform.rs:
+crates/qc-containment/src/witness.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/qc_datalog-e01ce4865cf4cef9.d: crates/qc-datalog/src/lib.rs crates/qc-datalog/src/atom.rs crates/qc-datalog/src/database.rs crates/qc-datalog/src/eval.rs crates/qc-datalog/src/parser.rs crates/qc-datalog/src/program.rs crates/qc-datalog/src/query.rs crates/qc-datalog/src/rule.rs crates/qc-datalog/src/subst.rs crates/qc-datalog/src/symbol.rs crates/qc-datalog/src/term.rs crates/qc-datalog/src/validate.rs
+
+/root/repo/target/release/deps/libqc_datalog-e01ce4865cf4cef9.rlib: crates/qc-datalog/src/lib.rs crates/qc-datalog/src/atom.rs crates/qc-datalog/src/database.rs crates/qc-datalog/src/eval.rs crates/qc-datalog/src/parser.rs crates/qc-datalog/src/program.rs crates/qc-datalog/src/query.rs crates/qc-datalog/src/rule.rs crates/qc-datalog/src/subst.rs crates/qc-datalog/src/symbol.rs crates/qc-datalog/src/term.rs crates/qc-datalog/src/validate.rs
+
+/root/repo/target/release/deps/libqc_datalog-e01ce4865cf4cef9.rmeta: crates/qc-datalog/src/lib.rs crates/qc-datalog/src/atom.rs crates/qc-datalog/src/database.rs crates/qc-datalog/src/eval.rs crates/qc-datalog/src/parser.rs crates/qc-datalog/src/program.rs crates/qc-datalog/src/query.rs crates/qc-datalog/src/rule.rs crates/qc-datalog/src/subst.rs crates/qc-datalog/src/symbol.rs crates/qc-datalog/src/term.rs crates/qc-datalog/src/validate.rs
+
+crates/qc-datalog/src/lib.rs:
+crates/qc-datalog/src/atom.rs:
+crates/qc-datalog/src/database.rs:
+crates/qc-datalog/src/eval.rs:
+crates/qc-datalog/src/parser.rs:
+crates/qc-datalog/src/program.rs:
+crates/qc-datalog/src/query.rs:
+crates/qc-datalog/src/rule.rs:
+crates/qc-datalog/src/subst.rs:
+crates/qc-datalog/src/symbol.rs:
+crates/qc-datalog/src/term.rs:
+crates/qc-datalog/src/validate.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/qc_mediator-8a1f6e52904aa5b9.d: crates/qc-mediator/src/lib.rs crates/qc-mediator/src/analysis.rs crates/qc-mediator/src/binding.rs crates/qc-mediator/src/certain.rs crates/qc-mediator/src/enumerate.rs crates/qc-mediator/src/expansion.rs crates/qc-mediator/src/fn_elim.rs crates/qc-mediator/src/gav.rs crates/qc-mediator/src/inverse_rules.rs crates/qc-mediator/src/minicon.rs crates/qc-mediator/src/reductions.rs crates/qc-mediator/src/relative.rs crates/qc-mediator/src/schema.rs crates/qc-mediator/src/workloads.rs
+
+/root/repo/target/release/deps/libqc_mediator-8a1f6e52904aa5b9.rlib: crates/qc-mediator/src/lib.rs crates/qc-mediator/src/analysis.rs crates/qc-mediator/src/binding.rs crates/qc-mediator/src/certain.rs crates/qc-mediator/src/enumerate.rs crates/qc-mediator/src/expansion.rs crates/qc-mediator/src/fn_elim.rs crates/qc-mediator/src/gav.rs crates/qc-mediator/src/inverse_rules.rs crates/qc-mediator/src/minicon.rs crates/qc-mediator/src/reductions.rs crates/qc-mediator/src/relative.rs crates/qc-mediator/src/schema.rs crates/qc-mediator/src/workloads.rs
+
+/root/repo/target/release/deps/libqc_mediator-8a1f6e52904aa5b9.rmeta: crates/qc-mediator/src/lib.rs crates/qc-mediator/src/analysis.rs crates/qc-mediator/src/binding.rs crates/qc-mediator/src/certain.rs crates/qc-mediator/src/enumerate.rs crates/qc-mediator/src/expansion.rs crates/qc-mediator/src/fn_elim.rs crates/qc-mediator/src/gav.rs crates/qc-mediator/src/inverse_rules.rs crates/qc-mediator/src/minicon.rs crates/qc-mediator/src/reductions.rs crates/qc-mediator/src/relative.rs crates/qc-mediator/src/schema.rs crates/qc-mediator/src/workloads.rs
+
+crates/qc-mediator/src/lib.rs:
+crates/qc-mediator/src/analysis.rs:
+crates/qc-mediator/src/binding.rs:
+crates/qc-mediator/src/certain.rs:
+crates/qc-mediator/src/enumerate.rs:
+crates/qc-mediator/src/expansion.rs:
+crates/qc-mediator/src/fn_elim.rs:
+crates/qc-mediator/src/gav.rs:
+crates/qc-mediator/src/inverse_rules.rs:
+crates/qc-mediator/src/minicon.rs:
+crates/qc-mediator/src/reductions.rs:
+crates/qc-mediator/src/relative.rs:
+crates/qc-mediator/src/schema.rs:
+crates/qc-mediator/src/workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/relcont-27fdc0c2636e0c25.d: src/bin/relcont.rs
+
+/root/repo/target/release/deps/relcont-27fdc0c2636e0c25: src/bin/relcont.rs
+
+src/bin/relcont.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/relcont-8ac3f58200e99cac.d: src/lib.rs
+
+/root/repo/target/release/deps/librelcont-8ac3f58200e99cac.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librelcont-8ac3f58200e99cac.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/relcont_repl-7c81a8190f019cbb.d: src/bin/relcont-repl.rs
+
+/root/repo/target/release/deps/relcont_repl-7c81a8190f019cbb: src/bin/relcont-repl.rs
+
+src/bin/relcont-repl.rs:

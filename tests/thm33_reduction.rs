@@ -93,7 +93,9 @@ fn y_only_clause_can_fail() {
 
 #[test]
 fn random_sweep_agrees_with_brute_force() {
-    let mut rng = StdRng::seed_from_u64(333);
+    // Seed chosen so the sweep hits ≥3 formulas of each outcome under the
+    // vendored deterministic RNG (see third_party/README.md).
+    let mut rng = StdRng::seed_from_u64(31);
     let mut sat = 0;
     let mut unsat = 0;
     for trial in 0..30 {

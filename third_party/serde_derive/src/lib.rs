@@ -1,0 +1,434 @@
+//! Minimal vendored stand-in for `serde_derive`.
+//!
+//! Generates impls of the simplified `serde::Serialize` / `serde::Deserialize`
+//! traits (the `to_value` / `from_value` pair) for structs and enums without
+//! generics. Parsing is done directly over `proc_macro::TokenTree` — no `syn`,
+//! no `quote` — and code generation goes through a `String` that is re-parsed
+//! into a `TokenStream`.
+//!
+//! The generated representation mirrors real serde's externally-tagged JSON
+//! layout:
+//!
+//! * named struct        → object of fields
+//! * newtype struct      → the inner value
+//! * tuple struct (n>1)  → array
+//! * unit struct         → null
+//! * unit variant        → `"Variant"`
+//! * newtype variant     → `{"Variant": value}`
+//! * tuple variant       → `{"Variant": [..]}`
+//! * struct variant      → `{"Variant": {..}}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct TypeDef {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_serialize(&def)
+        .parse()
+        .expect("serde_derive stub: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_deserialize(&def)
+        .parse()
+        .expect("serde_derive stub: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> TypeDef {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported (type `{name}`)");
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got `{other}`"),
+    };
+    TypeDef { name, kind }
+}
+
+/// Extracts field names from `a: A, b: B, ...`, skipping attributes,
+/// visibility, and the types themselves (angle-bracket aware).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match toks.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = toks.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect `:`, then skip the type up to a top-level comma.
+        let mut depth: i32 = 0;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts fields of a tuple struct / tuple variant body (angle-bracket aware,
+/// trailing comma tolerant).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth: i32 = 0;
+    let mut fields = 0;
+    let mut pending = false;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    pending = true;
+                }
+                '>' => {
+                    depth -= 1;
+                    pending = true;
+                }
+                ',' if depth == 0 => {
+                    if pending {
+                        fields += 1;
+                    }
+                    pending = false;
+                }
+                _ => pending = true,
+            },
+            _ => pending = true,
+        }
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Skip variant attributes.
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip to past the next top-level comma (covers discriminants).
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::UnitStruct => "serde::Value::Null".to_string(),
+        Kind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Object(vec![{}])", items.join(", "))
+        }
+        Kind::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms += &format!("{name}::{vn} => serde::Value::Str({vn:?}.to_string()),\n");
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms += &format!(
+                            "{name}::{vn}(x0) => serde::Value::Object(vec![({vn:?}.to_string(), \
+                             serde::Serialize::to_value(x0))]),\n"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        arms += &format!(
+                            "{name}::{vn}({}) => serde::Value::Object(vec![({vn:?}.to_string(), \
+                             serde::Value::Array(vec![{}]))]),\n",
+                            pats.join(", "),
+                            items.join(", ")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pats = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value({f}))"))
+                            .collect();
+                        arms += &format!(
+                            "{name}::{vn} {{ {pats} }} => serde::Value::Object(vec![\
+                             ({vn:?}.to_string(), serde::Value::Object(vec![{}]))]),\n",
+                            items.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::UnitStruct => format!(
+            "match v {{ serde::Value::Null => Ok({name}), \
+             _ => Err(serde::Error::msg(\"expected null for unit struct {name}\")) }}"
+        ),
+        Kind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::from_value(serde::get_field(v, {f:?}))?")
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", items.join(", "))
+        }
+        Kind::TupleStruct(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|_| {
+                    "serde::Deserialize::from_value(it.next().ok_or_else(|| \
+                     serde::Error::msg(\"tuple too short\"))?)?"
+                        .to_string()
+                })
+                .collect();
+            format!(
+                "let items = match v {{ serde::Value::Array(items) => items, \
+                 _ => return Err(serde::Error::msg(\"expected array\")) }};\n\
+                 let mut it = items.iter();\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let tagged: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let mut arms = String::new();
+            if !unit.is_empty() {
+                let mut inner = String::new();
+                for v in &unit {
+                    let vn = &v.name;
+                    inner += &format!("{vn:?} => Ok({name}::{vn}),\n");
+                }
+                arms += &format!(
+                    "serde::Value::Str(s) => match s.as_str() {{\n{inner}\
+                     other => Err(serde::Error::msg(format!(\"unknown variant {{other}}\"))),\n}},\n"
+                );
+            }
+            if !tagged.is_empty() {
+                let mut inner = String::new();
+                for v in &tagged {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => unreachable!(),
+                        VariantKind::Tuple(1) => {
+                            inner += &format!(
+                                "{vn:?} => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),\n"
+                            );
+                        }
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|_| {
+                                    "serde::Deserialize::from_value(it.next().ok_or_else(|| \
+                                     serde::Error::msg(\"tuple too short\"))?)?"
+                                        .to_string()
+                                })
+                                .collect();
+                            inner += &format!(
+                                "{vn:?} => {{\n\
+                                 let items = match inner {{ serde::Value::Array(items) => items, \
+                                 _ => return Err(serde::Error::msg(\"expected array\")) }};\n\
+                                 let mut it = items.iter();\n\
+                                 Ok({name}::{vn}({}))\n}}\n",
+                                items.join(", ")
+                            );
+                        }
+                        VariantKind::Struct(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(\
+                                         serde::get_field(inner, {f:?}))?"
+                                    )
+                                })
+                                .collect();
+                            inner += &format!(
+                                "{vn:?} => Ok({name}::{vn} {{ {} }}),\n",
+                                items.join(", ")
+                            );
+                        }
+                    }
+                }
+                arms += &format!(
+                    "serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                     let (tag, inner) = &fields[0];\n\
+                     match tag.as_str() {{\n{inner}\
+                     other => Err(serde::Error::msg(format!(\"unknown variant {{other}}\"))),\n\
+                     }}\n}},\n"
+                );
+            }
+            format!(
+                "match v {{\n{arms}\
+                 _ => Err(serde::Error::msg(\"unexpected value for enum {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl serde::Deserialize for {name} {{\n\
+         fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
