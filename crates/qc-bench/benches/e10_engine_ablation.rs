@@ -18,24 +18,23 @@ fn bench(c: &mut Criterion) {
     let tc = parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
     for len in [32usize, 64, 128] {
         let db = chain_edb("e", len);
-        for (name, strategy) in [("naive", Strategy::Naive), ("seminaive", Strategy::SemiNaive)] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("tc_{name}"), len),
-                &db,
-                |b, db| {
-                    b.iter(|| {
-                        evaluate(
-                            &tc,
-                            db,
-                            &EvalOptions {
-                                strategy,
-                                ..EvalOptions::default()
-                            },
-                        )
-                        .unwrap()
-                    })
-                },
-            );
+        for (name, strategy) in [
+            ("naive", Strategy::Naive),
+            ("seminaive", Strategy::SemiNaive),
+        ] {
+            g.bench_with_input(BenchmarkId::new(format!("tc_{name}"), len), &db, |b, db| {
+                b.iter(|| {
+                    evaluate(
+                        &tc,
+                        db,
+                        &EvalOptions {
+                            strategy,
+                            ..EvalOptions::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            });
         }
     }
 

@@ -19,16 +19,12 @@ fn bench(c: &mut Criterion) {
         let setting = GavSetting::parse(&defs).unwrap();
         let q1 = parse_program("q1(X) :- m(X, Y), m(Y, Z).").unwrap();
         let q2 = parse_program("q2(X) :- m(X, Y).").unwrap();
-        g.bench_with_input(
-            BenchmarkId::new("union_defs", n),
-            &setting,
-            |b, setting| {
-                b.iter(|| {
-                    relatively_contained_gav(&q1, &Symbol::new("q1"), &q2, &Symbol::new("q2"), setting)
-                        .unwrap()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("union_defs", n), &setting, |b, setting| {
+            b.iter(|| {
+                relatively_contained_gav(&q1, &Symbol::new("q1"), &q2, &Symbol::new("q2"), setting)
+                    .unwrap()
+            })
+        });
     }
     g.finish();
 }

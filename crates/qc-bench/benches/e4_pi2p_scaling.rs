@@ -3,10 +3,10 @@
 //! plan union (the Π₂ᵖ structure); clauses widen the containing query.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use qc_mediator::reductions::{random_cnf3, thm33_reduction};
 use qc_mediator::relative::relatively_contained;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_pi2p_scaling");

@@ -36,8 +36,14 @@ fn bench(c: &mut Criterion) {
         let db = Database::parse(&facts).unwrap();
         g.bench_with_input(BenchmarkId::new("reachable_chain", len), &db, |b, db| {
             b.iter(|| {
-                reachable_certain_answers(&q, &Symbol::new("q"), &views, db, &EvalOptions::default())
-                    .unwrap()
+                reachable_certain_answers(
+                    &q,
+                    &Symbol::new("q"),
+                    &views,
+                    db,
+                    &EvalOptions::default(),
+                )
+                .unwrap()
             })
         });
     }

@@ -26,9 +26,7 @@ fn bench(c: &mut Criterion) {
     // Klug test, fast path (entailed constraints).
     let a = parse_query("q(X) :- car(X, Y), Y < 1960.").unwrap();
     let b_ = parse_query("q(X) :- car(X, Y), Y < 1970.").unwrap();
-    g.bench_function("klug_fast_path", |bch| {
-        bch.iter(|| cq_contained(&a, &b_))
-    });
+    g.bench_function("klug_fast_path", |bch| bch.iter(|| cq_contained(&a, &b_)));
 
     // Klug test, full enumeration (needs the linearization split), with a
     // growing number of unconstrained terms.

@@ -27,8 +27,7 @@ fn bench(c: &mut Criterion) {
             &(prog.clone(), views.clone()),
             |b, (prog, views)| {
                 b.iter(|| {
-                    let plan =
-                        eliminate_function_terms(&max_contained_plan(prog, views)).unwrap();
+                    let plan = eliminate_function_terms(&max_contained_plan(prog, views)).unwrap();
                     plan.unfold(&Symbol::new("q"))
                 })
             },
@@ -43,9 +42,7 @@ fn bench(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new("enumeration_route", nviews),
                 &(q, views),
-                |b, (q, views)| {
-                    b.iter(|| enumerated_plan(q, views, &EnumerationLimits::default()))
-                },
+                |b, (q, views)| b.iter(|| enumerated_plan(q, views, &EnumerationLimits::default())),
             );
         }
     }

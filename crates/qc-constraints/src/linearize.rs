@@ -176,9 +176,8 @@ fn place(
     // Join existing block b: requires same_ok[b], after_ok for blocks < b,
     // before_ok for blocks > b.
     for b in 0..nblocks {
-        let ok = same_ok[b]
-            && (0..b).all(|x| after_ok[x])
-            && ((b + 1)..nblocks).all(|x| before_ok[x]);
+        let ok =
+            same_ok[b] && (0..b).all(|x| after_ok[x]) && ((b + 1)..nblocks).all(|x| before_ok[x]);
         if ok {
             blocks[b].push(node);
             place(nodes, i + 1, blocks, closure, visit)?;

@@ -8,7 +8,9 @@ use std::fmt;
 /// The paper's comparison predicates are `<`, `>`, `<=`, `>=`, and `!=`
 /// (§5); we additionally support explicit `=`, which arises when comparing
 /// terms during containment tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum CompOp {
     /// `<`
     Lt,

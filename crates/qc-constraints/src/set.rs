@@ -91,11 +91,7 @@ impl Constraint {
             (self.lhs, self.rhs),
             (Node::Var(_), Node::Const(_)) | (Node::Const(_), Node::Var(_))
         );
-        var_const
-            && matches!(
-                self.op,
-                CompOp::Lt | CompOp::Le | CompOp::Gt | CompOp::Ge
-            )
+        var_const && matches!(self.op, CompOp::Lt | CompOp::Le | CompOp::Gt | CompOp::Ge)
     }
 }
 
@@ -198,12 +194,14 @@ impl ConstraintSet {
 
     /// Decides satisfiability over the dense linear order.
     pub fn is_satisfiable(&self) -> bool {
+        qc_obs::count(qc_obs::Counter::ConstraintSatChecks, 1);
         Closure::build(self, &[]).is_some()
     }
 
     /// Decides whether the conjunction entails `c` (i.e. every model of
     /// `self` satisfies `c`). An unsatisfiable set entails everything.
     pub fn entails(&self, c: Constraint) -> bool {
+        qc_obs::count(qc_obs::Counter::ConstraintEntailmentChecks, 1);
         let mut neg = self.clone();
         neg.push(Constraint::new(c.lhs, c.op.negate(), c.rhs));
         !neg.is_satisfiable()
@@ -281,14 +279,14 @@ impl Closure {
     /// Builds the closure; `None` signals unsatisfiability.
     #[allow(clippy::needless_range_loop)] // parallel index arrays read better
     fn build(set: &ConstraintSet, extra_nodes: &[Node]) -> Option<Closure> {
+        qc_obs::count(qc_obs::Counter::ConstraintClosureOps, 1);
         let mut nodes = set.nodes();
         for n in extra_nodes {
             if !nodes.contains(n) {
                 nodes.push(*n);
             }
         }
-        let index: HashMap<Node, usize> =
-            nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let index: HashMap<Node, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
         let n = nodes.len();
         let mut rel = vec![vec![Edge::None; n]; n];
         let mut ne = vec![vec![false; n]; n];
@@ -386,7 +384,9 @@ impl Closure {
     /// `a != b` asserted or implied by strict order in the closure.
     pub(crate) fn neq(&self, a: Node, b: Node) -> bool {
         match (self.idx(a), self.idx(b)) {
-            (Some(i), Some(j)) => self.ne[i][j] || self.rel[i][j] == Edge::Lt || self.rel[j][i] == Edge::Lt,
+            (Some(i), Some(j)) => {
+                self.ne[i][j] || self.rel[i][j] == Edge::Lt || self.rel[j][i] == Edge::Lt
+            }
             _ => false,
         }
     }

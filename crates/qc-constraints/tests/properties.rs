@@ -20,14 +20,9 @@ fn arb_constraint_set(max_atoms: usize) -> impl Strategy<Value = ConstraintSet> 
         Just(CompOp::Ge),
         Just(CompOp::Gt),
     ];
-    proptest::collection::vec((node.clone(), op, node), 0..=max_atoms)
-        .prop_map(|atoms| {
-            ConstraintSet::from_atoms(
-                atoms
-                    .into_iter()
-                    .map(|(l, o, r)| Constraint::new(l, o, r)),
-            )
-        })
+    proptest::collection::vec((node.clone(), op, node), 0..=max_atoms).prop_map(|atoms| {
+        ConstraintSet::from_atoms(atoms.into_iter().map(|(l, o, r)| Constraint::new(l, o, r)))
+    })
 }
 
 proptest! {

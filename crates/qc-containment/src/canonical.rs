@@ -40,6 +40,7 @@ pub fn freeze(q: &ConjunctiveQuery) -> Frozen {
         let tuple: Tuple = a.args.iter().map(&mut freeze_term).collect();
         database.insert(a.pred.as_str(), tuple);
     }
+    qc_obs::count(qc_obs::Counter::CanonicalDbTuples, q.subgoals.len() as u64);
     let head: Tuple = q.head.args.iter().map(&mut freeze_term).collect();
     Frozen { database, head }
 }
@@ -92,12 +93,10 @@ mod tests {
         let f = freeze(&q("q(X) :- r(X, Y), s(Y, 10)."));
         assert_eq!(f.database.total_len(), 2);
         assert_eq!(f.head, vec![Term::sym("@X")]);
-        assert!(f
-            .database
-            .contains_atom(&qc_datalog::Atom::new(
-                "s",
-                vec![Term::sym("@Y"), Term::int(10)]
-            )));
+        assert!(f.database.contains_atom(&qc_datalog::Atom::new(
+            "s",
+            vec![Term::sym("@Y"), Term::int(10)]
+        )));
     }
 
     #[test]

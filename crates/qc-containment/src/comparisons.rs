@@ -93,11 +93,7 @@ impl NodeMap {
             }
         }
         // Symbolic constants differ from every numeric constant in play.
-        let nums: Vec<Node> = self
-            .nums_seen
-            .iter()
-            .map(|r| Node::Const(*r))
-            .collect();
+        let nums: Vec<Node> = self.nums_seen.iter().map(|r| Node::Const(*r)).collect();
         for (_, a) in &syms {
             for n in &nums {
                 set.add(Node::Var(*a), CompOp::Ne, *n);
@@ -108,10 +104,7 @@ impl NodeMap {
 }
 
 /// Converts a list of comparison literals to a constraint set via `map`.
-pub fn comparisons_to_constraints(
-    comps: &[Comparison],
-    map: &mut NodeMap,
-) -> ConstraintSet {
+pub fn comparisons_to_constraints(comps: &[Comparison], map: &mut NodeMap) -> ConstraintSet {
     let mut set = ConstraintSet::new();
     for c in comps {
         let l = map.node(&c.lhs);
@@ -326,14 +319,8 @@ mod tests {
     #[test]
     fn constant_equality_via_comparison() {
         // Y = 10 in the body acts like the constant 10.
-        assert!(contained(
-            "q(X) :- r(X, Y), Y = 10.",
-            "q(X) :- r(X, 10)."
-        ));
-        assert!(contained(
-            "q(X) :- r(X, 10).",
-            "q(X) :- r(X, Y), Y = 10."
-        ));
+        assert!(contained("q(X) :- r(X, Y), Y = 10.", "q(X) :- r(X, 10)."));
+        assert!(contained("q(X) :- r(X, 10).", "q(X) :- r(X, Y), Y = 10."));
     }
 
     #[test]
@@ -365,8 +352,14 @@ mod tests {
         .unwrap();
         assert!(cq_contained_in_ucq(&q1, &u2));
         // Neither disjunct alone contains q1.
-        assert!(!cq_contained_in_ucq(&q1, &Ucq::single(u2.disjuncts[0].clone())));
-        assert!(!cq_contained_in_ucq(&q1, &Ucq::single(u2.disjuncts[1].clone())));
+        assert!(!cq_contained_in_ucq(
+            &q1,
+            &Ucq::single(u2.disjuncts[0].clone())
+        ));
+        assert!(!cq_contained_in_ucq(
+            &q1,
+            &Ucq::single(u2.disjuncts[1].clone())
+        ));
     }
 
     #[test]
@@ -433,10 +426,7 @@ mod tests {
         // linearization X = Y admits a mapping, others fail -> overall
         // not contained. But with q1 constraint X = Y, contained.
         assert!(!contained("q() :- r(X), s(Y).", "q() :- r(A), s(A)."));
-        assert!(contained(
-            "q() :- r(X), s(Y), X = Y.",
-            "q() :- r(A), s(A)."
-        ));
+        assert!(contained("q() :- r(X), s(Y), X = Y.", "q() :- r(A), s(A)."));
     }
 
     #[test]

@@ -130,7 +130,8 @@ mod tests {
     fn paper_example1_classical_claims() {
         // "Q2 is contained in Q1 because Q2 applies a stronger condition
         //  (Rating = 10) than Q1, but Q1 is not contained in Q2."
-        let q1 = q("q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).");
+        let q1 =
+            q("q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).");
         let q2 = q("q2(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).");
         assert!(cq_contained(&q2, &q1));
         assert!(!cq_contained(&q1, &q2));
@@ -225,13 +226,13 @@ mod tests {
         let dup = ucq(&["q(X) :- a(X).", "q(Z) :- a(Z)."]);
         assert_eq!(minimize_union(&dup).disjuncts.len(), 1);
         // With comparisons: the weaker window subsumes the stronger.
-        let cmpu = ucq(&[
-            "q(X) :- a(X, Y), Y < 1950.",
-            "q(X) :- a(X, Y), Y < 1970.",
-        ]);
+        let cmpu = ucq(&["q(X) :- a(X, Y), Y < 1950.", "q(X) :- a(X, Y), Y < 1970."]);
         let m2 = minimize_union(&cmpu);
         assert_eq!(m2.disjuncts.len(), 1);
-        assert_eq!(m2.disjuncts[0].comparisons[0].rhs, qc_datalog::Term::int(1970));
+        assert_eq!(
+            m2.disjuncts[0].comparisons[0].rhs,
+            qc_datalog::Term::int(1970)
+        );
     }
 
     #[test]

@@ -48,8 +48,17 @@ pub enum DatalogUcqError {
     TooManyAtoms(usize),
     /// A disjunct of the target query has more than 255 variables.
     TooManyVars(usize),
-    /// The type fixpoint exceeded its size budget.
-    Budget(&'static str),
+    /// The type fixpoint exceeded its size budget. Reports which stage
+    /// tripped and how much of the limit was consumed when it did.
+    Budget {
+        /// Which budget dimension tripped (`"iterations"`, `"type
+        /// entries"`, `"types per key"`, `"keys"`).
+        stage: &'static str,
+        /// How much had been consumed when the limit tripped.
+        consumed: usize,
+        /// The configured limit (see [`FixpointBudget`]).
+        limit: usize,
+    },
     /// The answer predicate's arity disagrees with the target query's.
     ArityMismatch,
 }
@@ -58,12 +67,22 @@ impl fmt::Display for DatalogUcqError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DatalogUcqError::FunctionTerms => {
-                write!(f, "inputs must be function-free (eliminate Skolem terms first)")
+                write!(
+                    f,
+                    "inputs must be function-free (eliminate Skolem terms first)"
+                )
             }
             DatalogUcqError::Comparisons => write!(f, "inputs must be comparison-free"),
             DatalogUcqError::TooManyAtoms(n) => write!(f, "target disjunct has {n} > 32 subgoals"),
             DatalogUcqError::TooManyVars(n) => write!(f, "target disjunct has {n} > 255 variables"),
-            DatalogUcqError::Budget(what) => write!(f, "type fixpoint budget exceeded: {what}"),
+            DatalogUcqError::Budget {
+                stage,
+                consumed,
+                limit,
+            } => write!(
+                f,
+                "type fixpoint budget exceeded at {stage}: consumed {consumed} of limit {limit}"
+            ),
             DatalogUcqError::ArityMismatch => write!(f, "answer arity differs from target arity"),
         }
     }
@@ -375,7 +394,9 @@ fn enumerate_placements(
                 }
             }
             for v in cands {
-                if cs.iter().all(|&c| !pin_options(st.children[c].0, &v).is_empty())
+                if cs
+                    .iter()
+                    .all(|&c| !pin_options(st.children[c].0, &v).is_empty())
                     && !opts.contains(&GVal::RT(v.clone()))
                 {
                     opts.push(GVal::RT(v));
@@ -480,11 +501,10 @@ fn enumerate_placements(
         }
 
         // g-bound vars enter gfull as RT.
-        let mut gfull: HashMap<u8, GVal> = st
-            .g
-            .iter()
-            .map(|(x, v)| (*x, GVal::RT(v.clone())))
-            .collect();
+        let mut gfull: HashMap<u8, GVal> =
+            st.g.iter()
+                .map(|(x, v)| (*x, GVal::RT(v.clone())))
+                .collect();
         assign(st, &options, 0, &mut gfull, mask, on_result)
     }
 
@@ -516,82 +536,94 @@ fn compose(
     let mut ty = TypeSet::new();
     for di in 0..ctx.disjuncts.len() {
         let seed = HashMap::new();
-        enumerate_placements(ctx, di, &edb_atoms, children, false, &seed, &mut |mask, g| {
-            // Emit the family of records: per variable, its pin options.
-            let disj = &ctx.disjuncts[di];
-            let mut vars_in: Vec<u8> = Vec::new();
-            for j in 0..disj.atoms.len() {
-                if mask & (1 << j) != 0 {
-                    for &x in &disj.atom_vars[j] {
-                        if !vars_in.contains(&x) {
-                            vars_in.push(x);
+        enumerate_placements(
+            ctx,
+            di,
+            &edb_atoms,
+            children,
+            false,
+            &seed,
+            &mut |mask, g| {
+                // Emit the family of records: per variable, its pin options.
+                let disj = &ctx.disjuncts[di];
+                let mut vars_in: Vec<u8> = Vec::new();
+                for j in 0..disj.atoms.len() {
+                    if mask & (1 << j) != 0 {
+                        for &x in &disj.atom_vars[j] {
+                            if !vars_in.contains(&x) {
+                                vars_in.push(x);
+                            }
                         }
                     }
                 }
-            }
-            vars_in.sort_unstable();
-            let mut per_var: Vec<(u8, Vec<Option<Pin>>)> = Vec::new();
-            for x in vars_in {
-                let mut opts: Vec<Option<Pin>> = vec![None];
-                if let Some(GVal::RT(v)) = g.get(&x) {
-                    for (m, h) in head_terms.iter().enumerate() {
-                        if h == v {
-                            opts.push(Some(Pin::Pos(m as u8)));
+                vars_in.sort_unstable();
+                let mut per_var: Vec<(u8, Vec<Option<Pin>>)> = Vec::new();
+                for x in vars_in {
+                    let mut opts: Vec<Option<Pin>> = vec![None];
+                    if let Some(GVal::RT(v)) = g.get(&x) {
+                        for (m, h) in head_terms.iter().enumerate() {
+                            if h == v {
+                                opts.push(Some(Pin::Pos(m as u8)));
+                            }
+                        }
+                        if let Term::Const(c) = v {
+                            opts.push(Some(Pin::C(c.clone())));
                         }
                     }
-                    if let Term::Const(c) = v {
-                        opts.push(Some(Pin::C(c.clone())));
+                    per_var.push((x, opts));
+                }
+                // Cartesian product of pin selections.
+                fn emit(
+                    ty: &mut TypeSet,
+                    di: u8,
+                    mask: u32,
+                    per_var: &[(u8, Vec<Option<Pin>>)],
+                    k: usize,
+                    pins: &mut BTreeMap<u8, Pin>,
+                    cap: usize,
+                ) -> Result<(), DatalogUcqError> {
+                    if ty.len() > cap {
+                        return Err(DatalogUcqError::Budget {
+                            stage: "type entries",
+                            consumed: ty.len(),
+                            limit: cap,
+                        });
                     }
-                }
-                per_var.push((x, opts));
-            }
-            // Cartesian product of pin selections.
-            fn emit(
-                ty: &mut TypeSet,
-                di: u8,
-                mask: u32,
-                per_var: &[(u8, Vec<Option<Pin>>)],
-                k: usize,
-                pins: &mut BTreeMap<u8, Pin>,
-                cap: usize,
-            ) -> Result<(), DatalogUcqError> {
-                if ty.len() > cap {
-                    return Err(DatalogUcqError::Budget("type entries"));
-                }
-                if k == per_var.len() {
-                    ty.insert(Req {
-                        disj: di,
-                        mask,
-                        pins: pins.clone(),
-                    });
-                    return Ok(());
-                }
-                let (x, opts) = &per_var[k];
-                for o in opts {
-                    match o {
-                        None => {
-                            pins.remove(x);
-                        }
-                        Some(p) => {
-                            pins.insert(*x, p.clone());
-                        }
+                    if k == per_var.len() {
+                        ty.insert(Req {
+                            disj: di,
+                            mask,
+                            pins: pins.clone(),
+                        });
+                        return Ok(());
                     }
-                    emit(ty, di, mask, per_var, k + 1, pins, cap)?;
+                    let (x, opts) = &per_var[k];
+                    for o in opts {
+                        match o {
+                            None => {
+                                pins.remove(x);
+                            }
+                            Some(p) => {
+                                pins.insert(*x, p.clone());
+                            }
+                        }
+                        emit(ty, di, mask, per_var, k + 1, pins, cap)?;
+                    }
+                    pins.remove(&per_var[k].0);
+                    Ok(())
                 }
-                pins.remove(&per_var[k].0);
-                Ok(())
-            }
-            let mut pins = BTreeMap::new();
-            emit(
-                &mut ty,
-                di as u8,
-                mask,
-                &per_var,
-                0,
-                &mut pins,
-                ctx.budget.max_type_entries,
-            )
-        })?;
+                let mut pins = BTreeMap::new();
+                emit(
+                    &mut ty,
+                    di as u8,
+                    mask,
+                    &per_var,
+                    0,
+                    &mut pins,
+                    ctx.budget.max_type_entries,
+                )
+            },
+        )?;
     }
     Ok(ty)
 }
@@ -650,12 +682,20 @@ fn covers(
             (1u32 << disj.atoms.len()) - 1
         };
         let mut covered = false;
-        enumerate_placements(ctx, di, &edb_atoms, children, true, &seed, &mut |mask, _g| {
-            if mask == full_mask {
-                covered = true;
-            }
-            Ok(())
-        })?;
+        enumerate_placements(
+            ctx,
+            di,
+            &edb_atoms,
+            children,
+            true,
+            &seed,
+            &mut |mask, _g| {
+                if mask == full_mask {
+                    covered = true;
+                }
+                Ok(())
+            },
+        )?;
         if covered {
             return Ok(true);
         }
@@ -700,6 +740,7 @@ pub fn datalog_contained_in_ucq(
     q: &Ucq,
     budget: &FixpointBudget,
 ) -> Result<bool, DatalogUcqError> {
+    let _span = qc_obs::span("datalog_in_ucq_fixpoint");
     if p.has_function_terms() {
         return Err(DatalogUcqError::FunctionTerms);
     }
@@ -719,10 +760,7 @@ pub fn datalog_contained_in_ucq(
             return Err(DatalogUcqError::FunctionTerms);
         }
     }
-    let answer_arity = p
-        .rules_for(answer)
-        .next()
-        .map(|r| r.head.arity());
+    let answer_arity = p.rules_for(answer).next().map(|r| r.head.arity());
     if let Some(ar) = answer_arity {
         if ar != q.arity {
             return Err(DatalogUcqError::ArityMismatch);
@@ -757,11 +795,7 @@ pub fn datalog_contained_in_ucq(
             .subgoals
             .iter()
             .map(|a| {
-                let mut v: Vec<u8> = a
-                    .vars()
-                    .iter()
-                    .map(|x| var_idx[x])
-                    .collect();
+                let mut v: Vec<u8> = a.vars().iter().map(|x| var_idx[x]).collect();
                 v.sort_unstable();
                 v.dedup();
                 v
@@ -805,8 +839,13 @@ pub fn datalog_contained_in_ucq(
         HashMap::new();
     loop {
         iterations += 1;
+        qc_obs::count(qc_obs::Counter::FixpointIterations, 1);
         if iterations > ctx.budget.max_iterations {
-            return Err(DatalogUcqError::Budget("iterations"));
+            return Err(DatalogUcqError::Budget {
+                stage: "iterations",
+                consumed: iterations,
+                limit: ctx.budget.max_iterations,
+            });
         }
         let mut changed = false;
         demands.changed = false;
@@ -822,16 +861,17 @@ pub fn datalog_contained_in_ucq(
                     &mut gen,
                     &mut demands,
                     &mut |spec, children, combo| {
+                        qc_obs::count(qc_obs::Counter::FixpointComposeCalls, 1);
                         let cache_key = (rule_idx, delta.clone(), combo.clone());
                         if let Some((pred, pat, ty)) = compose_cache.get(&cache_key) {
+                            qc_obs::count(qc_obs::Counter::FixpointComposeCacheHits, 1);
                             pending.push((pred.clone(), pat.clone(), ty.clone()));
                             return Ok(());
                         }
                         let ty = compose(&ctx, spec, children, &spec.head.args)?;
                         let pred = spec.head.pred.clone();
                         let pat = pattern_of(&spec.head.args);
-                        compose_cache
-                            .insert(cache_key, (pred.clone(), pat.clone(), ty.clone()));
+                        compose_cache.insert(cache_key, (pred.clone(), pat.clone(), ty.clone()));
                         pending.push((pred, pat, ty));
                         Ok(())
                     },
@@ -839,17 +879,25 @@ pub fn datalog_contained_in_ucq(
                 for (pred, pat, ty) in pending {
                     let entry = types.entry((pred, pat)).or_default();
                     if insert_minimal(entry, ty) {
+                        qc_obs::count(qc_obs::Counter::FixpointTypesRecorded, 1);
                         changed = true;
                     }
                     if entry.len() > ctx.budget.max_types_per_key {
-                        return Err(DatalogUcqError::Budget("types per key"));
+                        return Err(DatalogUcqError::Budget {
+                            stage: "types per key",
+                            consumed: entry.len(),
+                            limit: ctx.budget.max_types_per_key,
+                        });
                     }
                 }
             }
-            if types.len() > ctx.budget.max_keys
-                || demands.map.values().map(BTreeSet::len).sum::<usize>() > ctx.budget.max_keys
-            {
-                return Err(DatalogUcqError::Budget("keys"));
+            let demanded = demands.map.values().map(BTreeSet::len).sum::<usize>();
+            if types.len() > ctx.budget.max_keys || demanded > ctx.budget.max_keys {
+                return Err(DatalogUcqError::Budget {
+                    stage: "keys",
+                    consumed: types.len().max(demanded),
+                    limit: ctx.budget.max_keys,
+                });
             }
         }
         if !changed && !demands.changed {
@@ -864,12 +912,19 @@ pub fn datalog_contained_in_ucq(
     let mut all_covered = true;
     let mut sink = DemandSet::default();
     for rule in p.rules_for(answer) {
-        for_each_specialization(&ctx, rule, &types, &mut gen, &mut sink, &mut |spec, children, _| {
-            if all_covered && !covers(&ctx, spec, children, &spec.head.args)? {
-                all_covered = false;
-            }
-            Ok(())
-        })?;
+        for_each_specialization(
+            &ctx,
+            rule,
+            &types,
+            &mut gen,
+            &mut sink,
+            &mut |spec, children, _| {
+                if all_covered && !covers(&ctx, spec, children, &spec.head.args)? {
+                    all_covered = false;
+                }
+                Ok(())
+            },
+        )?;
         if !all_covered {
             break;
         }
@@ -949,7 +1004,9 @@ fn for_each_specialization(
                 .iter()
                 .map(|(args, _, _, ty)| {
                     (
-                        args.iter().map(|t| sigma.apply_term(t)).collect::<Vec<Term>>(),
+                        args.iter()
+                            .map(|t| sigma.apply_term(t))
+                            .collect::<Vec<Term>>(),
                         ty,
                     )
                 })
@@ -1288,7 +1345,11 @@ mod tests {
             ]
         ));
         // Dropping one disjunct breaks it.
-        assert!(!check(p, "q", &["t(X) :- v(X), w(X).", "t(X) :- v(X), e(red)."]));
+        assert!(!check(
+            p,
+            "q",
+            &["t(X) :- v(X), w(X).", "t(X) :- v(X), e(red)."]
+        ));
     }
 
     #[test]

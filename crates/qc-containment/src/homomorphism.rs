@@ -24,7 +24,10 @@ pub fn apply_mapping(m: &Mapping, t: &Term) -> Term {
     match t {
         Term::Var(v) => m.get(v).cloned().unwrap_or_else(|| t.clone()),
         Term::Const(_) => t.clone(),
-        Term::App(f, args) => Term::App(f.clone(), args.iter().map(|a| apply_mapping(m, a)).collect()),
+        Term::App(f, args) => Term::App(
+            f.clone(),
+            args.iter().map(|a| apply_mapping(m, a)).collect(),
+        ),
     }
 }
 
@@ -88,7 +91,9 @@ fn search(
     m: &mut Mapping,
     visit: &mut impl FnMut(&Mapping) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
+    qc_obs::count(qc_obs::Counter::HomSearchNodes, 1);
     if k == goals.len() {
+        qc_obs::count(qc_obs::Counter::HomMappingsFound, 1);
         return visit(m);
     }
     let goal = goals[k];
@@ -104,6 +109,8 @@ fn search(
             .all(|(f, t)| extend(m, f, t, &mut added));
         if ok {
             search(goals, k + 1, to, m, visit)?;
+        } else {
+            qc_obs::count(qc_obs::Counter::HomCandidatesPruned, 1);
         }
         for v in added {
             m.remove(&v);

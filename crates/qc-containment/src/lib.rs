@@ -49,6 +49,8 @@ pub mod uniform;
 pub mod witness;
 
 pub use comparisons::cq_contained_in_ucq;
-pub use cq::{cq_contained, cq_equivalent, minimize, minimize_union, ucq_contained, ucq_equivalent};
+pub use cq::{
+    cq_contained, cq_equivalent, minimize, minimize_union, ucq_contained, ucq_equivalent,
+};
 pub use datalog_ucq::{datalog_contained_in_ucq, DatalogUcqError};
 pub use homomorphism::{containment_mapping, for_each_containment_mapping, Mapping};

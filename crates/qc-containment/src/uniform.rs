@@ -22,7 +22,11 @@ use qc_datalog::{Atom, Database, Program, Rule, Symbol, Term, Var};
 /// `P` and `Q` must share their predicate vocabulary for the result to be
 /// meaningful (IDB predicates are matched by name). Sound for ordinary
 /// containment: `Ok(true)` implies `P ⊆ Q`; `Ok(false)` decides nothing.
-pub fn uniformly_contained(p: &Program, q: &Program, opts: &EvalOptions) -> Result<bool, EvalError> {
+pub fn uniformly_contained(
+    p: &Program,
+    q: &Program,
+    opts: &EvalOptions,
+) -> Result<bool, EvalError> {
     // Q, with every IDB predicate additionally fed from a seed relation, so
     // that frozen IDB facts participate in the derivation.
     let mut q_seeded = q.clone();
@@ -35,13 +39,14 @@ pub fn uniformly_contained(p: &Program, q: &Program, opts: &EvalOptions) -> Resu
             idb.push(pred);
         }
     }
-    let arities_p = p.arities().map_err(|_| EvalError::NonGroundHead("arity".into()))?;
-    let arities_q = q.arities().map_err(|_| EvalError::NonGroundHead("arity".into()))?;
+    let arities_p = p
+        .arities()
+        .map_err(|_| EvalError::NonGroundHead("arity".into()))?;
+    let arities_q = q
+        .arities()
+        .map_err(|_| EvalError::NonGroundHead("arity".into()))?;
     for pred in &idb {
-        let arity = arities_q
-            .get(pred)
-            .or_else(|| arities_p.get(pred))
-            .copied();
+        let arity = arities_q.get(pred).or_else(|| arities_p.get(pred)).copied();
         let Some(arity) = arity else { continue };
         let seeded = Symbol::new(format!("{}__seed", pred));
         seed_name.insert(pred.clone(), seeded.clone());
@@ -51,11 +56,7 @@ pub fn uniformly_contained(p: &Program, q: &Program, opts: &EvalOptions) -> Resu
                 pred: pred.clone(),
                 args: args.clone(),
             },
-            vec![Atom {
-                pred: seeded,
-                args,
-            }
-            .into()],
+            vec![Atom { pred: seeded, args }.into()],
         ));
     }
 

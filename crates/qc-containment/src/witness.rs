@@ -13,9 +13,7 @@
 
 use std::collections::VecDeque;
 
-use qc_datalog::{
-    unify_atoms, ConjunctiveQuery, Literal, Program, Rule, Symbol, Ucq, VarGen,
-};
+use qc_datalog::{unify_atoms, ConjunctiveQuery, Literal, Program, Rule, Symbol, Ucq, VarGen};
 
 use crate::comparisons::cq_contained_in_ucq;
 
@@ -84,8 +82,7 @@ pub fn find_counterexample_expansion(
                     if let Some(mgu) = unify_atoms(&call, &def.head) {
                         let mut body = rule.body.clone();
                         body.splice(i..=i, def.body.iter().cloned());
-                        let expanded =
-                            Rule::new(rule.head.clone(), body).substitute(&mgu);
+                        let expanded = Rule::new(rule.head.clone(), body).substitute(&mgu);
                         queue.push_back((expanded, unfoldings + 1));
                     }
                 }
@@ -108,21 +105,10 @@ mod tests {
     #[test]
     fn finds_the_escaping_chain() {
         // TC ⊄ paths of length ≤ 2: the witness is the 3-chain.
-        let p = parse_program(
-            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).",
-        )
-        .unwrap();
-        let q = ucq(&[
-            "t(A, B) :- e(A, B).",
-            "t(A, C) :- e(A, B), e(B, C).",
-        ]);
-        let w = find_counterexample_expansion(
-            &p,
-            &Symbol::new("t"),
-            &q,
-            &WitnessBudget::default(),
-        )
-        .expect("a witness exists");
+        let p = parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
+        let q = ucq(&["t(A, B) :- e(A, B).", "t(A, C) :- e(A, B), e(B, C)."]);
+        let w = find_counterexample_expansion(&p, &Symbol::new("t"), &q, &WitnessBudget::default())
+            .expect("a witness exists");
         assert_eq!(w.subgoals.len(), 3, "{w}");
         // The witness genuinely escapes.
         assert!(!cq_contained_in_ucq(&w, &q));
@@ -130,18 +116,12 @@ mod tests {
 
     #[test]
     fn no_witness_when_contained() {
-        let p = parse_program(
-            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
         let q = ucq(&["u(A, B) :- e(A, C), e(D, B)."]);
-        assert!(datalog_contained_in_ucq(
-            &p,
-            &Symbol::new("t"),
-            &q,
-            &FixpointBudget::default()
-        )
-        .unwrap());
+        assert!(
+            datalog_contained_in_ucq(&p, &Symbol::new("t"), &q, &FixpointBudget::default())
+                .unwrap()
+        );
         assert!(find_counterexample_expansion(
             &p,
             &Symbol::new("t"),
@@ -170,28 +150,20 @@ mod tests {
         for (psrc, qsrcs) in cases {
             let p = parse_program(psrc).unwrap();
             let ans = p.rules()[0].head.pred.clone();
-            let q = Ucq::new(qsrcs.iter().map(|s| parse_query(s).unwrap()).collect())
-                .unwrap();
+            let q = Ucq::new(qsrcs.iter().map(|s| parse_query(s).unwrap()).collect()).unwrap();
             let decided =
                 datalog_contained_in_ucq(&p, &ans, &q, &FixpointBudget::default()).unwrap();
-            let witness =
-                find_counterexample_expansion(&p, &ans, &q, &WitnessBudget::default());
+            let witness = find_counterexample_expansion(&p, &ans, &q, &WitnessBudget::default());
             assert_eq!(decided, witness.is_none(), "{psrc}");
         }
     }
 
     #[test]
     fn budget_limits_the_search() {
-        let p = parse_program(
-            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
         // The first escaping expansion needs 3 unfoldings; a budget of 2
         // cannot find it.
-        let q = ucq(&[
-            "t(A, B) :- e(A, B).",
-            "t(A, C) :- e(A, B), e(B, C).",
-        ]);
+        let q = ucq(&["t(A, B) :- e(A, B).", "t(A, C) :- e(A, B), e(B, C)."]);
         let tiny = WitnessBudget {
             max_unfoldings: 2,
             max_explored: 1000,

@@ -8,7 +8,9 @@ use qc_constraints::CompOp;
 use crate::{Const, Symbol, Term, Var};
 
 /// A relational atom `p(t₁, …, tₙ)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Atom {
     /// Predicate name.
     pub pred: Symbol,
@@ -71,7 +73,9 @@ impl fmt::Display for Atom {
 }
 
 /// A comparison literal `t₁ θ t₂` with θ ∈ {<, <=, =, !=, >=, >}.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Comparison {
     /// Left operand.
     pub lhs: Term,
@@ -108,11 +112,7 @@ impl Comparison {
             (&self.lhs, &self.rhs),
             (Term::Var(_), Term::Const(Const::Num(_))) | (Term::Const(Const::Num(_)), Term::Var(_))
         );
-        shape_ok
-            && matches!(
-                self.op,
-                CompOp::Lt | CompOp::Le | CompOp::Gt | CompOp::Ge
-            )
+        shape_ok && matches!(self.op, CompOp::Lt | CompOp::Le | CompOp::Gt | CompOp::Ge)
     }
 
     /// Evaluates the comparison if both operands are ground.
@@ -154,7 +154,9 @@ impl fmt::Display for Comparison {
 }
 
 /// A body literal: a relational atom or a comparison.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Literal {
     /// A relational atom.
     Atom(Atom),

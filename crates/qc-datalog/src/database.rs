@@ -258,10 +258,7 @@ impl Database {
             if let Some(a) = arity {
                 if a != values.len() {
                     return Err(ParseError {
-                        message: format!(
-                            "csv row has {} fields, expected {a}",
-                            values.len()
-                        ),
+                        message: format!("csv row has {} fields, expected {a}", values.len()),
                         line: lineno + 1,
                         col: 1,
                     });

@@ -88,7 +88,12 @@ impl fmt::Display for EvalError {
 impl std::error::Error for EvalError {}
 
 /// Evaluates `program` over `edb`, returning the derived IDB relations.
-pub fn evaluate(program: &Program, edb: &Database, opts: &EvalOptions) -> Result<Database, EvalError> {
+pub fn evaluate(
+    program: &Program,
+    edb: &Database,
+    opts: &EvalOptions,
+) -> Result<Database, EvalError> {
+    let _span = qc_obs::span("datalog_eval");
     match opts.strategy {
         Strategy::Naive => naive_inner(program, edb, opts, None),
         Strategy::SemiNaive => seminaive_inner(program, edb, opts, None),
@@ -135,8 +140,7 @@ impl Trace {
     pub fn support(&self, pred: &Symbol, tuple: &Tuple) -> Vec<(Symbol, Tuple)> {
         let mut out: Vec<(Symbol, Tuple)> = Vec::new();
         let mut stack = vec![(pred.clone(), tuple.clone())];
-        let mut seen: std::collections::HashSet<(Symbol, Tuple)> =
-            std::collections::HashSet::new();
+        let mut seen: std::collections::HashSet<(Symbol, Tuple)> = std::collections::HashSet::new();
         while let Some(fact) = stack.pop() {
             if !seen.insert(fact.clone()) {
                 continue;
@@ -194,6 +198,7 @@ pub fn evaluate_traced(
         trace: true,
         ..*opts
     };
+    let _span = qc_obs::span("datalog_eval");
     let mut trace = Trace::default();
     let idb = match opts.strategy {
         Strategy::Naive => naive_inner(program, edb, &opts, Some(&mut trace))?,
@@ -276,7 +281,11 @@ struct Snapshots<'a> {
 impl<'a> Snapshots<'a> {
     fn view(&'a self, pred: &Symbol, source: Source) -> RelView<'a> {
         if let Some(rel) = self.idb.relation(pred) {
-            let (old, full) = self.marks.get(pred).copied().unwrap_or((rel.len(), rel.len()));
+            let (old, full) = self
+                .marks
+                .get(pred)
+                .copied()
+                .unwrap_or((rel.len(), rel.len()));
             return match source {
                 Source::Full => RelView {
                     rel,
@@ -321,7 +330,11 @@ fn eval_rule(
         .filter_map(Literal::as_atom)
         .enumerate()
         .collect();
-    let comparisons: Vec<&Comparison> = rule.body.iter().filter_map(Literal::as_comparison).collect();
+    let comparisons: Vec<&Comparison> = rule
+        .body
+        .iter()
+        .filter_map(Literal::as_comparison)
+        .collect();
 
     // Bindings are kept as a ground environment: var -> ground term.
     let mut env: HashMap<crate::Var, Term> = HashMap::new();
@@ -412,7 +425,9 @@ fn eval_rule(
     ) -> Result<(), EvalError> {
         // Evaluate any newly-ground comparisons first (cheap pruning).
         let mut done = comps_done.clone();
-        if let Some(false) = check_comparisons(comparisons, &mut done, env) { return Ok(()) }
+        if let Some(false) = check_comparisons(comparisons, &mut done, env) {
+            return Ok(());
+        }
 
         if k == atoms.len() {
             if done.len() != comparisons.len() {
@@ -440,8 +455,7 @@ fn eval_rule(
             let support = if opts.trace {
                 let mut facts = Vec::with_capacity(atoms.len());
                 for (_, atom) in atoms {
-                    let tuple: Option<Tuple> =
-                        atom.args.iter().map(|a| ground(a, env)).collect();
+                    let tuple: Option<Tuple> = atom.args.iter().map(|a| ground(a, env)).collect();
                     match tuple {
                         Some(t) => facts.push((atom.pred.clone(), t)),
                         None => return Err(EvalError::NonGroundHead(rule.to_string())),
@@ -526,6 +540,7 @@ fn naive_inner(
         if iterations > opts.max_iterations {
             return Err(EvalError::IterationLimit(opts.max_iterations));
         }
+        qc_obs::count(qc_obs::Counter::EvalRounds, 1);
         let marks: HashMap<Symbol, (usize, usize)> = idb
             .preds()
             .map(|p| {
@@ -543,31 +558,29 @@ fn naive_inner(
             };
             for rule in program.rules() {
                 let pred = rule.head.pred.clone();
-                eval_rule(
-                    rule,
-                    &|_| Source::Full,
-                    &snaps,
-                    opts,
-                    &mut |t, support| {
-                        let d = support.map(|body| Derivation {
-                            rule: rule.clone(),
-                            body,
-                        });
-                        fresh.push((pred.clone(), t, d));
-                        Ok(())
-                    },
-                )?;
+                eval_rule(rule, &|_| Source::Full, &snaps, opts, &mut |t, support| {
+                    let d = support.map(|body| Derivation {
+                        rule: rule.clone(),
+                        body,
+                    });
+                    fresh.push((pred.clone(), t, d));
+                    Ok(())
+                })?;
             }
         }
+        qc_obs::count(qc_obs::Counter::EvalRuleFirings, fresh.len() as u64);
         let mut changed = false;
+        let mut inserted = 0u64;
         for (pred, t, d) in fresh {
             if idb.insert(pred.as_str(), t.clone()) {
                 changed = true;
+                inserted += 1;
                 if let (Some(trace), Some(d)) = (trace.as_deref_mut(), d) {
                     trace.map.entry((pred, t)).or_insert(d);
                 }
             }
         }
+        qc_obs::count(qc_obs::Counter::EvalDerivedFacts, inserted);
         if idb.total_len() > opts.max_derived {
             return Err(EvalError::DerivationLimit(opts.max_derived));
         }
@@ -610,13 +623,17 @@ fn seminaive_inner(
             })?;
         }
     }
+    qc_obs::count(qc_obs::Counter::EvalRuleFirings, fresh.len() as u64);
+    let mut seeded = 0u64;
     for (pred, t, d) in fresh.drain(..) {
         if idb.insert(pred.as_str(), t.clone()) {
+            seeded += 1;
             if let (Some(trace), Some(d)) = (trace.as_deref_mut(), d) {
                 trace.map.entry((pred, t)).or_insert(d);
             }
         }
     }
+    qc_obs::count(qc_obs::Counter::EvalDerivedFacts, seeded);
     for p in &idb_preds {
         marks.insert(p.clone(), (0, idb.len_of(p)));
     }
@@ -632,6 +649,11 @@ fn seminaive_inner(
         if !any_delta {
             return Ok(idb);
         }
+        qc_obs::count(qc_obs::Counter::EvalRounds, 1);
+        qc_obs::count(
+            qc_obs::Counter::EvalDeltaTuples,
+            marks.values().map(|(old, full)| (full - old) as u64).sum(),
+        );
         let mut fresh: Vec<(Symbol, Tuple, Option<Derivation>)> = Vec::new();
         {
             let snaps = Snapshots {
@@ -652,10 +674,7 @@ fn seminaive_inner(
                 for &focus in &idb_occs {
                     // Skip if the focused relation has an empty delta.
                     let focused_pred = &rule.body_atoms().nth(focus).expect("occ").pred;
-                    let (old, full) = marks
-                        .get(focused_pred)
-                        .copied()
-                        .unwrap_or((0, 0));
+                    let (old, full) = marks.get(focused_pred).copied().unwrap_or((0, 0));
                     if old == full {
                         continue;
                     }
@@ -686,13 +705,17 @@ fn seminaive_inner(
             let full = idb.len_of(p);
             marks.insert(p.clone(), (full, full));
         }
+        qc_obs::count(qc_obs::Counter::EvalRuleFirings, fresh.len() as u64);
+        let mut inserted = 0u64;
         for (pred, t, d) in fresh {
             if idb.insert(pred.as_str(), t.clone()) {
+                inserted += 1;
                 if let (Some(trace), Some(d)) = (trace.as_deref_mut(), d) {
                     trace.map.entry((pred, t)).or_insert(d);
                 }
             }
         }
+        qc_obs::count(qc_obs::Counter::EvalDerivedFacts, inserted);
         for p in &idb_preds {
             let (old, _) = marks[p];
             marks.insert(p.clone(), (old, idb.len_of(p)));
@@ -829,7 +852,11 @@ mod tests {
 
     #[test]
     fn repeated_vars_in_body_atom() {
-        let idb = eval_str("loop(X) :- e(X, X).", "e(1, 1). e(1, 2). e(3, 3).", Strategy::SemiNaive);
+        let idb = eval_str(
+            "loop(X) :- e(X, X).",
+            "e(1, 1). e(1, 2). e(3, 3).",
+            Strategy::SemiNaive,
+        );
         assert_eq!(idb.len_of(&Symbol::new("loop")), 2);
     }
 
@@ -845,7 +872,11 @@ mod tests {
 
     #[test]
     fn zero_ary_heads() {
-        let idb = eval_str("q() :- e(X, Y), X != Y.", "e(1, 1). e(1, 2).", Strategy::SemiNaive);
+        let idb = eval_str(
+            "q() :- e(X, Y), X != Y.",
+            "e(1, 1). e(1, 2).",
+            Strategy::SemiNaive,
+        );
         assert_eq!(idb.len_of(&Symbol::new("q")), 1);
         let idb2 = eval_str("q() :- e(X, Y), X != Y.", "e(1, 1).", Strategy::SemiNaive);
         assert_eq!(idb2.len_of(&Symbol::new("q")), 0);
@@ -871,13 +902,9 @@ mod tests {
 
     #[test]
     fn provenance_traces_to_source_facts() {
-        let prog = parse_program(
-            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).",
-        )
-        .unwrap();
+        let prog = parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
         let db = Database::parse("e(1, 2). e(2, 3). e(3, 4).").unwrap();
-        let (idb, trace) =
-            evaluate_traced(&prog, &db, &EvalOptions::default()).unwrap();
+        let (idb, trace) = evaluate_traced(&prog, &db, &EvalOptions::default()).unwrap();
         let t = Symbol::new("t");
         assert_eq!(idb.len_of(&t), 6);
         // The 1->4 path is supported by exactly the three edges.
@@ -888,7 +915,9 @@ mod tests {
             assert_eq!(p, &Symbol::new("e"));
         }
         // The derivation of a direct edge uses the base rule.
-        let d = trace.derivation(&t, &vec![Term::int(1), Term::int(2)]).unwrap();
+        let d = trace
+            .derivation(&t, &vec![Term::int(1), Term::int(2)])
+            .unwrap();
         assert_eq!(d.body.len(), 1);
         // The proof tree renders every level.
         let tree = trace.proof_tree(&t, &tuple);
@@ -898,14 +927,10 @@ mod tests {
 
     #[test]
     fn tracing_does_not_change_answers() {
-        let prog = parse_program(
-            "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).",
-        )
-        .unwrap();
+        let prog = parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
         let db = Database::parse("e(1, 2). e(2, 1). e(2, 3).").unwrap();
         let plain = evaluate(&prog, &db, &EvalOptions::default()).unwrap();
-        let (traced, trace) =
-            evaluate_traced(&prog, &db, &EvalOptions::default()).unwrap();
+        let (traced, trace) = evaluate_traced(&prog, &db, &EvalOptions::default()).unwrap();
         assert_eq!(plain.facts(), traced.facts());
         // Every derived fact has a recorded derivation.
         for fact in traced.facts() {

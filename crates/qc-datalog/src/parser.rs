@@ -41,7 +41,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -228,9 +232,7 @@ impl<'a> Lexer<'a> {
                         Tok::Ident(s)
                     }
                 }
-                other => {
-                    return Err(self.err(format!("unexpected character {:?}", other as char)))
-                }
+                other => return Err(self.err(format!("unexpected character {:?}", other as char))),
             };
             out.push(Spanned { tok, line, col });
         }
@@ -256,7 +258,8 @@ impl<'a> Lexer<'a> {
         }
         // Decimal fraction: only if a digit follows the dot (so `p(1).`
         // still ends the fact with Dot).
-        if self.peek() == Some(b'.') && matches!(self.src.get(self.pos + 1), Some(d) if d.is_ascii_digit())
+        if self.peek() == Some(b'.')
+            && matches!(self.src.get(self.pos + 1), Some(d) if d.is_ascii_digit())
         {
             self.bump(); // '.'
             let mut frac = String::new();
@@ -525,13 +528,12 @@ mod tests {
 
     #[test]
     fn parses_function_terms() {
-        let r =
-            parse_rule("CarDesc(C, M, f(C, M, Y), Y) :- AntiqueCars(C, M, Y).").unwrap();
+        let r = parse_rule("CarDesc(C, M, f(C, M, Y), Y) :- AntiqueCars(C, M, Y).").unwrap();
         assert!(r.has_function_terms());
-        assert_eq!(r.head.args[2], Term::app(
-            "f",
-            vec![Term::var("C"), Term::var("M"), Term::var("Y")]
-        ));
+        assert_eq!(
+            r.head.args[2],
+            Term::app("f", vec![Term::var("C"), Term::var("M"), Term::var("Y")])
+        );
     }
 
     #[test]

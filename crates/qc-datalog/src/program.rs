@@ -84,7 +84,9 @@ impl Program {
 
     /// Whether any rule contains comparison literals.
     pub fn has_comparisons(&self) -> bool {
-        self.rules.iter().any(|r| r.body_comparisons().next().is_some())
+        self.rules
+            .iter()
+            .any(|r| r.body_comparisons().next().is_some())
     }
 
     /// Builds the predicate dependency graph.
@@ -103,7 +105,10 @@ impl Program {
     pub fn arities(&self) -> Result<BTreeMap<Symbol, usize>, Vec<Symbol>> {
         let mut arity: BTreeMap<Symbol, usize> = BTreeMap::new();
         let mut bad: BTreeSet<Symbol> = BTreeSet::new();
-        let note = |pred: &Symbol, n: usize, arity: &mut BTreeMap<Symbol, usize>, bad: &mut BTreeSet<Symbol>| {
+        let note = |pred: &Symbol,
+                    n: usize,
+                    arity: &mut BTreeMap<Symbol, usize>,
+                    bad: &mut BTreeSet<Symbol>| {
             match arity.get(pred) {
                 Some(&m) if m != n => {
                     bad.insert(pred.clone());
@@ -375,10 +380,7 @@ mod tests {
 
     #[test]
     fn unfold_simple() {
-        let p = parse_program(
-            "q(X) :- a(X, Y), h(Y).\n h(Y) :- b(Y).\n h(Y) :- c(Y, Z).",
-        )
-        .unwrap();
+        let p = parse_program("q(X) :- a(X, Y), h(Y).\n h(Y) :- b(Y).\n h(Y) :- c(Y, Z).").unwrap();
         let u = p.unfold(&Symbol::new("q")).unwrap();
         assert_eq!(u.disjuncts.len(), 2);
         for d in &u.disjuncts {
@@ -437,10 +439,8 @@ mod tests {
 
     #[test]
     fn unfold_recursive_pred_unreachable_from_answer_is_fine() {
-        let p = parse_program(
-            "q(X) :- a(X).\n p(X, Z) :- p(X, Y), e(Y, Z).\n p(X, Y) :- e(X, Y).",
-        )
-        .unwrap();
+        let p = parse_program("q(X) :- a(X).\n p(X, Z) :- p(X, Y), e(Y, Z).\n p(X, Y) :- e(X, Y).")
+            .unwrap();
         let u = p.unfold(&Symbol::new("q")).unwrap();
         assert_eq!(u.disjuncts.len(), 1);
     }

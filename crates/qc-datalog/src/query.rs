@@ -113,10 +113,7 @@ impl ConjunctiveQuery {
     pub fn tidy_names(&self) -> ConjunctiveQuery {
         let vars = self.vars();
         let mut s = Subst::new();
-        let mut taken: BTreeSet<String> = vars
-            .iter()
-            .map(|v| v.name().to_string())
-            .collect();
+        let mut taken: BTreeSet<String> = vars.iter().map(|v| v.name().to_string()).collect();
         // Head variables first so they claim their hints.
         let ordered: Vec<Var> = self
             .head
@@ -317,7 +314,9 @@ impl Ucq {
 
     /// Whether every disjunct is comparison-free.
     pub fn is_comparison_free(&self) -> bool {
-        self.disjuncts.iter().all(ConjunctiveQuery::is_comparison_free)
+        self.disjuncts
+            .iter()
+            .all(ConjunctiveQuery::is_comparison_free)
     }
 
     /// All constants across disjuncts.
@@ -332,7 +331,10 @@ impl Ucq {
     /// Converts the union into an equivalent program (one rule per
     /// disjunct).
     pub fn to_rules(&self) -> Vec<Rule> {
-        self.disjuncts.iter().map(ConjunctiveQuery::to_rule).collect()
+        self.disjuncts
+            .iter()
+            .map(ConjunctiveQuery::to_rule)
+            .collect()
     }
 }
 
@@ -386,7 +388,8 @@ mod tests {
     #[test]
     fn tidy_names_restores_hints_and_letters() {
         // Generated hints come back; canonicalized vars get letters.
-        let q = cq("q(_G12_CarNo, _G13_Review) :- r(_G12_CarNo, _G14__C0), s(_G14__C0, _G13_Review).");
+        let q =
+            cq("q(_G12_CarNo, _G13_Review) :- r(_G12_CarNo, _G14__C0), s(_G14__C0, _G13_Review).");
         let t = q.tidy_names();
         assert_eq!(
             t.to_rule().to_string(),

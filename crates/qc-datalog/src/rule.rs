@@ -10,7 +10,9 @@ use crate::{Atom, Comparison, Const, Literal, Subst, Term, Var, VarGen};
 /// A rule with an empty body is a fact (when ground) or a tautological
 /// definition. The head of a query rule may be 0-ary (a *boolean* query,
 /// written `q()` — the paper calls this an "empty head").
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Rule {
     /// Head atom.
     pub head: Atom,

@@ -14,7 +14,9 @@ use crate::Symbol;
 /// model this with two variants. All constants denote *distinct* domain
 /// elements; only numeric constants carry a known position in the dense
 /// order.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Const {
     /// An uninterpreted symbolic constant, e.g. `red`.
     Sym(Symbol),
@@ -53,7 +55,9 @@ impl fmt::Display for Const {
                     .chars()
                     .next()
                     .is_some_and(|c| c.is_ascii_lowercase())
-                    && s.as_str().chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+                    && s.as_str()
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_');
                 if plain {
                     write!(f, "{s}")
                 } else {
@@ -66,7 +70,9 @@ impl fmt::Display for Const {
 }
 
 /// A variable, identified by name.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Var(pub Symbol);
 
 impl Var {
@@ -93,7 +99,9 @@ impl fmt::Display for Var {
 /// paper), which Skolemizes the existential variables of view definitions;
 /// they behave as uninterpreted constructors (two function terms unify only
 /// structurally).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Term {
     /// A variable.
     Var(Var),
@@ -252,7 +260,10 @@ mod tests {
 
     #[test]
     fn vars_collects_nested() {
-        let t = Term::app("f", vec![Term::var("X"), Term::app("g", vec![Term::var("Y")])]);
+        let t = Term::app(
+            "f",
+            vec![Term::var("X"), Term::app("g", vec![Term::var("Y")])],
+        );
         let vars = t.vars();
         assert!(vars.contains(&Var::new("X")));
         assert!(vars.contains(&Var::new("Y")));

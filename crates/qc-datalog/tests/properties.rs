@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use qc_datalog::eval::{evaluate, EvalOptions, Strategy as EvalStrategy};
 use qc_datalog::{
-    parse_rule, unify_atoms, Atom, Comparison, CompOp, Database, Literal, Program, Rule, Term,
+    parse_rule, unify_atoms, Atom, CompOp, Comparison, Database, Literal, Program, Rule, Term,
 };
 
 /// Strategy for terms (no function terms at top level; nested apps appear
@@ -16,8 +16,7 @@ fn arb_term() -> impl Strategy<Value = Term> {
         (-9i64..10).prop_map(Term::int),
     ];
     leaf.prop_recursive(2, 6, 3, |inner| {
-        ("[f-h]", proptest::collection::vec(inner, 1..3))
-            .prop_map(|(f, args)| Term::app(f, args))
+        ("[f-h]", proptest::collection::vec(inner, 1..3)).prop_map(|(f, args)| Term::app(f, args))
     })
 }
 
@@ -30,9 +29,8 @@ fn arb_atom() -> impl Strategy<Value = Atom> {
 }
 
 fn arb_rule() -> impl Strategy<Value = Rule> {
-    (arb_atom(), proptest::collection::vec(arb_atom(), 0..4)).prop_map(|(head, body)| {
-        Rule::new(head, body.into_iter().map(Literal::from).collect())
-    })
+    (arb_atom(), proptest::collection::vec(arb_atom(), 0..4))
+        .prop_map(|(head, body)| Rule::new(head, body.into_iter().map(Literal::from).collect()))
 }
 
 proptest! {

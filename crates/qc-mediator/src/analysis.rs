@@ -44,9 +44,7 @@ pub fn is_lossless(
     let q = query.unfold(answer)?;
     // Q ⊆ exp(P1): every disjunct of the query is covered by the
     // expansion union.
-    Ok(q.disjuncts
-        .iter()
-        .all(|d| cq_contained_in_ucq(d, &exp)))
+    Ok(q.disjuncts.iter().all(|d| cq_contained_in_ucq(d, &exp)))
 }
 
 /// The sources that actually appear in the query's maximally-contained
@@ -206,24 +204,16 @@ mod tests {
         let v = example1_sources();
         let queries = vec![
             (
-                parse_program(
-                    "q1(C, R) :- CarDesc(C, M, Col, Y), Review(M, R, S).",
-                )
-                .unwrap(),
+                parse_program("q1(C, R) :- CarDesc(C, M, Col, Y), Review(M, R, S).").unwrap(),
                 s("q1"),
             ),
             (
-                parse_program(
-                    "q2(C, R) :- CarDesc(C, M, Col, Y), Review(M, R, 10).",
-                )
-                .unwrap(),
+                parse_program("q2(C, R) :- CarDesc(C, M, Col, Y), Review(M, R, 10).").unwrap(),
                 s("q2"),
             ),
             (
-                parse_program(
-                    "q3(C, R) :- CarDesc(C, M, Col, Y), Review(M, R, 10), Y < 1970.",
-                )
-                .unwrap(),
+                parse_program("q3(C, R) :- CarDesc(C, M, Col, Y), Review(M, R, 10), Y < 1970.")
+                    .unwrap(),
                 s("q3"),
             ),
         ];

@@ -108,10 +108,7 @@ pub fn executable_plan(query: &Program, views: &LavSetting) -> Program {
             let guards: Vec<Literal> = adornment
                 .bound_positions()
                 .filter_map(|i| match &head_args[i] {
-                    Term::Var(_) => Some(Literal::Atom(Atom::new(
-                        DOM,
-                        vec![head_args[i].clone()],
-                    ))),
+                    Term::Var(_) => Some(Literal::Atom(Atom::new(DOM, vec![head_args[i].clone()]))),
                     _ => None,
                 })
                 .collect();
@@ -120,10 +117,7 @@ pub fn executable_plan(query: &Program, views: &LavSetting) -> Program {
                 if let Term::Var(_) = &head_args[i] {
                     let mut body = guards.clone();
                     body.push(Literal::Atom(call.clone()));
-                    plan.push(Rule::new(
-                        Atom::new(DOM, vec![head_args[i].clone()]),
-                        body,
-                    ));
+                    plan.push(Rule::new(Atom::new(DOM, vec![head_args[i].clone()]), body));
                 }
             }
         }
@@ -141,9 +135,7 @@ pub fn executable_plan(query: &Program, views: &LavSetting) -> Program {
             let mut body: Vec<Literal> = adornment
                 .bound_positions()
                 .filter_map(|i| match &call.args[i] {
-                    Term::Var(_) => {
-                        Some(Literal::Atom(Atom::new(DOM, vec![call.args[i].clone()])))
-                    }
+                    Term::Var(_) => Some(Literal::Atom(Atom::new(DOM, vec![call.args[i].clone()]))),
                     _ => None,
                 })
                 .collect();
@@ -226,10 +218,7 @@ mod tests {
         assert!(plan.is_recursive(), "recursion through dom is expected");
         assert!(is_executable_program(&plan, &v));
         // dom facts for the query constant.
-        assert!(plan
-            .rules()
-            .iter()
-            .any(|r| r.to_string() == "dom(eco)."));
+        assert!(plan.rules().iter().any(|r| r.to_string() == "dom(eco)."));
     }
 
     #[test]
@@ -242,14 +231,9 @@ mod tests {
              PriceOf(i9, 99).",
         )
         .unwrap();
-        let got = reachable_certain_answers(
-            &q,
-            &Symbol::new("q"),
-            &v,
-            &db,
-            &EvalOptions::default(),
-        )
-        .unwrap();
+        let got =
+            reachable_certain_answers(&q, &Symbol::new("q"), &v, &db, &EvalOptions::default())
+                .unwrap();
         assert_eq!(got.len(), 2);
         assert!(got.contains(&vec![Term::int(30)]));
         assert!(got.contains(&vec![Term::int(45)]));
@@ -264,14 +248,9 @@ mod tests {
         let db = Database::parse("PriceOf(i9, 99). ByAuthor(kafka, i9).").unwrap();
         // No constants in Q or V at all: dom starts empty, nothing is
         // callable.
-        let got = reachable_certain_answers(
-            &q,
-            &Symbol::new("q"),
-            &v,
-            &db,
-            &EvalOptions::default(),
-        )
-        .unwrap();
+        let got =
+            reachable_certain_answers(&q, &Symbol::new("q"), &v, &db, &EvalOptions::default())
+                .unwrap();
         assert!(got.is_empty());
     }
 
@@ -282,16 +261,11 @@ mod tests {
         let mut v = LavSetting::parse(&["Cites(P1, P2) :- cites(P1, P2)."]).unwrap();
         v.sources[0] = v.sources[0].clone().with_adornment("bf");
         let q = parse_program("q(P) :- cites(p0, P). q(P) :- q(P1), cites(P1, P).").unwrap();
-        let db = Database::parse("Cites(p0, p1). Cites(p1, p2). Cites(p2, p3). Cites(p9, p8).")
-            .unwrap();
-        let got = reachable_certain_answers(
-            &q,
-            &Symbol::new("q"),
-            &v,
-            &db,
-            &EvalOptions::default(),
-        )
-        .unwrap();
+        let db =
+            Database::parse("Cites(p0, p1). Cites(p1, p2). Cites(p2, p3). Cites(p9, p8).").unwrap();
+        let got =
+            reachable_certain_answers(&q, &Symbol::new("q"), &v, &db, &EvalOptions::default())
+                .unwrap();
         assert_eq!(got.len(), 3);
         assert!(got.contains(&vec![Term::sym("p3")]));
         assert!(!got.contains(&vec![Term::sym("p8")]));
@@ -304,14 +278,9 @@ mod tests {
         let plan = executable_plan(&q, &v);
         assert!(is_executable_program(&plan, &v));
         let db = Database::parse("V(a, b).").unwrap();
-        let got = reachable_certain_answers(
-            &q,
-            &Symbol::new("q"),
-            &v,
-            &db,
-            &EvalOptions::default(),
-        )
-        .unwrap();
+        let got =
+            reachable_certain_answers(&q, &Symbol::new("q"), &v, &db, &EvalOptions::default())
+                .unwrap();
         assert!(got.contains(&vec![Term::sym("a")]));
     }
 
@@ -327,14 +296,9 @@ mod tests {
         v.sources[0] = v.sources[0].clone().with_adornment("fbf");
         let q = parse_program("q(C, Y) :- CarDescription(C, M, red, Y).").unwrap();
         let db = Database::parse("RedCars(c1, corolla, 1988).").unwrap();
-        let got = reachable_certain_answers(
-            &q,
-            &Symbol::new("q"),
-            &v,
-            &db,
-            &EvalOptions::default(),
-        )
-        .unwrap();
+        let got =
+            reachable_certain_answers(&q, &Symbol::new("q"), &v, &db, &EvalOptions::default())
+                .unwrap();
         // dom = {red}; calling RedCars with Model=red finds nothing.
         assert!(got.is_empty());
     }

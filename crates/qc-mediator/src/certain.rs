@@ -126,10 +126,7 @@ pub fn certain_answer_support(
 ) -> Result<Option<Vec<(Symbol, Tuple)>>, CertainError> {
     let plan = eliminate_function_terms(&max_contained_plan(query, views))?;
     let (idb, trace) = qc_datalog::eval::evaluate_traced(&plan, instance, opts)?;
-    if !idb
-        .relation(answer)
-        .is_some_and(|r| r.contains(tuple))
-    {
+    if !idb.relation(answer).is_some_and(|r| r.contains(tuple)) {
         return Ok(None);
     }
     Ok(Some(trace.support(answer, tuple)))
@@ -266,10 +263,7 @@ impl BruteForceOracle {
             let views_of_d = qc_datalog::eval::evaluate(&view_prog, &db, opts)?;
             let mut consistent = true;
             for s in &views.sources {
-                let derived = views_of_d
-                    .relation(&s.name)
-                    .cloned()
-                    .unwrap_or_default();
+                let derived = views_of_d.relation(&s.name).cloned().unwrap_or_default();
                 let stored = instance.relation(&s.name).cloned().unwrap_or_default();
                 let sound = stored.tuples().iter().all(|t| derived.contains(t));
                 let closed = match (self.world, s.complete) {
@@ -448,8 +442,8 @@ mod tests {
         )
         .unwrap();
         let a = certain_answers(&q1, &Symbol::new("q1"), &views, &db, &opts()).unwrap();
-        let b = certain_answers_via_elimination(&q1, &Symbol::new("q1"), &views, &db, &opts())
-            .unwrap();
+        let b =
+            certain_answers_via_elimination(&q1, &Symbol::new("q1"), &views, &db, &opts()).unwrap();
         let sa: BTreeSet<_> = a.tuples().iter().cloned().collect();
         let sb: BTreeSet<_> = b.tuples().iter().cloned().collect();
         assert_eq!(sa, sb);
@@ -544,8 +538,8 @@ mod tests {
              reach(X, Z) :- reach(X, Y), flight(Y, Z).",
         )
         .unwrap();
-        let db = Database::parse("Flights(sea, sfo). Flights(sfo, jfk). Flights(jfk, lhr).")
-            .unwrap();
+        let db =
+            Database::parse("Flights(sea, sfo). Flights(sfo, jfk). Flights(jfk, lhr).").unwrap();
         let ans = certain_answers(&q, &Symbol::new("reach"), &views, &db, &opts()).unwrap();
         assert_eq!(ans.len(), 6);
         assert!(ans.contains(&vec![Term::sym("sea"), Term::sym("lhr")]));

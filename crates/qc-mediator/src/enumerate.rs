@@ -121,8 +121,9 @@ pub fn enumerated_plan(
                 let mut pos = 0usize;
                 for (ci, &vi) in combo.iter().enumerate() {
                     let arity = arities[ci];
-                    let args: Vec<Term> =
-                        (0..arity).map(|k| term_of_block(block_of[pos + k])).collect();
+                    let args: Vec<Term> = (0..arity)
+                        .map(|k| term_of_block(block_of[pos + k]))
+                        .collect();
                     body.push(Atom {
                         pred: views.sources[vi].name.clone(),
                         args,
@@ -134,17 +135,9 @@ pub fn enumerated_plan(
                 // variables under a containment mapping unless the query
                 // pins them — covered by variable blocks bound to the
                 // same candidate anyway, so we only enumerate blocks.)
-                let var_blocks: Vec<usize> =
-                    (0..nblocks).filter(|b| choice[*b] == 0).collect();
+                let var_blocks: Vec<usize> = (0..nblocks).filter(|b| choice[*b] == 0).collect();
                 if head_arity == 0 {
-                    consider(
-                        query,
-                        views,
-                        &target,
-                        Vec::new(),
-                        &body,
-                        &mut sound,
-                    );
+                    consider(query, views, &target, Vec::new(), &body, &mut sound);
                 } else if !var_blocks.is_empty() {
                     let mut head_sel = vec![0usize; head_arity];
                     loop {
@@ -232,10 +225,7 @@ fn consider(
 /// Enumerates set partitions of `0..n` via restricted growth strings.
 /// The callback receives (block index per position, number of blocks) and
 /// returns `false` to abort. Returns `false` if aborted.
-fn enumerate_partitions(
-    n: usize,
-    f: &mut impl FnMut(&[usize], usize) -> bool,
-) -> bool {
+fn enumerate_partitions(n: usize, f: &mut impl FnMut(&[usize], usize) -> bool) -> bool {
     if n == 0 {
         return f(&[], 0);
     }
@@ -286,15 +276,21 @@ mod tests {
     #[test]
     fn enumeration_matches_minicon_on_simple_cases() {
         let cases: Vec<(&str, Vec<&str>)> = vec![
-            ("q(X) :- p(X, Y).", vec!["v0(A, B) :- p(A, B).", "v1(A) :- p(A, B)."]),
+            (
+                "q(X) :- p(X, Y).",
+                vec!["v0(A, B) :- p(A, B).", "v1(A) :- p(A, B)."],
+            ),
             ("q(X, Z) :- p(X, Y), p(Y, Z).", vec!["v0(A, B) :- p(A, B)."]),
-            ("q(X) :- p(X, Y), r(Y).", vec!["v0(A) :- p(A, B), r(B).", "v1(A, B) :- p(A, B)."]),
+            (
+                "q(X) :- p(X, Y), r(Y).",
+                vec!["v0(A) :- p(A, B), r(B).", "v1(A, B) :- p(A, B)."],
+            ),
         ];
         for (qs, vs) in cases {
             let q = parse_query(qs).unwrap();
             let views = LavSetting::parse(&vs).unwrap();
-            let enumerated = enumerated_plan(&q, &views, &EnumerationLimits::default())
-                .expect("within budget");
+            let enumerated =
+                enumerated_plan(&q, &views, &EnumerationLimits::default()).expect("within budget");
             let mc = minicon_rewritings(&q, &views);
             assert!(
                 ucq_equivalent(&enumerated, &mc),

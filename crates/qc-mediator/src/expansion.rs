@@ -23,9 +23,9 @@ pub fn expand_program(plan: &Program, views: &LavSetting) -> Program {
         // Expand atoms left to right, accumulating a substitution.
         let mut work = rule.clone();
         loop {
-            let pos = work.body.iter().position(|l| {
-                matches!(l, Literal::Atom(a) if views.source(a.pred.as_str()).is_some())
-            });
+            let pos = work.body.iter().position(
+                |l| matches!(l, Literal::Atom(a) if views.source(a.pred.as_str()).is_some()),
+            );
             let Some(i) = pos else { break };
             let Literal::Atom(call) = work.body[i].clone() else {
                 unreachable!()
@@ -54,6 +54,7 @@ pub fn expand_program(plan: &Program, views: &LavSetting) -> Program {
         }
         out.push(work);
     }
+    qc_obs::count(qc_obs::Counter::ExpansionRules, out.rules().len() as u64);
     out
 }
 

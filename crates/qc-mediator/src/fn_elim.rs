@@ -17,9 +17,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use qc_datalog::{
-    unify_terms_with, Atom, Literal, Program, Rule, Subst, Symbol, Term, VarGen,
-};
+use qc_datalog::{unify_terms_with, Atom, Literal, Program, Rule, Subst, Symbol, Term, VarGen};
 
 /// Errors from [`eliminate_function_terms`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,6 +106,11 @@ pub fn eliminate_function_terms(plan: &Program) -> Result<Program, FnElimError> 
     if !plan.has_function_terms() {
         return Ok(plan.clone());
     }
+    let _span = qc_obs::span("fn_elim");
+    qc_obs::count(
+        qc_obs::Counter::FnElimSkolemsEliminated,
+        count_function_symbols(plan),
+    );
     let idb = plan.idb_preds();
 
     // Derivable shape vectors per IDB predicate.
@@ -120,10 +123,15 @@ pub fn eliminate_function_terms(plan: &Program) -> Result<Program, FnElimError> 
         let mut changed = false;
         for rule in plan.rules() {
             let mut reports: Vec<(Rule, Symbol, ShapeVec)> = Vec::new();
-            specialize_rule(rule, &idb, &derivable, &mut |new_rule, head_pred, head_shapes| {
-                reports.push((new_rule, head_pred, head_shapes));
-                Ok(())
-            })?;
+            specialize_rule(
+                rule,
+                &idb,
+                &derivable,
+                &mut |new_rule, head_pred, head_shapes| {
+                    reports.push((new_rule, head_pred, head_shapes));
+                    Ok(())
+                },
+            )?;
             for (new_rule, head_pred, head_shapes) in reports {
                 if derivable.entry(head_pred).or_default().insert(head_shapes) {
                     changed = true;
@@ -144,7 +152,32 @@ pub fn eliminate_function_terms(plan: &Program) -> Result<Program, FnElimError> 
         }
     }
     let rules: Vec<Rule> = out.into_iter().collect();
+    qc_obs::count(qc_obs::Counter::FnElimRulesEmitted, rules.len() as u64);
     Ok(Program::new(rules))
+}
+
+/// The number of distinct function (Skolem) symbols occurring in a plan.
+fn count_function_symbols(plan: &Program) -> u64 {
+    fn walk(t: &Term, out: &mut BTreeSet<Symbol>) {
+        if let Term::App(f, args) = t {
+            out.insert(f.clone());
+            for a in args {
+                walk(a, out);
+            }
+        }
+    }
+    let mut syms = BTreeSet::new();
+    for rule in plan.rules() {
+        for t in rule
+            .head
+            .args
+            .iter()
+            .chain(rule.body_atoms().flat_map(|a| a.args.iter()))
+        {
+            walk(t, &mut syms);
+        }
+    }
+    syms.len() as u64
 }
 
 /// Specializes one rule for every combination of derivable body-atom
@@ -202,7 +235,16 @@ fn specialize_rule(
                 }
             }
             chosen.push(shapes.clone());
-            rec(rule, body_atoms, options, k + 1, &sigma2, chosen, gen, report)?;
+            rec(
+                rule,
+                body_atoms,
+                options,
+                k + 1,
+                &sigma2,
+                chosen,
+                gen,
+                report,
+            )?;
             chosen.pop();
         }
         Ok(())
@@ -329,10 +371,17 @@ mod tests {
         let ucq = elim.unfold(&Symbol::new("q1")).unwrap();
         // Exactly the two conjunctive plans of Example 3.
         assert_eq!(ucq.disjuncts.len(), 2);
-        let printed: Vec<String> = ucq.disjuncts.iter().map(|d| d.to_rule().to_string()).collect();
-        let has_red = printed.iter().any(|s| s.contains("RedCars") && s.contains("CarAndDriver"));
-        let has_antique =
-            printed.iter().any(|s| s.contains("AntiqueCars") && s.contains("CarAndDriver"));
+        let printed: Vec<String> = ucq
+            .disjuncts
+            .iter()
+            .map(|d| d.to_rule().to_string())
+            .collect();
+        let has_red = printed
+            .iter()
+            .any(|s| s.contains("RedCars") && s.contains("CarAndDriver"));
+        let has_antique = printed
+            .iter()
+            .any(|s| s.contains("AntiqueCars") && s.contains("CarAndDriver"));
         assert!(has_red, "{printed:?}");
         assert!(has_antique, "{printed:?}");
     }

@@ -104,7 +104,8 @@ mod tests {
 
     #[test]
     fn recursive_gav_rejected() {
-        let setting = GavSetting::parse("m(X, Y) :- s(X, Y). m(X, Z) :- m(X, Y), s(Y, Z).").unwrap();
+        let setting =
+            GavSetting::parse("m(X, Y) :- s(X, Y). m(X, Z) :- m(X, Y), s(Y, Z).").unwrap();
         let q = parse_program("q(X, Y) :- m(X, Y).").unwrap();
         assert!(gav_unfold(&q, &sym("q"), &setting).is_err());
     }

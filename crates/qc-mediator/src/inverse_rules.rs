@@ -51,6 +51,10 @@ pub fn inverse_rules(views: &LavSetting) -> Program {
             out.push(Rule::new(head, vec![Literal::Atom(head_atom.clone())]));
         }
     }
+    qc_obs::count(
+        qc_obs::Counter::InverseRulesGenerated,
+        out.rules().len() as u64,
+    );
     out
 }
 
@@ -119,7 +123,10 @@ mod tests {
         assert_eq!(y1, y2);
         assert_eq!(y1, parse_term("f_V_Y(X)").unwrap());
         // Comparison dropped.
-        assert!(inv.rules().iter().all(|r| r.body_comparisons().next().is_none()));
+        assert!(inv
+            .rules()
+            .iter()
+            .all(|r| r.body_comparisons().next().is_none()));
     }
 
     #[test]

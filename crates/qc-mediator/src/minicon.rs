@@ -28,9 +28,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use qc_containment::comparisons::cq_contained_in_ucq;
 use qc_containment::homomorphism::{all_containment_mappings, apply_mapping};
 use qc_containment::{cq_contained, minimize};
-use qc_datalog::{
-    Atom, Comparison, ConjunctiveQuery, Subst, Term, Ucq, Var, VarGen,
-};
+use qc_datalog::{Atom, Comparison, ConjunctiveQuery, Subst, Term, Ucq, Var, VarGen};
 
 use crate::expansion::expand_cq;
 use crate::schema::{LavSetting, SourceDescription};
@@ -71,6 +69,7 @@ pub fn minicon_rewritings(query: &ConjunctiveQuery, views: &LavSetting) -> Ucq {
             mcds.extend(form_mcds(query, source, i, &mut gen));
         }
     }
+    qc_obs::count(qc_obs::Counter::MiniconMcdsFormed, mcds.len() as u64);
     // Combine MCDs with disjoint coverage into full covers.
     let n = query.subgoals.len();
     let mut rewritings: Vec<ConjunctiveQuery> = Vec::new();
@@ -372,11 +371,8 @@ fn combine(
 /// dense-order verification.
 pub fn semi_interval_plan(query: &ConjunctiveQuery, views: &LavSetting) -> Ucq {
     // Strip comparisons.
-    let stripped_query = ConjunctiveQuery::new(
-        query.head.clone(),
-        query.subgoals.clone(),
-        Vec::new(),
-    );
+    let stripped_query =
+        ConjunctiveQuery::new(query.head.clone(), query.subgoals.clone(), Vec::new());
     let stripped_views = LavSetting {
         sources: views
             .sources
@@ -393,36 +389,30 @@ pub fn semi_interval_plan(query: &ConjunctiveQuery, views: &LavSetting) -> Ucq {
     let target = Ucq::single(query.clone());
     let mut disjuncts: Vec<ConjunctiveQuery> = Vec::new();
     for skel in &skeletons.disjuncts {
-        let Some(exp) = expand_cq(skel, views) else { continue };
+        let Some(exp) = expand_cq(skel, views) else {
+            continue;
+        };
         // Pull the query's comparisons back through each relational
         // containment mapping from the (stripped) query into the
         // expansion. Constraints the expansion already entails (because a
         // view guarantees them, like AntiqueCars' `Year < 1970`) are
         // omitted — that is what makes the plan *maximal* and reproduces
         // the paper's P3 exactly.
-        let stripped_exp = ConjunctiveQuery::new(
-            exp.head.clone(),
-            exp.subgoals.clone(),
-            Vec::new(),
-        );
+        let stripped_exp =
+            ConjunctiveQuery::new(exp.head.clone(), exp.subgoals.clone(), Vec::new());
         let mut nodemap = qc_containment::comparisons::NodeMap::new();
-        let exp_constraints = qc_containment::comparisons::comparisons_to_constraints(
-            &exp.comparisons,
-            &mut nodemap,
-        );
+        let exp_constraints =
+            qc_containment::comparisons::comparisons_to_constraints(&exp.comparisons, &mut nodemap);
         for m in all_containment_mappings(&stripped_query, &stripped_exp) {
             let mut extra: Vec<Comparison> = Vec::new();
             for c in &query.comparisons {
-                let img = Comparison::new(
-                    apply_mapping(&m, &c.lhs),
-                    c.op,
-                    apply_mapping(&m, &c.rhs),
-                );
+                let img =
+                    Comparison::new(apply_mapping(&m, &c.lhs), c.op, apply_mapping(&m, &c.rhs));
                 let lhs_node = nodemap.node(&img.lhs);
                 let rhs_node = nodemap.node(&img.rhs);
-                if exp_constraints.entails(qc_constraints::Constraint::new(
-                    lhs_node, img.op, rhs_node,
-                )) {
+                if exp_constraints
+                    .entails(qc_constraints::Constraint::new(lhs_node, img.op, rhs_node))
+                {
                     continue;
                 }
                 // Visible at plan level?
@@ -455,9 +445,7 @@ pub fn semi_interval_plan(query: &ConjunctiveQuery, views: &LavSetting) -> Ucq {
                 if !cset.is_satisfiable() {
                     continue;
                 }
-                if cq_contained_in_ucq(&cexp, &target)
-                    && !disjuncts.contains(&candidate)
-                {
+                if cq_contained_in_ucq(&cexp, &target) && !disjuncts.contains(&candidate) {
                     disjuncts.push(candidate);
                 }
             }
@@ -468,7 +456,9 @@ pub fn semi_interval_plan(query: &ConjunctiveQuery, views: &LavSetting) -> Ucq {
     if disjuncts.is_empty() {
         Ucq::empty(query.head.pred.as_str(), query.head.arity())
     } else {
-        qc_containment::minimize_union(&Ucq::new(disjuncts).expect("disjuncts share the query head"))
+        qc_containment::minimize_union(
+            &Ucq::new(disjuncts).expect("disjuncts share the query head"),
+        )
     }
 }
 
@@ -486,9 +476,21 @@ mod tests {
         .unwrap();
         let u = minicon_rewritings(&q1, &example1_sources());
         assert_eq!(u.disjuncts.len(), 2);
-        let strs: Vec<String> = u.disjuncts.iter().map(|d| d.to_rule().to_string()).collect();
-        assert!(strs.iter().any(|s| s.contains("RedCars") && s.contains("CarAndDriver")), "{strs:?}");
-        assert!(strs.iter().any(|s| s.contains("AntiqueCars") && s.contains("CarAndDriver")), "{strs:?}");
+        let strs: Vec<String> = u
+            .disjuncts
+            .iter()
+            .map(|d| d.to_rule().to_string())
+            .collect();
+        assert!(
+            strs.iter()
+                .any(|s| s.contains("RedCars") && s.contains("CarAndDriver")),
+            "{strs:?}"
+        );
+        assert!(
+            strs.iter()
+                .any(|s| s.contains("AntiqueCars") && s.contains("CarAndDriver")),
+            "{strs:?}"
+        );
     }
 
     #[test]

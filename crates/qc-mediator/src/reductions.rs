@@ -61,9 +61,7 @@ pub struct Cnf3 {
 impl Cnf3 {
     /// Evaluates the matrix under an assignment.
     pub fn eval(&self, x: &[bool], y: &[bool]) -> bool {
-        self.clauses
-            .iter()
-            .all(|c| c.iter().any(|l| l.eval(x, y)))
+        self.clauses.iter().all(|c| c.iter().any(|l| l.eval(x, y)))
     }
 
     /// Brute-force ∀ȳ ∃x̄ F(x̄, ȳ).
@@ -158,10 +156,7 @@ pub fn thm33_reduction(f: &Cnf3) -> Thm33Instance {
         for mask in 0u8..8 {
             let bits = [mask & 1 != 0, mask & 2 != 0, mask & 4 != 0];
             // The unique falsifying assignment sets every literal false.
-            let falsifies = c
-                .iter()
-                .zip(&bits)
-                .all(|(l, b)| *b != l.positive);
+            let falsifies = c.iter().zip(&bits).all(|(l, b)| *b != l.positive);
             if falsifies {
                 continue;
             }

@@ -106,11 +106,7 @@ fn ucq_is_semi_interval(u: &Ucq) -> bool {
 ///    vacuous `edge(X,Y) :- edge(X,Y)`).
 ///
 /// Returns the prepared plan and the renamed answer predicate.
-fn sanitize_datalog_plan(
-    plan: &Program,
-    views: &LavSetting,
-    answer: &Symbol,
-) -> (Program, Symbol) {
+fn sanitize_datalog_plan(plan: &Program, views: &LavSetting, answer: &Symbol) -> (Program, Symbol) {
     let idb = plan.idb_preds();
     let keep: Vec<_> = plan
         .rules()
@@ -146,6 +142,17 @@ pub fn max_contained_ucq_plan(
     answer: &Symbol,
     views: &LavSetting,
 ) -> Result<Ucq, RelativeError> {
+    let _span = qc_obs::span("plan_construction");
+    let plan = max_contained_ucq_plan_inner(query, answer, views)?;
+    qc_obs::count(qc_obs::Counter::PlanDisjuncts, plan.disjuncts.len() as u64);
+    Ok(plan)
+}
+
+fn max_contained_ucq_plan_inner(
+    query: &Program,
+    answer: &Symbol,
+    views: &LavSetting,
+) -> Result<Ucq, RelativeError> {
     let unfolded = query.unfold(answer)?;
     if unfolded.is_comparison_free() {
         // Inverse rules → fn-elim → unfold (Example 2 → Example 3).
@@ -163,8 +170,11 @@ pub fn max_contained_ucq_plan(
         // A query plan may only mention source relations: disjuncts that
         // kept a mediated-schema atom (no source covers it) can never
         // produce answers over a source instance.
-        ucq.disjuncts
-            .retain(|d| d.subgoals.iter().all(|a| views.source(a.pred.as_str()).is_some()));
+        ucq.disjuncts.retain(|d| {
+            d.subgoals
+                .iter()
+                .all(|a| views.source(a.pred.as_str()).is_some())
+        });
         // Tidy: minimize each disjunct (unfolding a multi-subgoal view
         // produces one inverted atom per subgoal, which often collapses)
         // and drop subsumed disjuncts. Equivalence is preserved.
@@ -210,14 +220,19 @@ pub fn relatively_contained(
     ans2: &Symbol,
     views: &LavSetting,
 ) -> Result<bool, RelativeError> {
+    let _span = qc_obs::span("relative_containment");
     let q1_recursive = q1.dependency_graph().pred_in_cycle_reachable_from(ans1);
     let q2_recursive = q2.dependency_graph().pred_in_cycle_reachable_from(ans2);
 
     match (q1_recursive, q2_recursive) {
         (false, false) => {
             let p1 = max_contained_ucq_plan(q1, ans1, views)?;
-            let p1_exp = expand_ucq(&p1, views);
+            let p1_exp = {
+                let _s = qc_obs::span("expansion");
+                expand_ucq(&p1, views)
+            };
             let u2 = q2.unfold(ans2)?;
+            let _s = qc_obs::span("containment_check");
             Ok(ucq_contained(&p1_exp, &u2))
         }
         (true, false) => {
@@ -229,10 +244,17 @@ pub fn relatively_contained(
                         .into(),
                 ));
             }
-            let p1 = eliminate_function_terms(&max_contained_plan(q1, views))?;
-            let (p1, ans1_renamed) = sanitize_datalog_plan(&p1, views, ans1);
-            let p1_exp = expand_program(&p1, views);
+            let (p1, ans1_renamed) = {
+                let _s = qc_obs::span("plan_construction");
+                let p1 = eliminate_function_terms(&max_contained_plan(q1, views))?;
+                sanitize_datalog_plan(&p1, views, ans1)
+            };
+            let p1_exp = {
+                let _s = qc_obs::span("expansion");
+                expand_program(&p1, views)
+            };
             let u2 = q2.unfold(ans2)?;
+            let _s = qc_obs::span("containment_check");
             Ok(datalog_contained_in_ucq(
                 &p1_exp,
                 &ans1_renamed,
@@ -250,7 +272,11 @@ pub fn relatively_contained(
                 ));
             }
             let p1 = max_contained_ucq_plan(q1, ans1, views)?;
-            let p2 = eliminate_function_terms(&max_contained_plan(q2, views))?;
+            let p2 = {
+                let _s = qc_obs::span("plan_construction");
+                eliminate_function_terms(&max_contained_plan(q2, views))?
+            };
+            let _s = qc_obs::span("containment_check");
             Ok(ucq_contained_in_datalog(
                 &p1,
                 &p2,
@@ -279,6 +305,7 @@ pub fn relatively_contained_bp(
     ans2: &Symbol,
     views: &LavSetting,
 ) -> Result<bool, RelativeError> {
+    let _span = qc_obs::span("relative_containment_bp");
     if q1.has_comparisons() || q2.has_comparisons() || !views.is_comparison_free() {
         return Err(RelativeError::Unsupported(
             "binding-pattern relative containment requires comparison-free queries and views"
@@ -300,10 +327,17 @@ pub fn relatively_contained_bp(
         return Err(RelativeError::ConstantsPrecondition);
     }
 
-    let p1 = eliminate_function_terms(&crate::binding::executable_plan(q1, views))?;
-    let (p1, ans1_renamed) = sanitize_datalog_plan(&p1, views, ans1);
-    let p1_exp = expand_program(&p1, views);
+    let (p1, ans1_renamed) = {
+        let _s = qc_obs::span("plan_construction");
+        let p1 = eliminate_function_terms(&crate::binding::executable_plan(q1, views))?;
+        sanitize_datalog_plan(&p1, views, ans1)
+    };
+    let p1_exp = {
+        let _s = qc_obs::span("expansion");
+        expand_program(&p1, views)
+    };
     let u2 = q2.unfold(ans2)?;
+    let _s = qc_obs::span("containment_check");
     Ok(datalog_contained_in_ucq(
         &p1_exp,
         &ans1_renamed,
@@ -350,9 +384,8 @@ pub fn relatively_contained_witness(
     let p1 = max_contained_ucq_plan(q1, ans1, views)?;
     let u2 = q2.unfold(ans2)?;
     for d in &p1.disjuncts {
-        let exp = crate::expansion::expand_cq(d, views).ok_or_else(|| {
-            RelativeError::Unsupported("plan disjunct does not expand".into())
-        })?;
+        let exp = crate::expansion::expand_cq(d, views)
+            .ok_or_else(|| RelativeError::Unsupported("plan disjunct does not expand".into()))?;
         if !qc_containment::cq_contained_in_ucq(&exp, &u2) {
             return Ok(Err(NonContainmentWitness {
                 plan: d.clone(),
@@ -442,9 +475,14 @@ pub fn explain_containment(
     ans2: &Symbol,
     views: &LavSetting,
 ) -> Result<ContainmentKind, RelativeError> {
-    let u1 = q1.unfold(ans1)?;
-    let u2 = q2.unfold(ans2)?;
-    if ucq_contained(&u1, &u2) {
+    let _span = qc_obs::span("explain_containment");
+    let classical = {
+        let _s = qc_obs::span("classical_check");
+        let u1 = q1.unfold(ans1)?;
+        let u2 = q2.unfold(ans2)?;
+        ucq_contained(&u1, &u2)
+    };
+    if classical {
         return Ok(ContainmentKind::Classical);
     }
     if relatively_contained(q1, ans1, q2, ans2, views)? {
@@ -563,18 +601,15 @@ mod tests {
         // Q1 ⋢ Q3 "because it is possible to retrieve reviews of red cars
         // made after 1970" — the witness must be the RedCars plan.
         let views = example1_sources();
-        let got = relatively_contained_witness(&q1(), &sym("q1"), &q3(), &sym("q3"), &views)
-            .unwrap();
+        let got =
+            relatively_contained_witness(&q1(), &sym("q1"), &q3(), &sym("q3"), &views).unwrap();
         let w = got.expect_err("not contained");
-        assert!(
-            w.plan.subgoals.iter().any(|a| a.pred == "RedCars"),
-            "{w}"
-        );
+        assert!(w.plan.subgoals.iter().any(|a| a.pred == "RedCars"), "{w}");
         // The witness agrees with the boolean decision.
         assert!(!relatively_contained(&q1(), &sym("q1"), &q3(), &sym("q3"), &views).unwrap());
         // A holding containment has no witness.
-        let ok = relatively_contained_witness(&q1(), &sym("q1"), &q2(), &sym("q2"), &views)
-            .unwrap();
+        let ok =
+            relatively_contained_witness(&q1(), &sym("q1"), &q2(), &sym("q2"), &views).unwrap();
         assert!(ok.is_ok());
         // Witness agrees with the decision on random workloads.
         use crate::workloads::{query_program, random_query, random_views, Shape};

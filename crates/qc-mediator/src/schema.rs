@@ -40,12 +40,20 @@ impl Adornment {
 
     /// Indexes of bound positions.
     pub fn bound_positions(&self) -> impl Iterator<Item = usize> + '_ {
-        self.0.iter().enumerate().filter(|(_, b)| **b).map(|(i, _)| i)
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b)
+            .map(|(i, _)| i)
     }
 
     /// Indexes of free positions.
     pub fn free_positions(&self) -> impl Iterator<Item = usize> + '_ {
-        self.0.iter().enumerate().filter(|(_, b)| !**b).map(|(i, _)| i)
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !**b)
+            .map(|(i, _)| i)
     }
 }
 
@@ -357,8 +365,7 @@ mod tests {
 
     #[test]
     fn source_description_parses() {
-        let s =
-            SourceDescription::parse("RedCars(C, M, Y) :- CarDesc(C, M, red, Y).").unwrap();
+        let s = SourceDescription::parse("RedCars(C, M, Y) :- CarDesc(C, M, red, Y).").unwrap();
         assert_eq!(s.name, "RedCars");
         assert_eq!(s.view.subgoals.len(), 1);
         assert!(!s.complete);
@@ -404,7 +411,11 @@ mod tests {
         let wrong = parse_program("q(X) :- CarDesc(X, M, C).").unwrap();
         assert!(matches!(
             schema.validate_query(&wrong),
-            Err(SchemaError::WrongArity { declared: 4, used: 3, .. })
+            Err(SchemaError::WrongArity {
+                declared: 4,
+                used: 3,
+                ..
+            })
         ));
         // IDB helpers in the query are not checked against the schema.
         let helper = parse_program("q(X) :- h(X). h(X) :- CarDesc(X, M, C, Y).").unwrap();

@@ -21,7 +21,12 @@ pub enum Shape {
 
 /// Generates a conjunctive query of the given shape over `npreds` binary
 /// predicates `p0..`, with `len` subgoals.
-pub fn random_query(shape: Shape, len: usize, npreds: usize, rng: &mut impl Rng) -> ConjunctiveQuery {
+pub fn random_query(
+    shape: Shape,
+    len: usize,
+    npreds: usize,
+    rng: &mut impl Rng,
+) -> ConjunctiveQuery {
     let mut subgoals = Vec::new();
     match shape {
         Shape::Chain => {
@@ -70,11 +75,7 @@ pub fn random_views(nviews: usize, npreds: usize, rng: &mut impl Rng) -> LavSett
         if len > 1 && rng.gen_bool(0.4) {
             head_vars.push(Term::var("Z1"));
         }
-        let view = ConjunctiveQuery::new(
-            Atom::new(format!("v{v}"), head_vars),
-            body,
-            Vec::new(),
-        );
+        let view = ConjunctiveQuery::new(Atom::new(format!("v{v}"), head_vars), body, Vec::new());
         sources.push(SourceDescription {
             name: view.head.pred.clone(),
             view,

@@ -79,9 +79,21 @@ fn main() {
 
     for (a, an, b, bn, note) in [
         (&vintage, "qv", &antique, "qa", "stronger window"),
-        (&antique, "qa", &vintage, "qv", "certain antiques may be from the 60s"),
+        (
+            &antique,
+            "qa",
+            &vintage,
+            "qv",
+            "certain antiques may be from the 60s",
+        ),
         (&antique, "qa", &all, "qq", "window relaxed away"),
-        (&all, "qq", &antique, "qa", "AnyCar answers escape every window"),
+        (
+            &all,
+            "qq",
+            &antique,
+            "qa",
+            "AnyCar answers escape every window",
+        ),
     ] {
         let r = relatively_contained(a, &s(an), b, &s(bn), &dealer_views).unwrap();
         println!("  {an} \u{2291}_V {bn}: {r:5}  ({note})");

@@ -11,8 +11,6 @@
 //! grows with the number of universal variables — each adds a factor of
 //! two to the plan union).
 
-use std::time::Instant;
-
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use relcont::mediator::reductions::{random_cnf3, thm33_reduction, Cnf3, CnfVar, Lit};
@@ -87,13 +85,19 @@ fn main() {
     }
     println!("  {agree}/{trials} random formulas agree");
 
-    // Scaling sweep: universal variables dominate the cost.
+    // Scaling sweep: universal variables dominate the cost. Timing and
+    // work counters come from the qc-obs pipeline recorder instead of
+    // ad-hoc stopwatches.
     println!("\n== Scaling with universal variables (m) ==");
-    println!("  {:>3} {:>8} {:>12}", "m", "clauses", "decide (ms)");
+    println!(
+        "  {:>3} {:>8} {:>12} {:>10} {:>12}",
+        "m", "clauses", "decide (ms)", "disjuncts", "hom nodes"
+    );
     for m in 1..=4 {
         let f = random_cnf3(2, m, m + 1, &mut rng);
         let inst = thm33_reduction(&f);
-        let t0 = Instant::now();
+        let recorder = std::sync::Arc::new(qc_obs::PipelineRecorder::new());
+        let guard = qc_obs::install(recorder.clone() as std::sync::Arc<dyn qc_obs::Recorder>);
         let _ = relatively_contained(
             &inst.contained,
             &inst.contained_ans,
@@ -102,11 +106,15 @@ fn main() {
             &inst.views,
         )
         .unwrap();
+        drop(guard);
+        let report = recorder.report("decide");
         println!(
-            "  {:>3} {:>8} {:>12.2}",
+            "  {:>3} {:>8} {:>12.2} {:>10} {:>12}",
             m,
             f.clauses.len(),
-            t0.elapsed().as_secs_f64() * 1e3
+            report.duration_ns as f64 / 1e6,
+            report.counter(qc_obs::Counter::PlanDisjuncts),
+            report.counter(qc_obs::Counter::HomSearchNodes),
         );
     }
 }

@@ -51,7 +51,11 @@ fn main() {
     .unwrap();
     let cq1 = parse_query(&q1.rules()[0].to_string()).unwrap();
     let cq2 = parse_query(&q2.rules()[0].to_string()).unwrap();
-    println!("classically:  Q2 \u{2286} Q1: {}   Q1 \u{2286} Q2: {}", cq_contained(&cq2, &cq1), cq_contained(&cq1, &cq2));
+    println!(
+        "classically:  Q2 \u{2286} Q1: {}   Q1 \u{2286} Q2: {}",
+        cq_contained(&cq2, &cq1),
+        cq_contained(&cq1, &cq2)
+    );
     println!(
         "relative:     Q1 explained vs Q2: {}",
         explain_containment(&q1, &s("q1"), &q2, &s("q2"), &views).unwrap()
@@ -84,8 +88,16 @@ fn main() {
         num_x: 2,
         num_y: 2,
         clauses: vec![
-            [l(CnfVar::X(0), true), l(CnfVar::X(1), true), l(CnfVar::Y(0), true)],
-            [l(CnfVar::X(0), false), l(CnfVar::X(1), false), l(CnfVar::Y(1), true)],
+            [
+                l(CnfVar::X(0), true),
+                l(CnfVar::X(1), true),
+                l(CnfVar::Y(0), true),
+            ],
+            [
+                l(CnfVar::X(0), false),
+                l(CnfVar::X(1), false),
+                l(CnfVar::Y(1), true),
+            ],
         ],
     };
     let inst = thm33_reduction(&f);
@@ -114,12 +126,14 @@ fn main() {
     adorned.sources[1] = adorned.sources[1].clone().with_adornment("bf");
     let q_eco = parse_program("qe(P) :- authored(I, eco), price(I, P).").unwrap();
     let db = Database::parse("Catalog(eco, i1). PriceOf(i1, 30). PriceOf(i9, 99).").unwrap();
-    let got =
-        reachable_certain_answers(&q_eco, &s("qe"), &adorned, &db, &EvalOptions::default())
-            .unwrap();
+    let got = reachable_certain_answers(&q_eco, &s("qe"), &adorned, &db, &EvalOptions::default())
+        .unwrap();
     println!(
         "reachable certain answers for eco's prices: {:?}  (99 is unreachable)",
-        got.tuples().iter().map(|t| t[0].to_string()).collect::<Vec<_>>()
+        got.tuples()
+            .iter()
+            .map(|t| t[0].to_string())
+            .collect::<Vec<_>>()
     );
     let q_all = parse_program("qa(P) :- price(I, P).").unwrap();
     println!(

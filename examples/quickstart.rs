@@ -54,10 +54,9 @@ fn main() {
         "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
     )
     .unwrap();
-    let cq2 = parse_query(
-        "q2(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).",
-    )
-    .unwrap();
+    let cq2 =
+        parse_query("q2(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).")
+            .unwrap();
     println!("  Q2 \u{2286} Q1: {}", cq_contained(&cq2, &cq1));
     println!("  Q1 \u{2286} Q2: {}", cq_contained(&cq1, &cq2));
 
@@ -93,7 +92,10 @@ fn main() {
             .map(|t| {
                 format!(
                     "({})",
-                    t.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                    t.iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )
             })
             .collect();

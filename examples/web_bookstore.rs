@@ -34,12 +34,7 @@ fn main() {
     views.sources[2] = views.sources[2].clone().with_adornment("bf");
     println!("== Adorned sources ==");
     for s in &views.sources {
-        println!(
-            "  {}^{}  {}",
-            s.name,
-            s.adornments[0],
-            s.view.to_rule()
-        );
+        println!("  {}^{}  {}", s.name, s.adornments[0], s.view.to_rule());
     }
 
     // Executability (Definition 4.1).
@@ -87,12 +82,9 @@ fn main() {
     // Transitive citation chains need recursion *in the plan* even though
     // the query below is conjunctive in spirit; here we pose the recursive
     // query directly (reachability from a seed paper).
-    let qc = parse_program(
-        "reach(P) :- cites(p0, P). reach(P) :- reach(Q), cites(Q, P).",
-    )
-    .unwrap();
-    let citations = Database::parse("Cites(p0, p1). Cites(p1, p2). Cites(p2, p3). Cites(p9, p8).")
-        .unwrap();
+    let qc = parse_program("reach(P) :- cites(p0, P). reach(P) :- reach(Q), cites(Q, P).").unwrap();
+    let citations =
+        Database::parse("Cites(p0, p1). Cites(p1, p2). Cites(p2, p3). Cites(p9, p8).").unwrap();
     let got = reachable_certain_answers(
         &qc,
         &Symbol::new("reach"),
@@ -138,10 +130,7 @@ fn main() {
     }
     // Against a query that shares the constant, the check runs — and the
     // redundant extra subgoal keeps the two queries relatively equivalent.
-    let q_eco2 = parse_program(
-        "qf(P) :- authored(I, eco), price(I, P), authored(I, A).",
-    )
-    .unwrap();
+    let q_eco2 = parse_program("qf(P) :- authored(I, eco), price(I, P), authored(I, A).").unwrap();
     let both = relatively_contained_bp(
         &q_eco,
         &Symbol::new("qe"),

@@ -22,9 +22,9 @@ use std::io::{self, BufRead, Write};
 
 use relcont::datalog::eval::EvalOptions;
 use relcont::datalog::{parse_rule, Database, Program, Symbol};
+use relcont::mediator::analysis::{is_lossless, source_coverage, unused_sources};
 use relcont::mediator::binding::reachable_certain_answers;
 use relcont::mediator::certain::{certain_answer_support, certain_answers};
-use relcont::mediator::analysis::{is_lossless, source_coverage, unused_sources};
 use relcont::mediator::relative::{
     explain_containment, max_contained_ucq_plan, relatively_contained_bp,
     relatively_contained_witness,
@@ -48,6 +48,8 @@ commands:
   support <q> <atom>.     which source facts make <atom> certain
   reachable <q>           reachable certain answers (binding patterns)
   show                    list views, queries, and facts
+  :stats                  per-stage spans and engine counters so far
+  :stats reset            clear the collected statistics
   reset                   clear everything
   help                    this text
   quit                    exit";
@@ -56,14 +58,16 @@ struct Session {
     views: LavSetting,
     queries: BTreeMap<String, Program>,
     facts: Database,
+    recorder: std::sync::Arc<qc_obs::PipelineRecorder>,
 }
 
 impl Session {
-    fn new() -> Session {
+    fn new(recorder: std::sync::Arc<qc_obs::PipelineRecorder>) -> Session {
         Session {
             views: LavSetting::default(),
             queries: BTreeMap::new(),
             facts: Database::new(),
+            recorder,
         }
     }
 
@@ -110,8 +114,7 @@ impl Session {
                         "adornment must be over {{b, f}} and match {name}'s arity"
                     ));
                 }
-                self.views.sources[idx] =
-                    self.views.sources[idx].clone().with_adornment(pattern);
+                self.views.sources[idx] = self.views.sources[idx].clone().with_adornment(pattern);
                 Ok(Some(format!("{name} adorned with {pattern}")))
             }
             "complete" => {
@@ -127,17 +130,20 @@ impl Session {
             "query" => {
                 let rule = parse_rule(rest).map_err(|e| e.to_string())?;
                 let name = rule.head.pred.to_string();
-                let entry = self
-                    .queries
-                    .entry(name.clone())
-                    .or_default();
+                let entry = self.queries.entry(name.clone()).or_default();
                 entry.push(rule);
-                Ok(Some(format!("query {name} now has {} rule(s)", entry.rules().len())))
+                Ok(Some(format!(
+                    "query {name} now has {} rule(s)",
+                    entry.rules().len()
+                )))
             }
             "fact" => {
                 let rule = parse_rule(rest).map_err(|e| e.to_string())?;
                 if !rule.body.is_empty() || !rule.head.is_ground() {
-                    return Err("facts must be ground atoms, e.g. `fact RedCars(c1, corolla, 1988).`".into());
+                    return Err(
+                        "facts must be ground atoms, e.g. `fact RedCars(c1, corolla, 1988).`"
+                            .into(),
+                    );
                 }
                 self.facts.insert_atom(&rule.head);
                 Ok(Some(format!("{} fact(s) total", self.facts.total_len())))
@@ -178,8 +184,7 @@ impl Session {
             }
             "plan" => {
                 let (q, a) = self.query(rest)?;
-                let plan =
-                    max_contained_ucq_plan(q, &a, &self.views).map_err(|e| e.to_string())?;
+                let plan = max_contained_ucq_plan(q, &a, &self.views).map_err(|e| e.to_string())?;
                 if plan.is_empty() {
                     Ok(Some("the maximally-contained plan is empty".into()))
                 } else {
@@ -219,7 +224,10 @@ impl Session {
                             .map(|(p, t)| {
                                 format!(
                                     "{p}({})",
-                                    t.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                                    t.iter()
+                                        .map(ToString::to_string)
+                                        .collect::<Vec<_>>()
+                                        .join(", ")
                                 )
                             })
                             .collect::<Vec<_>>()
@@ -244,8 +252,15 @@ impl Session {
                 let unused = unused_sources(q, &a, &self.views).map_err(|e| e.to_string())?;
                 Ok(Some(format!(
                     "uses:   {}\nunused: {}",
-                    used.iter().map(ToString::to_string).collect::<Vec<_>>().join(", "),
-                    unused.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                    used.iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    unused
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )))
             }
             "certain" | "reachable" => {
@@ -271,7 +286,10 @@ impl Session {
                     .map(|t| {
                         format!(
                             "{rest}({}).",
-                            t.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                            t.iter()
+                                .map(ToString::to_string)
+                                .collect::<Vec<_>>()
+                                .join(", ")
                         )
                     })
                     .collect();
@@ -294,8 +312,18 @@ impl Session {
                 out.push_str(&format!("facts: {} tuple(s)\n", self.facts.total_len()));
                 Ok(Some(out.trim_end().to_string()))
             }
+            ":stats" | "stats" => {
+                if rest == "reset" {
+                    self.recorder.reset();
+                    return Ok(Some("statistics cleared".into()));
+                }
+                let report = self.recorder.report("session");
+                Ok(Some(report.render_tree().trim_end().to_string()))
+            }
             "reset" => {
-                *self = Session::new();
+                let recorder = self.recorder.clone();
+                recorder.reset();
+                *self = Session::new(recorder);
                 Ok(Some("cleared".into()))
             }
             "quit" | "exit" => Err("__quit__".into()),
@@ -306,7 +334,9 @@ impl Session {
 
 fn main() {
     let stdin = io::stdin();
-    let mut session = Session::new();
+    let recorder = std::sync::Arc::new(qc_obs::PipelineRecorder::new());
+    let _guard = qc_obs::install(recorder.clone() as std::sync::Arc<dyn qc_obs::Recorder>);
+    let mut session = Session::new(recorder);
     let interactive = atty_stdin();
     if interactive {
         println!("relcont-repl — type `help` for commands");

@@ -18,6 +18,13 @@
 //! When `--ans` is omitted, the head predicate of the file's first rule is
 //! used. Exit code 0 = containment holds / success, 1 = does not hold,
 //! 2 = usage or input error.
+//!
+//! Every command also accepts the observability flags:
+//!
+//! ```text
+//! --trace              print the per-stage pipeline tree to stderr
+//! --metrics-json PATH  write the pipeline report (spans + counters) as JSON
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -59,26 +66,51 @@ usage:
   relcont certain --views FILE --query FILE [--ans P]
                   (--instance FILE and/or --csv pred=file[,pred=file...]) [--bp]
   relcont eval    --program FILE --data FILE --ans P
-  relcont validate --views FILE [--query FILE]";
+  relcont validate --views FILE [--query FILE]
+observability (any command):
+  --trace              print the per-stage pipeline tree to stderr
+  --metrics-json PATH  write the pipeline report (spans + counters) as JSON";
 
 fn run(args: &[String]) -> Result<bool, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("missing command".into());
     };
     let opts = parse_flags(rest)?;
-    match cmd.as_str() {
+    let metrics_path = opts.optional("metrics-json").map(str::to_string);
+    let recorder = if opts.trace || metrics_path.is_some() {
+        Some(std::sync::Arc::new(qc_obs::PipelineRecorder::new()))
+    } else {
+        None
+    };
+    let _guard = recorder
+        .clone()
+        .map(|r| qc_obs::install(r as std::sync::Arc<dyn qc_obs::Recorder>));
+    let result = match cmd.as_str() {
         "check" => cmd_check(&opts),
         "plan" => cmd_plan(&opts),
         "certain" => cmd_certain(&opts),
         "eval" => cmd_eval(&opts),
         "validate" => cmd_validate(&opts),
         other => Err(format!("unknown command {other:?}")),
+    };
+    if let Some(rec) = recorder {
+        let report = rec.report(format!("relcont {cmd}"));
+        if opts.trace {
+            eprint!("{}", report.render_tree());
+        }
+        if let Some(path) = metrics_path {
+            let json = serde_json::to_string_pretty(&report)
+                .map_err(|e| format!("metrics serialization: {e}"))?;
+            std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+        }
     }
+    result
 }
 
 struct Flags {
     values: BTreeMap<String, String>,
     bp: bool,
+    trace: bool,
 }
 
 impl Flags {
@@ -97,6 +129,7 @@ impl Flags {
 fn parse_flags(rest: &[String]) -> Result<Flags, String> {
     let mut values = BTreeMap::new();
     let mut bp = false;
+    let mut trace = false;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let Some(name) = flag.strip_prefix("--") else {
@@ -106,12 +139,14 @@ fn parse_flags(rest: &[String]) -> Result<Flags, String> {
             bp = true;
             continue;
         }
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?;
+        if name == "trace" {
+            trace = true;
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         values.insert(name.to_string(), value.clone());
     }
-    Ok(Flags { values, bp })
+    Ok(Flags { values, bp, trace })
 }
 
 /// Loads a view file: rules plus `%% adorn` / `%% complete` directives.
@@ -186,8 +221,8 @@ fn cmd_check(flags: &Flags) -> Result<bool, String> {
     let (q1, ans1) = load_query(flags.required("q1")?, flags.optional("ans1"))?;
     let (q2, ans2) = load_query(flags.required("q2")?, flags.optional("ans2"))?;
     if flags.bp {
-        let holds = relatively_contained_bp(&q1, &ans1, &q2, &ans2, &views)
-            .map_err(|e| e.to_string())?;
+        let holds =
+            relatively_contained_bp(&q1, &ans1, &q2, &ans2, &views).map_err(|e| e.to_string())?;
         println!(
             "{ans1} {} {ans2} relative to {} adorned source(s)",
             if holds { "\u{2291}" } else { "\u{22e2}" },
@@ -302,8 +337,7 @@ fn load_csv_specs(db: &mut Database, specs: &str) -> Result<(), String> {
         let Some((pred, path)) = spec.split_once('=') else {
             return Err(format!("--csv expects pred=file, got {spec:?}"));
         };
-        let text =
-            std::fs::read_to_string(path.trim()).map_err(|e| format!("{path}: {e}"))?;
+        let text = std::fs::read_to_string(path.trim()).map_err(|e| format!("{path}: {e}"))?;
         db.load_csv(pred.trim(), &text)
             .map_err(|e| format!("{path}: {e}"))?;
     }
@@ -311,8 +345,8 @@ fn load_csv_specs(db: &mut Database, specs: &str) -> Result<(), String> {
 }
 
 fn cmd_eval(flags: &Flags) -> Result<bool, String> {
-    let text = std::fs::read_to_string(flags.required("program")?)
-        .map_err(|e| format!("program: {e}"))?;
+    let text =
+        std::fs::read_to_string(flags.required("program")?).map_err(|e| format!("program: {e}"))?;
     let program = parse_program(&text).map_err(|e| format!("program: {e}"))?;
     let data =
         std::fs::read_to_string(flags.required("data")?).map_err(|e| format!("data: {e}"))?;
@@ -323,7 +357,12 @@ fn cmd_eval(flags: &Flags) -> Result<bool, String> {
     let mut rows: Vec<String> = rel
         .tuples()
         .iter()
-        .map(|t| format!("{:?}", t.iter().map(ToString::to_string).collect::<Vec<_>>()))
+        .map(|t| {
+            format!(
+                "{:?}",
+                t.iter().map(ToString::to_string).collect::<Vec<_>>()
+            )
+        })
         .collect();
     rows.sort();
     for r in rows {

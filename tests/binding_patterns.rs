@@ -102,10 +102,9 @@ fn theorem_4_1_4_2_decisions() {
     // A genuinely stronger query is not relatively contained in: prices
     // of eco's books are not always prices of kafka's books... with eco
     // and kafka both known, both reachable sets exist and differ.
-    let q_two = parse_program(
-        "qt(P) :- authored(I, eco), price(I, P), authored(I2, kafka), price(I2, P).",
-    )
-    .unwrap();
+    let q_two =
+        parse_program("qt(P) :- authored(I, eco), price(I, P), authored(I2, kafka), price(I2, P).")
+            .unwrap();
     // qe ⋢ qt (qt requires a kafka-priced match too).
     assert!(!relatively_contained_bp(&q_eco, &s("qe"), &q_two, &s("qt"), &v).unwrap());
     // qt ⊑ qe... qt's constants include kafka which qe lacks — the
@@ -135,14 +134,10 @@ fn bp_witness_expansion_explains_failure() {
     .unwrap();
     // qe ⋢ qs (the citation atom is never guaranteed); the witness is a
     // concrete expansion over the mediated schema.
-    let got =
-        relatively_contained_bp_witness(&q_eco, &s("qe"), &q_strong, &s("qs"), &v).unwrap();
+    let got = relatively_contained_bp_witness(&q_eco, &s("qe"), &q_strong, &s("qs"), &v).unwrap();
     let w = got.expect_err("not contained");
     let w = w.expect("witness found within budget");
-    assert!(
-        w.subgoals.iter().any(|a| a.pred == "authored"),
-        "{w}"
-    );
+    assert!(w.subgoals.iter().any(|a| a.pred == "authored"), "{w}");
     assert!(w.subgoals.iter().all(|a| a.pred != "cites"), "{w}");
     // A holding containment reports Ok.
     let ok = relatively_contained_bp_witness(&q_eco, &s("qe"), &q_eco, &s("qe"), &v).unwrap();
@@ -181,22 +176,23 @@ fn multiple_adornments_model_multiple_access_paths() {
 
     // Starting from a name, the name->number path applies.
     let q_by_name = parse_program("q(N) :- listing(alice, N).").unwrap();
-    let got = reachable_certain_answers(&q_by_name, &s("q"), &v, &db, &EvalOptions::default())
-        .unwrap();
+    let got =
+        reachable_certain_answers(&q_by_name, &s("q"), &v, &db, &EvalOptions::default()).unwrap();
     assert!(got.contains(&vec![Term::int(111)]));
 
     // Starting from a number, the number->name path applies.
     let q_by_number = parse_program("q(N) :- listing(N, 222).").unwrap();
-    let got = reachable_certain_answers(&q_by_number, &s("q"), &v, &db, &EvalOptions::default())
-        .unwrap();
+    let got =
+        reachable_certain_answers(&q_by_number, &s("q"), &v, &db, &EvalOptions::default()).unwrap();
     assert!(got.contains(&vec![Term::sym("bob")]));
 
     // With ONLY the name-bound path, the by-number query reaches nothing.
-    let mut v_one = LavSetting::parse(&["Phonebook(Name, Number) :- listing(Name, Number)."])
-        .unwrap();
+    let mut v_one =
+        LavSetting::parse(&["Phonebook(Name, Number) :- listing(Name, Number)."]).unwrap();
     v_one.sources[0] = v_one.sources[0].clone().with_adornment("bf");
-    let got = reachable_certain_answers(&q_by_number, &s("q"), &v_one, &db, &EvalOptions::default())
-        .unwrap();
+    let got =
+        reachable_certain_answers(&q_by_number, &s("q"), &v_one, &db, &EvalOptions::default())
+            .unwrap();
     assert!(got.is_empty());
 
     // Executability with alternatives: a rule fine under "fb" but not

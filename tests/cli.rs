@@ -179,7 +179,10 @@ quit
         .unwrap();
     let out = child.wait_with_output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("qb vs qa: contained (classically)"), "{stdout}");
+    assert!(
+        stdout.contains("qb vs qa: contained (classically)"),
+        "{stdout}"
+    );
     assert!(stdout.contains("qa vs qb: not contained"), "{stdout}");
     assert!(stdout.contains("qa(a)."), "{stdout}");
     assert!(stdout.contains("error: unknown command"), "{stdout}");
@@ -199,7 +202,11 @@ fn cli_csv_and_validate() {
         "q1.dl",
         "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
     );
-    let cars = write_tmp(&dir, "cars.csv", "c1, corolla, 1988\n# comment\nc2, beetle, 1971\n");
+    let cars = write_tmp(
+        &dir,
+        "cars.csv",
+        "c1, corolla, 1988\n# comment\nc2, beetle, 1971\n",
+    );
     let reviews = write_tmp(&dir, "reviews.csv", "corolla, nice\nbeetle, meh\n");
     let bin = env!("CARGO_BIN_EXE_relcont");
 
@@ -210,7 +217,11 @@ fn cli_csv_and_validate() {
         .arg(&q1)
         .args([
             "--csv",
-            &format!("RedCars={},CarAndDriver={}", cars.display(), reviews.display()),
+            &format!(
+                "RedCars={},CarAndDriver={}",
+                cars.display(),
+                reviews.display()
+            ),
         ])
         .output()
         .unwrap();
@@ -256,7 +267,12 @@ coverage q
 why q q
 quit
 ";
-    child.stdin.as_mut().unwrap().write_all(script.as_bytes()).unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("losslessly"), "{stdout}");

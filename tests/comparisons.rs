@@ -98,10 +98,7 @@ fn klug_test_classics() {
 fn semi_interval_relative_equivalence() {
     // Two syntactically different windows that coincide on everything
     // retrievable.
-    let v = LavSetting::parse(&[
-        "Narrow(C, Y) :- stock(C, Y), Y < 1950.",
-    ])
-    .unwrap();
+    let v = LavSetting::parse(&["Narrow(C, Y) :- stock(C, Y), Y < 1950."]).unwrap();
     let qa = prog("qa(C) :- stock(C, Y), Y < 1960.");
     let qb = prog("qb(C) :- stock(C, Y), Y < 1955.");
     // Both plans are just Narrow; relative equivalence holds though the
@@ -130,8 +127,8 @@ fn theorem_5_1_positive_union_queries() {
     let anything = prog("qa(C) :- sale(C, P).");
     assert!(relatively_contained(&extremes, &s("qe"), &anything, &s("qa"), &v).unwrap());
     // The union plan has two disjuncts (one per branch).
-    let plan = relcont::mediator::relative::max_contained_ucq_plan(&extremes, &s("qe"), &v)
-        .unwrap();
+    let plan =
+        relcont::mediator::relative::max_contained_ucq_plan(&extremes, &s("qe"), &v).unwrap();
     assert_eq!(plan.disjuncts.len(), 2, "{plan}");
     // Everything retrievable is < 100 or > 10000: the full-range query is
     // NOT contained in the extremes query (a 99-priced car answers qa,

@@ -2,7 +2,9 @@
 //! errors, validation errors, evaluation limits, decision-procedure
 //! budgets, and degenerate inputs.
 
-use relcont::containment::datalog_ucq::{datalog_contained_in_ucq, DatalogUcqError, FixpointBudget};
+use relcont::containment::datalog_ucq::{
+    datalog_contained_in_ucq, DatalogUcqError, FixpointBudget,
+};
 use relcont::containment::{cq_contained, ucq_contained};
 use relcont::datalog::eval::{answers, evaluate, EvalError, EvalOptions};
 use relcont::datalog::{
@@ -23,7 +25,10 @@ fn parser_error_paths() {
     // Dangling comma.
     assert!(parse_rule("q(X) :- r(X),.").is_err());
     // Empty program parses to zero rules.
-    assert_eq!(parse_program("  % just a comment\n").unwrap().rules().len(), 0);
+    assert_eq!(
+        parse_program("  % just a comment\n").unwrap().rules().len(),
+        0
+    );
     // Trailing garbage after a complete rule.
     assert!(parse_rule("q(X) :- r(X). extra").is_err());
     // Error positions are 1-based and plausible.
@@ -108,30 +113,54 @@ fn evaluation_limits_and_errors() {
 #[test]
 fn empty_database_and_empty_program() {
     let p = parse_program("q(X) :- r(X).").unwrap();
-    let rel = answers(&p, &Database::new(), &Symbol::new("q"), &EvalOptions::default()).unwrap();
+    let rel = answers(
+        &p,
+        &Database::new(),
+        &Symbol::new("q"),
+        &EvalOptions::default(),
+    )
+    .unwrap();
     assert!(rel.is_empty());
     let empty = Program::default();
-    let out = evaluate(&empty, &Database::parse("r(1).").unwrap(), &EvalOptions::default())
-        .unwrap();
+    let out = evaluate(
+        &empty,
+        &Database::parse("r(1).").unwrap(),
+        &EvalOptions::default(),
+    )
+    .unwrap();
     assert_eq!(out.total_len(), 0);
 }
 
 #[test]
 fn datalog_ucq_budget_and_input_errors() {
     // Budget: a tiny budget fails loudly instead of hanging.
-    let p = parse_program(
-        "t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), t(Y, Z).",
-    )
-    .unwrap();
+    let p = parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), t(Y, Z).").unwrap();
     let q = Ucq::single(parse_query("t(A, B) :- e(A, B).").unwrap());
     let tiny = FixpointBudget {
         max_type_entries: 1,
         ..FixpointBudget::default()
     };
-    assert!(matches!(
-        datalog_contained_in_ucq(&p, &Symbol::new("t"), &q, &tiny),
-        Err(DatalogUcqError::Budget(_))
-    ));
+    let err = datalog_contained_in_ucq(&p, &Symbol::new("t"), &q, &tiny).unwrap_err();
+    match err {
+        DatalogUcqError::Budget {
+            stage,
+            consumed,
+            limit,
+        } => {
+            assert_eq!(stage, "type entries");
+            assert_eq!(limit, 1);
+            assert!(
+                consumed > limit,
+                "consumed {consumed} should exceed limit {limit}"
+            );
+            let msg = err.to_string();
+            assert!(
+                msg.contains("type entries") && msg.contains("of limit 1"),
+                "{msg}"
+            );
+        }
+        other => panic!("expected budget error, got {other:?}"),
+    }
 
     // Arity mismatch.
     let q1 = Ucq::single(parse_query("t(A) :- e(A, B).").unwrap());
@@ -141,8 +170,9 @@ fn datalog_ucq_budget_and_input_errors() {
     ));
 
     // Undefined answer predicate: vacuously contained.
-    assert!(datalog_contained_in_ucq(&p, &Symbol::new("zz"), &q, &FixpointBudget::default())
-        .unwrap());
+    assert!(
+        datalog_contained_in_ucq(&p, &Symbol::new("zz"), &q, &FixpointBudget::default()).unwrap()
+    );
 }
 
 #[test]
@@ -151,14 +181,13 @@ fn relative_unsupported_cases_are_reported() {
     // Arbitrary (variable-variable) comparisons in the contained query.
     let q1 = parse_program("q1(X) :- p(X, Y), p(Y, Z), Y < Z.").unwrap();
     let q2 = parse_program("q2(X) :- p(X, Y).").unwrap();
-    let err = relatively_contained(&q1, &Symbol::new("q1"), &q2, &Symbol::new("q2"), &views)
-        .unwrap_err();
+    let err =
+        relatively_contained(&q1, &Symbol::new("q1"), &q2, &Symbol::new("q2"), &views).unwrap_err();
     assert!(matches!(err, RelativeError::Unsupported(_)));
     assert!(err.to_string().contains("open problem"), "{err}");
 
     // Recursive query against views with comparisons.
-    let views_cmp =
-        LavSetting::parse(&["W(X, Y) :- p(X, Y), X < 3."]).unwrap();
+    let views_cmp = LavSetting::parse(&["W(X, Y) :- p(X, Y), X < 3."]).unwrap();
     let rec = parse_program("t(X, Y) :- p(X, Y). t(X, Z) :- t(X, Y), p(Y, Z).").unwrap();
     assert!(matches!(
         relatively_contained(&rec, &Symbol::new("t"), &q2, &Symbol::new("q2"), &views_cmp),
@@ -187,10 +216,14 @@ fn self_join_views_and_repeated_columns() {
     let views = LavSetting::parse(&["Diag(X) :- p(X, X)."]).unwrap();
     let q_diag = parse_program("qd(X) :- p(X, X).").unwrap();
     let q_pair = parse_program("qp(X) :- p(X, Y).").unwrap();
-    assert!(
-        relatively_contained(&q_pair, &Symbol::new("qp"), &q_diag, &Symbol::new("qd"), &views)
-            .unwrap()
-    );
+    assert!(relatively_contained(
+        &q_pair,
+        &Symbol::new("qp"),
+        &q_diag,
+        &Symbol::new("qd"),
+        &views
+    )
+    .unwrap());
 }
 
 #[test]
@@ -259,9 +292,7 @@ fn serde_round_trips() {
 fn csv_loading_edge_cases() {
     let mut db = Database::new();
     // Mixed numeric and symbolic values, comments, blank lines.
-    let n = db
-        .load_csv("m", "a, 1\n\n# comment\nb, -2\n")
-        .unwrap();
+    let n = db.load_csv("m", "a, 1\n\n# comment\nb, -2\n").unwrap();
     assert_eq!(n, 2);
     assert!(db.contains_atom(&relcont::datalog::Atom::new(
         "m",
@@ -281,10 +312,7 @@ fn provenance_through_plans() {
         "CarAndDriver(M, R) :- Review(M, R, 10).",
     ])
     .unwrap();
-    let q = parse_program(
-        "q(C, R) :- CarDesc(C, M, Col, Y), Review(M, R, S).",
-    )
-    .unwrap();
+    let q = parse_program("q(C, R) :- CarDesc(C, M, Col, Y), Review(M, R, S).").unwrap();
     let db = Database::parse(
         "RedCars(c1, corolla, 1988). RedCars(c9, beetle, 1970). CarAndDriver(corolla, nice).",
     )
@@ -302,8 +330,9 @@ fn provenance_through_plans() {
     // Exactly the two contributing source facts; the beetle row is not
     // involved.
     assert_eq!(support.len(), 2, "{support:?}");
-    assert!(support.iter().any(|(p, t)| p == &Symbol::new("RedCars")
-        && t[0] == Term::sym("c1")));
+    assert!(support
+        .iter()
+        .any(|(p, t)| p == &Symbol::new("RedCars") && t[0] == Term::sym("c1")));
     assert!(support.iter().all(|(_, t)| t[0] != Term::sym("c9")));
     // A non-answer yields None.
     assert!(certain_answer_support(

@@ -67,7 +67,10 @@ fn plan_shapes_reflect_source_coverage() {
     let rich = parse_program("rich(Id) :- salary(Id, A), A > 100000.").unwrap();
     let plan = max_contained_ucq_plan(&rich, &s("rich"), &v).unwrap();
     assert_eq!(plan.disjuncts.len(), 1, "{plan}");
-    assert!(plan.disjuncts[0].subgoals.iter().any(|a| a.pred == "HighEarners"));
+    assert!(plan.disjuncts[0]
+        .subgoals
+        .iter()
+        .any(|a| a.pred == "HighEarners"));
 
     // Who works on an engineering project? Two routes: the staffing tool
     // directly, or assigned ⋈ Projects... but no source exports plain
@@ -75,7 +78,10 @@ fn plan_shapes_reflect_source_coverage() {
     let eng = parse_program("eng(Id) :- assigned(Id, P), project(P, eng).").unwrap();
     let plan = max_contained_ucq_plan(&eng, &s("eng"), &v).unwrap();
     assert_eq!(plan.disjuncts.len(), 1, "{plan}");
-    assert!(plan.disjuncts[0].subgoals.iter().any(|a| a.pred == "EngStaffing"));
+    assert!(plan.disjuncts[0]
+        .subgoals
+        .iter()
+        .any(|a| a.pred == "EngStaffing"));
 
     // Department listing: only via HrDirectory.
     let depts = parse_program("d(Id, Dept) :- employee(Id, Dept).").unwrap();
@@ -110,7 +116,10 @@ fn relative_containments_over_the_enterprise() {
     let w = relatively_contained_witness(&reviewed, &s("qa"), &top, &s("qt"), &v)
         .unwrap()
         .expect_err("not contained");
-    assert!(w.plan.subgoals.iter().any(|a| a.pred == "AllReviews"), "{w}");
+    assert!(
+        w.plan.subgoals.iter().any(|a| a.pred == "AllReviews"),
+        "{w}"
+    );
 }
 
 #[test]
@@ -127,10 +136,9 @@ fn certain_answers_across_sources() {
     let opts = EvalOptions::default();
 
     // Rich engineers: join across HR, payroll, and staffing.
-    let q = parse_program(
-        "q(Id) :- employee(Id, eng), salary(Id, A), A > 100000, assigned(Id, P).",
-    )
-    .unwrap();
+    let q =
+        parse_program("q(Id) :- employee(Id, eng), salary(Id, A), A > 100000, assigned(Id, P).")
+            .unwrap();
     let ans = certain_answers(&q, &s("q"), &v, &db, &opts).unwrap();
     assert_eq!(ans.len(), 1);
     assert!(ans.contains(&vec![Term::sym("e1")]));
@@ -152,7 +160,11 @@ fn certain_answers_across_sources() {
 fn access_restricted_payroll() {
     // Payroll requires an employee id as input; HR is free-access.
     let mut v = sources();
-    let idx = v.sources.iter().position(|x| x.name == "HighEarners").unwrap();
+    let idx = v
+        .sources
+        .iter()
+        .position(|x| x.name == "HighEarners")
+        .unwrap();
     v.sources[idx] = v.sources[idx].clone().with_adornment("bf");
 
     let db = Database::parse(

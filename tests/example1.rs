@@ -27,10 +27,8 @@ fn q1() -> Program {
 }
 
 fn q2() -> Program {
-    parse_program(
-        "q2(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).",
-    )
-    .unwrap()
+    parse_program("q2(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).")
+        .unwrap()
 }
 
 fn q3() -> Program {

@@ -131,7 +131,11 @@ fn inverse_rules_and_minicon_agree_on_random_workloads() {
     let mut rng = StdRng::seed_from_u64(20260705);
     let mut nonempty = 0;
     for trial in 0..40 {
-        let shape = if trial % 2 == 0 { Shape::Chain } else { Shape::Star };
+        let shape = if trial % 2 == 0 {
+            Shape::Chain
+        } else {
+            Shape::Star
+        };
         let q = random_query(shape, 1 + trial % 3, 2, &mut rng);
         let v = random_views(3, 2, &mut rng);
         let mc = minicon_rewritings(&q, &v);
@@ -139,8 +143,11 @@ fn inverse_rules_and_minicon_agree_on_random_workloads() {
         let inv = eliminate_function_terms(&max_contained_plan(&prog, &v)).unwrap();
         let inv_ucq = match inv.unfold(&Symbol::new("q")) {
             Ok(mut u) => {
-                u.disjuncts
-                    .retain(|d| d.subgoals.iter().all(|a| v.source(a.pred.as_str()).is_some()));
+                u.disjuncts.retain(|d| {
+                    d.subgoals
+                        .iter()
+                        .all(|a| v.source(a.pred.as_str()).is_some())
+                });
                 u
             }
             Err(_) => Ucq::empty("q", q.head.arity()),

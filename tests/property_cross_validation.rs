@@ -17,7 +17,7 @@ use relcont::containment::canonical::freeze;
 use relcont::containment::{cq_contained, cq_equivalent, minimize};
 use relcont::datalog::eval::{answers, evaluate, EvalOptions, Strategy};
 use relcont::datalog::{
-    Atom, Comparison, CompOp, ConjunctiveQuery, Database, Program, Symbol, Term,
+    Atom, CompOp, Comparison, ConjunctiveQuery, Database, Program, Symbol, Term,
 };
 use relcont::mediator::certain::certain_answers;
 use relcont::mediator::relative::{relatively_contained, relatively_contained_by_plans};
@@ -43,20 +43,16 @@ fn arbitrary_cq(rng: &mut StdRng, max_atoms: usize) -> ConjunctiveQuery {
     let mut subgoals = Vec::new();
     for _ in 0..natoms {
         let p = rng.gen_range(0..2);
-        subgoals.push(Atom::new(
-            format!("p{p}"),
-            vec![term(rng), term(rng)],
-        ));
+        subgoals.push(Atom::new(format!("p{p}"), vec![term(rng), term(rng)]));
     }
     // Head: a variable that occurs in the body (safety).
-    let body_vars: Vec<_> = subgoals
-        .iter()
-        .flat_map(|a| a.vars())
-        .collect();
+    let body_vars: Vec<_> = subgoals.iter().flat_map(|a| a.vars()).collect();
     let head_args = if body_vars.is_empty() {
         vec![]
     } else {
-        vec![Term::Var(body_vars[rng.gen_range(0..body_vars.len())].clone())]
+        vec![Term::Var(
+            body_vars[rng.gen_range(0..body_vars.len())].clone(),
+        )]
     };
     ConjunctiveQuery::new(Atom::new("q", head_args), subgoals, Vec::new())
 }
@@ -91,7 +87,7 @@ proptest! {
     #[test]
     fn relative_containment_routes_agree(seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let shape = if seed % 2 == 0 { Shape::Chain } else { Shape::Star };
+        let shape = if seed.is_multiple_of(2) { Shape::Chain } else { Shape::Star };
         let q1 = random_query(shape, 1 + (seed as usize) % 2, 2, &mut rng);
         let q2 = random_query(shape, 1 + (seed as usize / 2) % 2, 2, &mut rng);
         let views = random_views(3, 2, &mut rng);

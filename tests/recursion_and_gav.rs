@@ -102,10 +102,7 @@ fn gav_corollary_basics() {
 
 #[test]
 fn gav_unfolding_shape() {
-    let setting = GavSetting::parse(
-        "m(X, Z) :- s1(X, Y), s2(Y, Z).",
-    )
-    .unwrap();
+    let setting = GavSetting::parse("m(X, Z) :- s1(X, Y), s2(Y, Z).").unwrap();
     let q = prog("q(X) :- m(X, X).");
     let u = gav_unfold(&q, &s("q"), &setting).unwrap();
     assert_eq!(u.disjuncts.len(), 1);

@@ -17,14 +17,9 @@ pub fn black_box<T>(x: T) -> T {
 }
 
 /// Top-level benchmark driver.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Criterion {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {
@@ -83,9 +78,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) {
         let label = format!("{}/{}", self.name, id.into_benchmark_id());
-        run_bench(&label, self.sample_size, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        run_bench(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
     }
 
     pub fn finish(self) {}

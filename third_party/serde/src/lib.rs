@@ -378,8 +378,11 @@ impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
     }
 }
 
-impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize, S: std::hash::BuildHasher + Default>
-    Deserialize for HashMap<K, V, S>
+impl<
+        K: Deserialize + Eq + std::hash::Hash,
+        V: Deserialize,
+        S: std::hash::BuildHasher + Default,
+    > Deserialize for HashMap<K, V, S>
 {
     fn from_value(v: &Value) -> Result<Self, Error> {
         match v {
@@ -455,12 +458,7 @@ macro_rules! impl_tuple {
     )+};
 }
 
-impl_tuple!(
-    (A.0),
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3),
-);
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
 
 impl Serialize for Value {
     fn to_value(&self) -> Value {

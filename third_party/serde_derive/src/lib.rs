@@ -147,8 +147,8 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         // Expect `:`, then skip the type up to a top-level comma.
         let mut depth: i32 = 0;
         while i < toks.len() {
-            match &toks[i] {
-                TokenTree::Punct(p) => match p.as_char() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
                     '<' => depth += 1,
                     '>' => depth -= 1,
                     ',' if depth == 0 => {
@@ -156,8 +156,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
                         break;
                     }
                     _ => {}
-                },
-                _ => {}
+                }
             }
             i += 1;
         }
@@ -271,7 +270,8 @@ fn gen_serialize(def: &TypeDef) -> String {
                 let vn = &v.name;
                 match &v.kind {
                     VariantKind::Unit => {
-                        arms += &format!("{name}::{vn} => serde::Value::Str({vn:?}.to_string()),\n");
+                        arms +=
+                            &format!("{name}::{vn} => serde::Value::Str({vn:?}.to_string()),\n");
                     }
                     VariantKind::Tuple(1) => {
                         arms += &format!(
@@ -295,7 +295,9 @@ fn gen_serialize(def: &TypeDef) -> String {
                         let pats = fields.join(", ");
                         let items: Vec<String> = fields
                             .iter()
-                            .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value({f}))"))
+                            .map(|f| {
+                                format!("({f:?}.to_string(), serde::Serialize::to_value({f}))")
+                            })
                             .collect();
                         arms += &format!(
                             "{name}::{vn} {{ {pats} }} => serde::Value::Object(vec![\
