@@ -1,0 +1,369 @@
+//! `bench_snapshot` — counter-first performance snapshot of the engine.
+//!
+//! Runs a fixed scenario per experiment suite (E1, E4, E5, E9, E10) under
+//! two engine configurations — the order-naïve reference
+//! ([`EngineOptions::naive`] + textual body order) and the optimized
+//! engine pinned to one thread ([`EngineOptions::sequential`] + greedy
+//! reordering) — and records, per scenario and configuration, the median
+//! wall-clock ns/iter plus the `qc-obs` work-counter totals of one run.
+//!
+//! ```sh
+//! # Regenerate the committed snapshot.
+//! cargo run --release -p qc-bench --bin bench_snapshot -- --out BENCH_PR2.json
+//! # CI smoke: recompute counters and fail on >2x regressions vs the
+//! # committed snapshot (counters only — wall-clock is not compared).
+//! cargo run --release -p qc-bench --bin bench_snapshot -- --check BENCH_PR2.json
+//! ```
+//!
+//! Work counters are deterministic for a sequential engine, which is what
+//! makes the check mode meaningful on shared CI hardware: a >2× counter
+//! increase is an algorithmic regression, not scheduler noise.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use qc_containment::datalog_ucq::{datalog_contained_in_ucq, FixpointBudget};
+use qc_containment::{cq_contained, engine, memo, EngineOptions};
+use qc_datalog::eval::{evaluate, EvalOptions, Strategy};
+use qc_datalog::{parse_program, parse_query, ConjunctiveQuery, Symbol, Ucq};
+use qc_mediator::minicon::minicon_rewritings;
+use qc_mediator::reductions::{asu_reduction, random_cnf3, thm33_reduction};
+use qc_mediator::relative::relatively_contained;
+use qc_mediator::workloads::{chain_edb, random_query, random_views, Shape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::Value;
+
+/// Timed iterations per (scenario, configuration); the median is kept.
+const TIMED_ITERS: usize = 5;
+
+/// Counter-regression tolerance for `--check`: current > `2 ×
+/// max(committed, NOISE_FLOOR)` fails.
+const REGRESSION_FACTOR: u64 = 2;
+const NOISE_FLOOR: u64 = 64;
+
+/// One engine configuration under measurement.
+struct Cfg {
+    name: &'static str,
+    engine: EngineOptions,
+    eval: EvalOptions,
+}
+
+fn configs() -> [Cfg; 2] {
+    [
+        Cfg {
+            name: "baseline",
+            engine: EngineOptions::naive(),
+            eval: EvalOptions {
+                reorder: false,
+                ..EvalOptions::default()
+            },
+        },
+        Cfg {
+            name: "optimized",
+            // Pinned to one thread: counter totals stay deterministic.
+            engine: EngineOptions::sequential(),
+            eval: EvalOptions::default(),
+        },
+    ]
+}
+
+type RunFn = Box<dyn Fn(&Cfg)>;
+
+struct Scenario {
+    name: &'static str,
+    run: RunFn,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut out: Vec<Scenario> = Vec::new();
+
+    // E1 — Example 1 decisions: every ordered query pair, expansion route.
+    let (views, queries) = qc_bench::example1();
+    out.push(Scenario {
+        name: "e1_example1/all_pairs_expansion",
+        run: Box::new(move |_cfg| {
+            for (i, (qa, na)) in queries.iter().enumerate() {
+                for (j, (qb, nb)) in queries.iter().enumerate() {
+                    if i != j {
+                        relatively_contained(qa, na, qb, nb, &views).unwrap();
+                    }
+                }
+            }
+        }),
+    });
+
+    // E4 — Theorem 3.3 Π₂ᵖ reduction instance (4 universal vars, 3
+    // clauses; same seeding scheme as the criterion bench).
+    let mut rng = StdRng::seed_from_u64(104);
+    let f = random_cnf3(2, 4, 3, &mut rng);
+    let inst = thm33_reduction(&f);
+    out.push(Scenario {
+        name: "e4_pi2p_scaling/universal_vars_4",
+        run: Box::new(move |_cfg| {
+            relatively_contained(
+                &inst.contained,
+                &inst.contained_ans,
+                &inst.container,
+                &inst.container_ans,
+                &inst.views,
+            )
+            .unwrap();
+        }),
+    });
+
+    // E5 — the NP baseline: ASU SAT reduction and chain-into-chain.
+    let mut rng = StdRng::seed_from_u64(6);
+    let f = random_cnf3(6, 0, 6, &mut rng);
+    let (q1, q2) = asu_reduction(&f);
+    out.push(Scenario {
+        name: "e5_cq_baseline/asu_nvars_6",
+        run: Box::new(move |_cfg| {
+            cq_contained(&q2, &q1);
+        }),
+    });
+    let (qa, _) = qc_bench::chain_query(16);
+    let (qb, _) = qc_bench::chain_query(8);
+    let ca = ConjunctiveQuery::from_rule(&qa.rules()[0]);
+    let cb = ConjunctiveQuery::from_rule(&qb.rules()[0]);
+    out.push(Scenario {
+        name: "e5_cq_baseline/chain_16",
+        run: Box::new(move |_cfg| {
+            cq_contained(&ca, &cb);
+            cq_contained(&cb, &ca);
+        }),
+    });
+
+    // E9 — rewriting: MiniCon on a chain query over 8 random views.
+    let mut rng = StdRng::seed_from_u64(8);
+    let q = random_query(Shape::Chain, 3, 2, &mut rng);
+    let vs = random_views(8, 2, &mut rng);
+    out.push(Scenario {
+        name: "e9_rewriting_ablation/minicon_8views",
+        run: Box::new(move |_cfg| {
+            minicon_rewritings(&q, &vs);
+        }),
+    });
+
+    // E10 — engine ablation: naïve-strategy transitive closure (the
+    // workload where join order dominates: the textual order scans the
+    // quadratic `t`, the greedy order scans the linear `e`), plus the
+    // datalog ⊆ UCQ type fixpoint.
+    let tc = parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).").unwrap();
+    let db = chain_edb("e", 48);
+    let tc2 = tc.clone();
+    out.push(Scenario {
+        name: "e10_engine_ablation/tc_naive_chain48",
+        run: Box::new(move |cfg| {
+            evaluate(
+                &tc2,
+                &db,
+                &EvalOptions {
+                    strategy: Strategy::Naive,
+                    ..cfg.eval
+                },
+            )
+            .unwrap();
+        }),
+    });
+    let q_ucq = Ucq::single(parse_query("t(X, Y) :- e(X, A), e(B, Y).").unwrap());
+    out.push(Scenario {
+        name: "e10_engine_ablation/type_fixpoint",
+        run: Box::new(move |_cfg| {
+            datalog_contained_in_ucq(&tc, &Symbol::new("t"), &q_ucq, &FixpointBudget::default())
+                .unwrap();
+        }),
+    });
+
+    out
+}
+
+/// Runs the scenario once under a fresh recorder and returns the nonzero
+/// counter totals, in `Counter::ALL` order.
+fn counters_of(s: &Scenario, cfg: &Cfg) -> Vec<(String, u64)> {
+    memo::clear();
+    let rec = Arc::new(qc_obs::PipelineRecorder::new());
+    {
+        let _g = qc_obs::install(rec.clone() as Arc<dyn qc_obs::Recorder>);
+        engine::with_options(cfg.engine, || (s.run)(cfg));
+    }
+    let snap = rec.counters().snapshot();
+    qc_obs::Counter::ALL
+        .iter()
+        .filter_map(|&c| {
+            let n = snap[c as usize];
+            (n != 0).then(|| (c.name().to_string(), n))
+        })
+        .collect()
+}
+
+/// Median wall-clock ns over [`TIMED_ITERS`] cold runs (memo cleared
+/// between iterations).
+fn median_ns(s: &Scenario, cfg: &Cfg) -> u64 {
+    let mut times: Vec<u64> = (0..TIMED_ITERS)
+        .map(|_| {
+            memo::clear();
+            let t0 = Instant::now();
+            engine::with_options(cfg.engine, || (s.run)(cfg));
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn snapshot() -> Value {
+    let mut rows = Vec::new();
+    for s in scenarios() {
+        let mut row = vec![("name".to_string(), Value::Str(s.name.to_string()))];
+        for cfg in configs() {
+            let counters = counters_of(&s, &cfg);
+            let ns = median_ns(&s, &cfg);
+            eprintln!("{:<44} {:<10} {:>12} ns", s.name, cfg.name, ns);
+            row.push((
+                cfg.name.to_string(),
+                Value::Object(vec![
+                    ("median_ns".to_string(), Value::UInt(ns)),
+                    (
+                        "counters".to_string(),
+                        Value::Object(
+                            counters
+                                .into_iter()
+                                .map(|(k, v)| (k, Value::UInt(v)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        rows.push(Value::Object(row));
+    }
+    Value::Object(vec![
+        ("schema".to_string(), Value::Str("bench_pr2/v1".to_string())),
+        (
+            "regenerate".to_string(),
+            Value::Str(
+                "cargo run --release -p qc-bench --bin bench_snapshot -- --out BENCH_PR2.json"
+                    .to_string(),
+            ),
+        ),
+        ("scenarios".to_string(), Value::Array(rows)),
+    ])
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(n) => u64::try_from(*n).ok(),
+        Value::UInt(n) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Recomputes the optimized-engine counters and fails on any counter that
+/// regressed more than [`REGRESSION_FACTOR`]× against the committed
+/// snapshot. Wall-clock is deliberately not compared.
+fn check(path: &str) -> ExitCode {
+    let committed = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let committed: Value = match serde_json::from_str(&committed) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(rows) = committed.get_field("scenarios").as_array() else {
+        eprintln!("{path}: missing scenarios array");
+        return ExitCode::from(2);
+    };
+    let cfg = configs()
+        .into_iter()
+        .find(|c| c.name == "optimized")
+        .expect("optimized config exists");
+    let mut failures = 0usize;
+    for s in scenarios() {
+        let Some(row) = rows
+            .iter()
+            .find(|r| r.get_field("name").as_str() == Some(s.name))
+        else {
+            eprintln!("SKIP {}: not in committed snapshot", s.name);
+            continue;
+        };
+        let current = counters_of(&s, &cfg);
+        let want = row.get_field("optimized").get_field("counters");
+        let Value::Object(want) = want else {
+            eprintln!("SKIP {}: malformed counters", s.name);
+            continue;
+        };
+        for (name, committed_v) in want {
+            let Some(committed_n) = as_u64(committed_v) else {
+                continue;
+            };
+            let current_n = current
+                .iter()
+                .find(|(k, _)| k == name)
+                .map_or(0, |&(_, v)| v);
+            let limit = REGRESSION_FACTOR * committed_n.max(NOISE_FLOOR);
+            if current_n > limit {
+                eprintln!(
+                    "REGRESSION {}: {} = {} (committed {}, limit {})",
+                    s.name, name, current_n, committed_n, limit
+                );
+                failures += 1;
+            } else {
+                eprintln!(
+                    "ok {:<44} {:<28} {:>12} (committed {})",
+                    s.name, name, current_n, committed_n
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} counter regression(s)");
+        ExitCode::from(1)
+    } else {
+        eprintln!("all work counters within bounds");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let mut out: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next(),
+            "--check" => check_path = args.next(),
+            other => {
+                eprintln!("unknown flag {other} (expected --out PATH or --check PATH)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(path) = check_path {
+        return check(&path);
+    }
+    let path = out.unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let value = snapshot();
+    match serde_json::to_string_pretty(&value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("snapshot written to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serialization failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Engine-wide tuning knobs for the containment kernels.
+//!
+//! The containment procedures ([`crate::cq`], [`crate::homomorphism`],
+//! [`crate::datalog_ucq`]) keep their small, paper-shaped signatures; the
+//! *how* — bucketed vs linear homomorphism search, memoization, and the
+//! parallel fan-out width — is configured out-of-band through a scoped,
+//! thread-local [`EngineOptions`], mirroring the `qc-obs` recorder pattern.
+//!
+//! The default configuration is the optimized engine. [`EngineOptions::naive`]
+//! reproduces the order-naïve reference path bit-for-bit (sequential,
+//! linear-scan homomorphism search, no memo) — the ablation baseline the
+//! differential tests and `bench_snapshot` compare against.
+
+use std::cell::Cell;
+
+/// Default bound on the number of resident verdicts in the canonical
+/// containment memo (see [`crate::memo`]).
+pub const DEFAULT_MEMO_CAPACITY: usize = 4096;
+
+/// Tuning knobs for the containment engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Worker threads for the embarrassingly parallel outer loops
+    /// (UCQ-disjunct containment checks, per-candidate rewriting checks).
+    /// `1` keeps everything on the calling thread — today's deterministic
+    /// sequential path.
+    pub parallelism: usize,
+    /// Predicate-bucketed, constrained-first homomorphism search with the
+    /// cheap pre-filter. `false` falls back to the linear-scan search.
+    pub hom_buckets: bool,
+    /// Capacity of the canonical containment memo; `0` disables it.
+    pub memo_capacity: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            hom_buckets: true,
+            memo_capacity: DEFAULT_MEMO_CAPACITY,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// The order-naïve reference configuration: sequential, linear-scan
+    /// homomorphism search, no memo.
+    pub fn naive() -> EngineOptions {
+        EngineOptions {
+            parallelism: 1,
+            hom_buckets: false,
+            memo_capacity: 0,
+        }
+    }
+
+    /// The optimized engine, pinned to one thread (deterministic).
+    pub fn sequential() -> EngineOptions {
+        EngineOptions {
+            parallelism: 1,
+            ..EngineOptions::default()
+        }
+    }
+
+    /// This configuration with the given parallelism.
+    pub fn with_parallelism(self, parallelism: usize) -> EngineOptions {
+        EngineOptions {
+            parallelism: parallelism.max(1),
+            ..self
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<EngineOptions> = Cell::new(EngineOptions::default());
+}
+
+/// The options in effect on this thread.
+pub fn current() -> EngineOptions {
+    CURRENT.with(Cell::get)
+}
+
+/// Runs `f` with `opts` in effect on this thread; the previous options are
+/// restored afterwards (also on unwind).
+pub fn with_options<R>(opts: EngineOptions, f: impl FnOnce() -> R) -> R {
+    struct Restore(EngineOptions);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = CURRENT.with(|c| {
+        let prev = c.get();
+        c.set(opts);
+        Restore(prev)
+    });
+    f()
+}
+
+/// Maps `f` over `items`, fanning out across scoped worker threads when
+/// [`EngineOptions::parallelism`] allows (and the batch is big enough to
+/// pay for it). Results come back in input order regardless of scheduling.
+///
+/// * `parallelism == 1` (or a single-item batch) runs on the calling
+///   thread with **zero** behavioral difference from a plain `map` — the
+///   deterministic reference path.
+/// * Workers inherit the parent's [`EngineOptions`] pinned to
+///   `parallelism = 1` (no nested fan-out) and, because `qc-obs` recorders
+///   are thread-local, each installs a private
+///   [`qc_obs::PipelineRecorder`]; after the scope joins, worker counter
+///   totals are merged into the parent's recorder in worker order, so
+///   aggregate counters are deterministic for a fixed parallelism.
+///   (Worker span trees are not reparented — only counters merge.)
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let opts = current();
+    let workers = opts.parallelism.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let worker_opts = opts.with_parallelism(1);
+    let parent_active = qc_obs::is_active();
+    // Contiguous chunking: ceil(len / workers) keeps chunk assignment a
+    // pure function of (len, parallelism).
+    let chunk = items.len().div_ceil(workers);
+    let mut recorders: Vec<std::sync::Arc<qc_obs::PipelineRecorder>> = Vec::new();
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (slice, out) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            let rec = std::sync::Arc::new(qc_obs::PipelineRecorder::new());
+            recorders.push(rec.clone());
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let _install = parent_active.then(|| qc_obs::install(rec));
+                with_options(worker_opts, || {
+                    for (t, slot) in slice.iter().zip(out.iter_mut()) {
+                        *slot = Some(f(t));
+                    }
+                });
+            }));
+        }
+        for h in handles {
+            h.join().expect("containment worker panicked");
+        }
+    });
+    if parent_active {
+        // Merge worker counters into the parent recorder, worker order.
+        for rec in &recorders {
+            let snapshot = rec.counters().snapshot();
+            for c in qc_obs::Counter::ALL {
+                let n = snapshot[c as usize];
+                if n != 0 {
+                    qc_obs::count(c, n);
+                }
+            }
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_optimized() {
+        let d = EngineOptions::default();
+        assert!(d.hom_buckets);
+        assert!(d.parallelism >= 1);
+        assert_eq!(d.memo_capacity, DEFAULT_MEMO_CAPACITY);
+        let n = EngineOptions::naive();
+        assert!(!n.hom_buckets);
+        assert_eq!(n.parallelism, 1);
+        assert_eq!(n.memo_capacity, 0);
+        assert_eq!(EngineOptions::sequential().parallelism, 1);
+        assert_eq!(n.with_parallelism(0).parallelism, 1);
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order_and_merges_counters() {
+        let items: Vec<u64> = (0..23).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        // Sequential path (parallelism = 1) is a plain map.
+        let seq = with_options(EngineOptions::sequential(), || {
+            parallel_map(&items, |x| x * x)
+        });
+        assert_eq!(seq, expect);
+        // Fanned out: same results, in input order, and worker-side counter
+        // increments merged back into the parent recorder.
+        let rec = std::sync::Arc::new(qc_obs::PipelineRecorder::new());
+        let par = with_options(EngineOptions::sequential().with_parallelism(4), || {
+            let _g = qc_obs::install(rec.clone());
+            parallel_map(&items, |x| {
+                qc_obs::count(qc_obs::Counter::MemoHits, 1);
+                x * x
+            })
+        });
+        assert_eq!(par, expect);
+        assert_eq!(
+            rec.counters().get(qc_obs::Counter::MemoHits),
+            items.len() as u64
+        );
+        // Workers run with parallelism pinned to 1 (no nested fan-out).
+        let nested = with_options(EngineOptions::sequential().with_parallelism(2), || {
+            parallel_map(&[0u8, 1], |_| current().parallelism)
+        });
+        assert_eq!(nested, vec![1, 1]);
+    }
+
+    #[test]
+    fn with_options_is_scoped_and_restores() {
+        let base = current();
+        let inner = with_options(EngineOptions::naive(), || {
+            let nested = with_options(EngineOptions::sequential(), current);
+            assert_eq!(nested, EngineOptions::sequential());
+            current()
+        });
+        assert_eq!(inner, EngineOptions::naive());
+        assert_eq!(current(), base);
+    }
+}

@@ -7,13 +7,22 @@
 //! mapping exists [Chandra–Merlin 1977].
 //!
 //! The search is a backtracking walk over `Q2`'s subgoals with candidate
-//! subgoals of `Q1` grouped by predicate, seeded with the head constraint
-//! (which usually pins the distinguished variables immediately).
+//! subgoals of `Q1` pre-bucketed by `(predicate, arity)`, seeded with the
+//! head constraint (which usually pins the distinguished variables
+//! immediately). Goals are ordered most-constrained-first (ground
+//! arguments, then repeated-variable arguments, then fewest candidate
+//! targets), and a cheap pre-filter — predicate-set and
+//! constant-occurrence necessary conditions — rejects impossible
+//! instances before any search node is expanded. The
+//! linear-scan reference search is kept behind
+//! [`crate::engine::EngineOptions::naive`] as the ablation baseline.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::ops::ControlFlow;
 
-use qc_datalog::{Atom, ConjunctiveQuery, Term, Var};
+use qc_datalog::{Atom, ConjunctiveQuery, Symbol, Term, Var};
+
+use crate::engine;
 
 /// A variable-to-term mapping (the hom restricted to variables; constants
 /// always map to themselves).
@@ -70,6 +79,34 @@ pub fn for_each_containment_mapping(
     if from.head.arity() != to.head.arity() {
         return true; // no mappings possible
     }
+    if !engine::current().hom_buckets {
+        return naive_mapping_search(from, to, &mut visit);
+    }
+
+    // Pre-bucket the targets by (predicate, arity): every search node then
+    // enumerates exactly the pred/arity-compatible candidates.
+    let mut buckets: HashMap<(&Symbol, usize), Vec<&Atom>> = HashMap::new();
+    for t in &to.subgoals {
+        buckets.entry((&t.pred, t.args.len())).or_default().push(t);
+    }
+
+    // Cheap pre-filter (necessary conditions, checked before any search):
+    // every goal needs a nonempty bucket, and a constant at goal position
+    // `i` must occur at position `i` of at least one candidate (a variable
+    // or a mismatching constant there can never receive it).
+    for g in &from.subgoals {
+        let Some(cands) = buckets.get(&(&g.pred, g.args.len())) else {
+            qc_obs::count(qc_obs::Counter::HomPrefilterRejects, 1);
+            return true;
+        };
+        for (i, a) in g.args.iter().enumerate() {
+            if matches!(a, Term::Const(_)) && !cands.iter().any(|c| &c.args[i] == a) {
+                qc_obs::count(qc_obs::Counter::HomPrefilterRejects, 1);
+                return true;
+            }
+        }
+    }
+
     let mut m = Mapping::new();
     let mut added = Vec::new();
     // Head constraint first.
@@ -78,13 +115,183 @@ pub fn for_each_containment_mapping(
             return true;
         }
     }
+
+    // Per-subgoal, per-argument variable lists, computed once up front —
+    // both the ordering pass and the per-node forward check consult them,
+    // so nothing allocates inside the search.
+    let arg_vars: Vec<Vec<Vec<Var>>> = from
+        .subgoals
+        .iter()
+        .map(|g| {
+            g.args
+                .iter()
+                .map(|a| {
+                    let mut s = BTreeSet::new();
+                    a.collect_vars(&mut s);
+                    s.into_iter().collect()
+                })
+                .collect()
+        })
+        .collect();
+    let mut var_occurrences: HashMap<&Var, usize> = HashMap::new();
+    let mut head_vars: BTreeSet<Var> = BTreeSet::new();
+    from.head.collect_vars(&mut head_vars);
+    for v in &head_vars {
+        *var_occurrences.entry(v).or_insert(0) += 1;
+    }
+    for goal in &arg_vars {
+        for arg in goal {
+            for v in arg {
+                *var_occurrences.entry(v).or_insert(0) += 1;
+            }
+        }
+    }
+
+    // Greedy connected, most-constrained-first goal order. Starting from
+    // the variables the head constraint pins, repeatedly pick the goal
+    // with (a) the most *determined* arguments — ground terms or terms
+    // whose variables are already pinned by earlier goals, which `extend`
+    // checks against each candidate immediately, so mismatches fail at
+    // depth `k` instead of deep in the subtree — then (b) the most
+    // repeated-variable arguments (soon-to-be-pinned joins), then (c) the
+    // smallest candidate bucket. `min_by_key` takes the first minimum, so
+    // remaining ties break on textual order deterministically.
+    let mut order: Vec<usize> = (0..from.subgoals.len()).collect();
+    let mut pinned: BTreeSet<&Var> = head_vars.iter().collect();
+    for k in 0..order.len() {
+        let best = (k..order.len())
+            .min_by_key(|&i| {
+                let gi = order[i];
+                let g = &from.subgoals[gi];
+                let determined = arg_vars[gi]
+                    .iter()
+                    .filter(|vs| vs.iter().all(|v| pinned.contains(v)))
+                    .count();
+                let repeated = arg_vars[gi]
+                    .iter()
+                    .filter(|vs| {
+                        !vs.is_empty()
+                            && vs
+                                .iter()
+                                .any(|v| var_occurrences.get(v).copied().unwrap_or(0) > 1)
+                    })
+                    .count();
+                let cands = buckets.get(&(&g.pred, g.args.len())).map_or(0, Vec::len);
+                (
+                    std::cmp::Reverse(determined),
+                    std::cmp::Reverse(repeated),
+                    cands,
+                )
+            })
+            .expect("nonempty suffix");
+        order.swap(k, best);
+        for vs in &arg_vars[order[k]] {
+            pinned.extend(vs.iter());
+        }
+    }
+    let goals: Vec<&Atom> = order.iter().map(|&i| &from.subgoals[i]).collect();
+    let goal_arg_vars: Vec<&[Vec<Var>]> = order.iter().map(|&i| arg_vars[i].as_slice()).collect();
+    bucketed_search(&goals, &goal_arg_vars, 0, &buckets, &mut m, &mut visit).is_continue()
+}
+
+/// Non-destructive compatibility: can `f` still be mapped onto `t` under
+/// `m`? (Mapped variables must agree with their image; unmapped variables
+/// are unconstrained.) Used by the forward check — never binds anything.
+fn arg_compatible(m: &Mapping, f: &Term, t: &Term) -> bool {
+    match f {
+        Term::Var(v) => m.get(v).is_none_or(|img| img == t),
+        Term::Const(_) => f == t,
+        Term::App(fs, fargs) => match t {
+            Term::App(ts, targs) if fs == ts && fargs.len() == targs.len() => fargs
+                .iter()
+                .zip(targs)
+                .all(|(a, b)| arg_compatible(m, a, b)),
+            _ => false,
+        },
+    }
+}
+
+fn bucketed_search(
+    goals: &[&Atom],
+    arg_vars: &[&[Vec<Var>]],
+    k: usize,
+    buckets: &HashMap<(&Symbol, usize), Vec<&Atom>>,
+    m: &mut Mapping,
+    visit: &mut impl FnMut(&Mapping) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    qc_obs::count(qc_obs::Counter::HomSearchNodes, 1);
+    if k == goals.len() {
+        qc_obs::count(qc_obs::Counter::HomMappingsFound, 1);
+        return visit(m);
+    }
+    let goal = goals[k];
+    let Some(cands) = buckets.get(&(&goal.pred, goal.args.len())) else {
+        return ControlFlow::Continue(()); // unreachable after the pre-filter
+    };
+    qc_obs::count(qc_obs::Counter::HomBucketHits, 1);
+    for target in cands {
+        let mut added = Vec::new();
+        let ok = goal
+            .args
+            .iter()
+            .zip(&target.args)
+            .all(|(f, t)| extend(m, f, t, &mut added));
+        // Forward check: every remaining goal must still have at least one
+        // candidate compatible with the extended mapping, otherwise the
+        // whole subtree is doomed — prune it without expanding a node.
+        // A goal's viability only changes when one of its variables is
+        // newly bound, so it suffices to re-check the goals `added`
+        // touches (the pre-filter covers the static conditions); this
+        // prunes exactly the same subtrees as re-checking everything.
+        let viable = ok
+            && goals[k + 1..].iter().enumerate().all(|(j, g)| {
+                let affected = arg_vars[k + 1 + j]
+                    .iter()
+                    .any(|vs| vs.iter().any(|v| added.contains(v)));
+                !affected
+                    || buckets.get(&(&g.pred, g.args.len())).is_some_and(|gcands| {
+                        gcands.iter().any(|t| {
+                            g.args
+                                .iter()
+                                .zip(&t.args)
+                                .all(|(f, ta)| arg_compatible(m, f, ta))
+                        })
+                    })
+            });
+        if viable {
+            bucketed_search(goals, arg_vars, k + 1, buckets, m, visit)?;
+        } else {
+            qc_obs::count(qc_obs::Counter::HomCandidatesPruned, 1);
+        }
+        for v in added {
+            m.remove(&v);
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// The linear-scan reference search (pre-bucketing behavior, preserved
+/// bit-for-bit as the ablation baseline under
+/// [`engine::EngineOptions::naive`]).
+fn naive_mapping_search(
+    from: &ConjunctiveQuery,
+    to: &ConjunctiveQuery,
+    visit: &mut impl FnMut(&Mapping) -> ControlFlow<()>,
+) -> bool {
+    let mut m = Mapping::new();
+    let mut added = Vec::new();
+    for (f, t) in from.head.args.iter().zip(&to.head.args) {
+        if !extend(&mut m, f, t, &mut added) {
+            return true;
+        }
+    }
     // Order subgoals most-constrained-first: fewer candidate targets first.
     let mut order: Vec<&Atom> = from.subgoals.iter().collect();
     order.sort_by_key(|g| to.subgoals.iter().filter(|t| t.pred == g.pred).count());
-    search(&order, 0, to, &mut m, &mut visit).is_continue()
+    naive_search(&order, 0, to, &mut m, visit).is_continue()
 }
 
-fn search(
+fn naive_search(
     goals: &[&Atom],
     k: usize,
     to: &ConjunctiveQuery,
@@ -108,7 +315,7 @@ fn search(
             .zip(&target.args)
             .all(|(f, t)| extend(m, f, t, &mut added));
         if ok {
-            search(goals, k + 1, to, m, visit)?;
+            naive_search(goals, k + 1, to, m, visit)?;
         } else {
             qc_obs::count(qc_obs::Counter::HomCandidatesPruned, 1);
         }
@@ -243,5 +450,88 @@ mod tests {
         let from = q("q() :- r(X, Y).");
         let to = q("q() :- r(A, B), s(A).");
         assert!(containment_mapping(&from, &to).is_some());
+    }
+
+    #[test]
+    fn bucketed_and_naive_search_agree() {
+        use crate::engine::{self, EngineOptions};
+        let pairs = [
+            ("q(X) :- r(X, Y).", "q(A) :- r(A, B)."),
+            (
+                "q(X, Y) :- e(X, Z), e(Z, Y).",
+                "q(X, Y) :- e(X, Z), e(Z, W), e(W, Y), e(X, Y).",
+            ),
+            ("q() :- r(X, X).", "q() :- r(A, B)."),
+            ("q(X) :- r(X, 10).", "q(A) :- r(A, 9)."),
+            ("q() :- r(X), s(X).", "q() :- r(A), r(B), s(A)."),
+            ("q(X) :- r(X, f(X)).", "q(A) :- r(A, f(A))."),
+            ("q(X) :- p(X), missing(X).", "q(A) :- p(A)."),
+        ];
+        for (f, t) in pairs {
+            let (from, to) = (q(f), q(t));
+            let bucketed = containment_mapping(&from, &to).is_some();
+            let naive = engine::with_options(EngineOptions::naive(), || {
+                containment_mapping(&from, &to).is_some()
+            });
+            assert_eq!(bucketed, naive, "{f} -> {t}");
+            // Mapping multiplicity agrees too.
+            let nb = all_containment_mappings(&from, &to).len();
+            let nn = engine::with_options(EngineOptions::naive(), || {
+                all_containment_mappings(&from, &to).len()
+            });
+            assert_eq!(nb, nn, "{f} -> {t}");
+        }
+    }
+
+    #[test]
+    fn prefilter_rejects_before_search() {
+        use std::sync::Arc;
+        // Missing predicate: rejected with zero search nodes.
+        let rec = Arc::new(qc_obs::PipelineRecorder::new());
+        {
+            let _g = qc_obs::install(rec.clone());
+            let from = q("q() :- r(X), absent(X).");
+            let to = q("q() :- r(A).");
+            assert!(containment_mapping(&from, &to).is_none());
+        }
+        assert_eq!(rec.counters().get(qc_obs::Counter::HomPrefilterRejects), 1);
+        assert_eq!(rec.counters().get(qc_obs::Counter::HomSearchNodes), 0);
+        // Constant that occurs nowhere at that position: same.
+        let rec2 = Arc::new(qc_obs::PipelineRecorder::new());
+        {
+            let _g = qc_obs::install(rec2.clone());
+            let from = q("q() :- r(X, 10).");
+            let to = q("q() :- r(A, 9), r(B, B).");
+            assert!(containment_mapping(&from, &to).is_none());
+        }
+        assert_eq!(rec2.counters().get(qc_obs::Counter::HomPrefilterRejects), 1);
+        assert_eq!(rec2.counters().get(qc_obs::Counter::HomSearchNodes), 0);
+    }
+
+    #[test]
+    fn bucketed_search_explores_fewer_nodes() {
+        use crate::engine::{self, EngineOptions};
+        use std::sync::Arc;
+        // A wide target with many distractor predicates: bucketing skips
+        // them, the linear scan walks them per node.
+        let from = q("q(X) :- e(X, Y), e(Y, Z), lab(Z, red).");
+        let to = q(
+            "q(A) :- e(A, B), e(B, C), lab(C, red), d0(A), d1(A), d2(A), \
+             d3(A), d4(A), e(C, A), e(B, A).",
+        );
+        let nodes = |opts: EngineOptions| {
+            let rec = Arc::new(qc_obs::PipelineRecorder::new());
+            engine::with_options(opts, || {
+                let _g = qc_obs::install(rec.clone());
+                assert!(containment_mapping(&from, &to).is_some());
+            });
+            rec.counters().get(qc_obs::Counter::HomSearchNodes)
+        };
+        let bucketed = nodes(EngineOptions::sequential());
+        let naive = nodes(EngineOptions::naive());
+        assert!(
+            bucketed <= naive,
+            "bucketed {bucketed} > naive {naive} search nodes"
+        );
     }
 }

@@ -44,7 +44,9 @@ pub mod canonical;
 pub mod comparisons;
 pub mod cq;
 pub mod datalog_ucq;
+pub mod engine;
 pub mod homomorphism;
+pub mod memo;
 pub mod uniform;
 pub mod witness;
 
@@ -53,4 +55,6 @@ pub use cq::{
     cq_contained, cq_equivalent, minimize, minimize_union, ucq_contained, ucq_equivalent,
 };
 pub use datalog_ucq::{datalog_contained_in_ucq, DatalogUcqError};
+pub use engine::EngineOptions;
 pub use homomorphism::{containment_mapping, for_each_containment_mapping, Mapping};
+pub use memo::cq_contained_memo;

@@ -1,0 +1,208 @@
+//! Canonical containment memo: a bounded cache of CQ ⊑ CQ verdicts.
+//!
+//! The rewriting pipelines (`minicon`, Theorem 3.1 enumeration, and the
+//! datalog ⊆ UCQ type fixpoint) re-test the same (candidate, query) pairs
+//! across partitions and iterations. Containment verdicts are invariant
+//! under variable renaming and head-predicate renaming, so verdicts are
+//! cached under *canonical keys*: [`qc_datalog::Rule::canonicalize`] forms
+//! of both queries with head predicates normalized to a fixed symbol.
+//! α-equivalent pairs therefore share one cache entry, and a cache hit is
+//! verdict-preserving by construction (see DESIGN.md §Join-aware engine).
+//!
+//! The cache is *thread-local* (each worker of the parallel fan-out warms
+//! its own, keeping lookups lock-free and counter totals deterministic)
+//! and bounded by a two-generation LRU approximation: when the current
+//! generation fills up it becomes the previous generation and the oldest
+//! entries are discarded wholesale. Lookups promote previous-generation
+//! hits, so the resident set stays within `2 × capacity` with O(1)
+//! operations. Capacity comes from
+//! [`crate::engine::EngineOptions::memo_capacity`]; `0` bypasses the cache
+//! entirely (the naïve reference path).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use qc_datalog::{ConjunctiveQuery, Rule, Symbol};
+
+use crate::cq::cq_contained;
+use crate::engine;
+
+/// A canonical containment question: canonical forms of both sides.
+type Key = (Rule, Rule);
+
+#[derive(Debug, Default)]
+struct GenCache {
+    current: HashMap<Key, bool>,
+    previous: HashMap<Key, bool>,
+    capacity: usize,
+}
+
+impl GenCache {
+    fn lookup(&mut self, key: &Key) -> Option<bool> {
+        if let Some(&v) = self.current.get(key) {
+            return Some(v);
+        }
+        if let Some(v) = self.previous.remove(key) {
+            // Promote: recently used entries survive the next rotation.
+            self.store(key.clone(), v);
+            return Some(v);
+        }
+        None
+    }
+
+    fn store(&mut self, key: Key, verdict: bool) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.current.len() >= self.capacity {
+            self.previous = std::mem::take(&mut self.current);
+        }
+        self.current.insert(key, verdict);
+    }
+
+    fn len(&self) -> usize {
+        self.current.len() + self.previous.len()
+    }
+}
+
+thread_local! {
+    static MEMO: RefCell<GenCache> = RefCell::new(GenCache::default());
+}
+
+/// The canonical form of one side: α-renamed apart and head predicate
+/// normalized (containment ignores head predicate names, so `p1(X) :- …`
+/// and `q1(A) :- …` share an entry whenever their bodies α-match).
+fn canonical_key(q: &ConjunctiveQuery) -> Rule {
+    let mut r = q.to_rule();
+    r.head.pred = Symbol::new("_memo_q");
+    r.canonicalize()
+}
+
+/// Decides `q1 ⊆ q2` through the memo: answers from cache when the
+/// canonical pair has been decided before on this thread, otherwise
+/// computes via [`cq_contained`] and records the verdict.
+///
+/// With [`engine::EngineOptions::memo_capacity`] `== 0` this is exactly
+/// `cq_contained` (no key construction, no cache access).
+pub fn cq_contained_memo(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    let capacity = engine::current().memo_capacity;
+    if capacity == 0 {
+        return cq_contained(q1, q2);
+    }
+    let key = (canonical_key(q1), canonical_key(q2));
+    let cached = MEMO.with(|m| {
+        let mut cache = m.borrow_mut();
+        cache.capacity = capacity;
+        cache.lookup(&key)
+    });
+    if let Some(verdict) = cached {
+        qc_obs::count(qc_obs::Counter::MemoHits, 1);
+        return verdict;
+    }
+    qc_obs::count(qc_obs::Counter::MemoMisses, 1);
+    // Decide outside the borrow (the check can be deep and may itself
+    // consult the memo through nested engine calls).
+    let verdict = cq_contained(q1, q2);
+    MEMO.with(|m| m.borrow_mut().store(key, verdict));
+    verdict
+}
+
+/// Empties this thread's memo (fresh counter baselines between bench
+/// scenarios).
+pub fn clear() {
+    MEMO.with(|m| *m.borrow_mut() = GenCache::default());
+}
+
+/// Number of resident verdicts (both generations) on this thread.
+pub fn resident() -> usize {
+    MEMO.with(|m| m.borrow().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineOptions;
+    use qc_datalog::parse_query;
+    use std::sync::Arc;
+
+    fn q(s: &str) -> ConjunctiveQuery {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn memo_agrees_with_direct_check() {
+        let pairs = [
+            ("q(X) :- r(X, Y).", "q(A) :- r(A, B)."),
+            ("q(X) :- r(X, X).", "q(A) :- r(A, B)."),
+            ("q(X) :- r(X, Y).", "q(A) :- r(A, A)."),
+            ("q(X) :- r(X, 10).", "q(A) :- r(A, B)."),
+            ("q(X) :- r(X, Y), Y < 5.", "q(A) :- r(A, B)."),
+        ];
+        for (a, b) in pairs {
+            let (qa, qb) = (q(a), q(b));
+            let direct = cq_contained(&qa, &qb);
+            let memoized =
+                engine::with_options(EngineOptions::sequential(), || cq_contained_memo(&qa, &qb));
+            assert_eq!(direct, memoized, "{a} ⊆ {b}");
+            // Second ask hits the cache and still agrees.
+            let again =
+                engine::with_options(EngineOptions::sequential(), || cq_contained_memo(&qa, &qb));
+            assert_eq!(direct, again, "{a} ⊆ {b} (cached)");
+        }
+    }
+
+    #[test]
+    fn alpha_equivalent_pairs_share_an_entry() {
+        clear();
+        let rec = Arc::new(qc_obs::PipelineRecorder::new());
+        engine::with_options(EngineOptions::sequential(), || {
+            let _g = qc_obs::install(rec.clone());
+            assert!(cq_contained_memo(
+                &q("q(X) :- e(X, Y), e(Y, Z)."),
+                &q("q(U) :- e(U, V).")
+            ));
+            // α-renamed and head-renamed variant of the same question.
+            assert!(cq_contained_memo(
+                &q("p(A) :- e(A, B), e(B, C)."),
+                &q("r(M) :- e(M, N).")
+            ));
+        });
+        assert_eq!(rec.counters().get(qc_obs::Counter::MemoMisses), 1);
+        assert_eq!(rec.counters().get(qc_obs::Counter::MemoHits), 1);
+        clear();
+    }
+
+    #[test]
+    fn zero_capacity_bypasses_cache() {
+        clear();
+        let rec = Arc::new(qc_obs::PipelineRecorder::new());
+        engine::with_options(EngineOptions::naive(), || {
+            let _g = qc_obs::install(rec.clone());
+            assert!(cq_contained_memo(
+                &q("q(X) :- r(X, X)."),
+                &q("q(A) :- r(A, B).")
+            ));
+        });
+        assert_eq!(rec.counters().get(qc_obs::Counter::MemoHits), 0);
+        assert_eq!(rec.counters().get(qc_obs::Counter::MemoMisses), 0);
+        assert_eq!(resident(), 0);
+    }
+
+    #[test]
+    fn capacity_bound_holds() {
+        clear();
+        let opts = EngineOptions {
+            memo_capacity: 8,
+            ..EngineOptions::sequential()
+        };
+        engine::with_options(opts, || {
+            for i in 0..100 {
+                let a = q(&format!("q(X) :- r{i}(X, Y)."));
+                let b = q(&format!("q(A) :- r{i}(A, B)."));
+                cq_contained_memo(&a, &b);
+            }
+        });
+        assert!(resident() <= 16, "resident = {}", resident());
+        clear();
+    }
+}

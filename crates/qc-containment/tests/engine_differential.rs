@@ -1,0 +1,190 @@
+//! Differential tests for the engine configurations: the optimized paths
+//! (atom reordering, bucketed homomorphism search, containment memo,
+//! parallel fan-out) must agree with the order-naïve reference path on
+//! random inputs, for every knob combination the engine exposes.
+//!
+//! The oracle is [`qc_containment::EngineOptions::naive`] — sequential,
+//! linear-scan homomorphism search, no memo — which reproduces the
+//! pre-optimization engine bit-for-bit. Every other configuration is an
+//! implementation of the same mathematical functions, so the verdicts
+//! (and, for evaluation, the answer *sets*) must be identical.
+
+use proptest::prelude::*;
+use qc_containment::datalog_ucq::{datalog_contained_in_ucq, FixpointBudget};
+use qc_containment::{cq_contained, cq_contained_memo, engine, ucq_contained, EngineOptions};
+use qc_datalog::eval::{answers, EvalOptions};
+use qc_datalog::{parse_program, Atom, ConjunctiveQuery, Database, Program, Symbol, Term, Ucq};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The configurations under test, paired with the naïve oracle: the
+/// optimized engine pinned to one thread, and the optimized engine fanned
+/// out over four workers.
+fn configs() -> [(&'static str, EngineOptions); 2] {
+    [
+        ("sequential", EngineOptions::sequential()),
+        ("parallel4", EngineOptions::sequential().with_parallelism(4)),
+    ]
+}
+
+/// A random small comparison-free CQ over binary predicates (mirrors the
+/// generator in `properties.rs`).
+fn random_cq(rng: &mut StdRng, head_arity: usize) -> ConjunctiveQuery {
+    let natoms = rng.gen_range(1..=3);
+    let nvars = rng.gen_range(1..=4u32);
+    let term = |rng: &mut StdRng| -> Term {
+        if rng.gen_bool(0.2) {
+            Term::int(rng.gen_range(0..2))
+        } else {
+            Term::var(format!("V{}", rng.gen_range(0..nvars)))
+        }
+    };
+    let mut subgoals = Vec::new();
+    for _ in 0..natoms {
+        let p = rng.gen_range(0..2);
+        subgoals.push(Atom::new(format!("p{p}"), vec![term(rng), term(rng)]));
+    }
+    let body_vars: Vec<_> = subgoals.iter().flat_map(|a| a.vars()).collect();
+    let head_args: Vec<Term> = (0..head_arity)
+        .map(|_| match body_vars.first() {
+            Some(_) => Term::Var(body_vars[rng.gen_range(0..body_vars.len())].clone()),
+            None => Term::int(0),
+        })
+        .collect();
+    ConjunctiveQuery::new(Atom::new("q", head_args), subgoals, Vec::new())
+}
+
+/// A random nonrecursive layered program with answer predicate `q`
+/// (mirrors the generator in `properties.rs`).
+fn random_layered_program(rng: &mut StdRng) -> Program {
+    let mut src = String::new();
+    let q_atoms = rng.gen_range(1..=2);
+    let mut body = Vec::new();
+    for _ in 0..q_atoms {
+        let h = rng.gen_range(0..2);
+        body.push(format!(
+            "h{h}(V{}, V{})",
+            rng.gen_range(0..3),
+            rng.gen_range(0..3)
+        ));
+    }
+    src.push_str(&format!("q(V0) :- {}.\n", body.join(", ")));
+    for h in 0..2 {
+        for _ in 0..rng.gen_range(1..=2) {
+            let p = rng.gen_range(0..2);
+            match rng.gen_range(0..3) {
+                0 => src.push_str(&format!("h{h}(A, B) :- p{p}(A, B).\n")),
+                1 => src.push_str(&format!("h{h}(A, B) :- p{p}(B, A).\n")),
+                _ => src.push_str(&format!("h{h}(A, A) :- p{p}(A, C).\n")),
+            }
+        }
+    }
+    parse_program(&src).expect("generated program parses")
+}
+
+/// A random database over the binary EDB predicates `p0`/`p1`.
+fn random_db(rng: &mut StdRng) -> Database {
+    let mut db = Database::new();
+    for p in 0..2 {
+        for _ in 0..rng.gen_range(0..8) {
+            db.insert(
+                format!("p{p}"),
+                vec![
+                    Term::int(rng.gen_range(0..3)),
+                    Term::int(rng.gen_range(0..3)),
+                ],
+            );
+        }
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cq_containment_agrees_across_engines(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q1 = random_cq(&mut rng, 1);
+        let q2 = random_cq(&mut rng, 1);
+        let oracle = engine::with_options(EngineOptions::naive(), || cq_contained(&q1, &q2));
+        for (name, opts) in configs() {
+            let got = engine::with_options(opts, || cq_contained(&q1, &q2));
+            prop_assert_eq!(oracle, got, "{}: q1: {} q2: {}", name, q1, q2);
+            // The memoized entry point must agree too — ask twice so the
+            // second answer comes from the cache.
+            let memo1 = engine::with_options(opts, || cq_contained_memo(&q1, &q2));
+            let memo2 = engine::with_options(opts, || cq_contained_memo(&q1, &q2));
+            prop_assert_eq!(oracle, memo1, "{} (memo): q1: {} q2: {}", name, q1, q2);
+            prop_assert_eq!(oracle, memo2, "{} (cached): q1: {} q2: {}", name, q1, q2);
+        }
+    }
+
+    #[test]
+    fn ucq_containment_agrees_across_engines(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u1 = Ucq::new((0..3).map(|_| random_cq(&mut rng, 1)).collect()).unwrap();
+        let u2 = Ucq::new((0..3).map(|_| random_cq(&mut rng, 1)).collect()).unwrap();
+        let oracle = engine::with_options(EngineOptions::naive(), || ucq_contained(&u1, &u2));
+        for (name, opts) in configs() {
+            let got = engine::with_options(opts, || ucq_contained(&u1, &u2));
+            prop_assert_eq!(oracle, got, "{}: u1: {} u2: {}", name, u1, u2);
+        }
+    }
+
+    #[test]
+    fn datalog_ucq_fixpoint_agrees_across_engines(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_layered_program(&mut rng);
+        // Include a redundant (subsumed) disjunct from time to time so the
+        // memoized pre-pass actually fires.
+        let mut targets: Vec<ConjunctiveQuery> = (0..2).map(|_| random_cq(&mut rng, 1)).collect();
+        if rng.gen_bool(0.5) {
+            targets.push(targets[0].clone());
+        }
+        let u2 = Ucq::new(targets).expect("same heads");
+        let ans = Symbol::new("q");
+        let budget = FixpointBudget::default();
+        let oracle = engine::with_options(EngineOptions::naive(), || {
+            datalog_contained_in_ucq(&p, &ans, &u2, &budget)
+        })
+        .unwrap();
+        for (name, opts) in configs() {
+            let got = engine::with_options(opts, || {
+                datalog_contained_in_ucq(&p, &ans, &u2, &budget)
+            })
+            .unwrap();
+            prop_assert_eq!(oracle, got, "{}: program:\n{}\ntarget:\n{}", name, p, u2);
+        }
+    }
+
+    #[test]
+    fn reordered_evaluation_agrees_with_textual_order(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = random_layered_program(&mut rng);
+        let db = random_db(&mut rng);
+        let ans = Symbol::new("q");
+        let textual = EvalOptions {
+            reorder: false,
+            ..EvalOptions::default()
+        };
+        // The generator can emit unsafe rules (head variable not bound in
+        // the body); both engines must agree on rejecting those too.
+        let a_textual = match answers(&p, &db, &ans, &textual) {
+            Ok(r) => r,
+            Err(e) => {
+                let e2 = answers(&p, &db, &ans, &EvalOptions::default()).unwrap_err();
+                prop_assert_eq!(format!("{e:?}"), format!("{e2:?}"), "program:\n{}", p);
+                return Ok(());
+            }
+        };
+        let a_ordered = answers(&p, &db, &ans, &EvalOptions::default()).unwrap();
+        // Reordering may change derivation (hence insertion) order; the
+        // answer *sets* must match.
+        let mut t_textual = a_textual.tuples().to_vec();
+        let mut t_ordered = a_ordered.tuples().to_vec();
+        t_textual.sort();
+        t_ordered.sort();
+        prop_assert_eq!(t_textual, t_ordered, "program:\n{}", p);
+    }
+}

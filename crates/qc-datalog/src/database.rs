@@ -56,23 +56,29 @@ impl Relation {
     /// disagrees with previously inserted tuples.
     pub fn insert(&mut self, t: Tuple) -> bool {
         debug_assert!(t.iter().all(Term::is_ground), "non-ground tuple {t:?}");
-        if self.set.contains_key(&t) {
-            return false;
+        let id = self.tuples.len();
+        // Single entry-based path: the tuple is hashed exactly once —
+        // duplicates are rejected by the same probe that claims the slot
+        // for new tuples (no separate `contains` + re-hash on insert).
+        match self.set.entry(t) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let t = e.key().clone();
+                e.insert(id);
+                if self.index.len() < t.len() {
+                    self.index.resize_with(t.len(), HashMap::new);
+                }
+                debug_assert!(
+                    self.tuples.is_empty() || self.tuples[0].len() == t.len(),
+                    "arity mismatch inserting {t:?}"
+                );
+                for (i, v) in t.iter().enumerate() {
+                    self.index[i].entry(v.clone()).or_default().push(id as u32);
+                }
+                self.tuples.push(t);
+                true
+            }
         }
-        if self.index.len() < t.len() {
-            self.index.resize_with(t.len(), HashMap::new);
-        }
-        debug_assert!(
-            self.tuples.is_empty() || self.tuples[0].len() == t.len(),
-            "arity mismatch inserting {t:?}"
-        );
-        let id = self.tuples.len() as u32;
-        for (i, v) in t.iter().enumerate() {
-            self.index[i].entry(v.clone()).or_default().push(id);
-        }
-        self.set.insert(t.clone(), id as usize);
-        self.tuples.push(t);
-        true
     }
 
     /// Row ids whose position `pos` holds `value`.
@@ -310,6 +316,31 @@ mod tests {
         assert_eq!(r.rows_with(0, &Term::int(1)).len(), 2);
         assert_eq!(r.rows_with(1, &Term::int(2)).len(), 1);
         assert!(r.rows_with(1, &Term::int(9)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_inserts_leave_relation_consistent() {
+        // The entry-based insert must reject duplicates without touching
+        // tuples, set, or any per-position index.
+        let mut r = Relation::new();
+        let t = vec![Term::int(7), Term::sym("a")];
+        assert!(r.insert(t.clone()));
+        for _ in 0..3 {
+            assert!(!r.insert(t.clone()), "duplicate insert must return false");
+        }
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&t));
+        assert_eq!(r.tuples(), std::slice::from_ref(&t));
+        assert_eq!(r.rows_with(0, &Term::int(7)), &[0]);
+        assert_eq!(r.rows_with(1, &Term::sym("a")), &[0]);
+        // Interleaved duplicates keep row ids dense and in insertion order.
+        let u = vec![Term::int(7), Term::sym("b")];
+        assert!(r.insert(u.clone()));
+        assert!(!r.insert(t.clone()));
+        assert!(!r.insert(u.clone()));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows_with(0, &Term::int(7)), &[0, 1]);
+        assert_eq!(r.row(1), &u);
     }
 
     #[test]

@@ -40,6 +40,11 @@ pub struct EvalOptions {
     /// Record one derivation per derived tuple (enables
     /// [`evaluate_traced`] / provenance).
     pub trace: bool,
+    /// Greedy most-bound-first reordering of rule bodies before the
+    /// backtracking join (atoms with constants or already-bound variables
+    /// first; ties broken by smaller visible relation size). `false`
+    /// preserves textual body order — the order-naïve baseline.
+    pub reorder: bool,
 }
 
 impl Default for EvalOptions {
@@ -50,6 +55,7 @@ impl Default for EvalOptions {
             max_derived: 5_000_000,
             max_term_depth: 8,
             trace: false,
+            reorder: true,
         }
     }
 }
@@ -123,15 +129,26 @@ pub struct Derivation {
 }
 
 /// A provenance trace: the first derivation of every derived tuple.
+///
+/// Stored as a split map (`Symbol → Tuple → Derivation`) so lookups borrow
+/// the caller's key parts instead of cloning a composite `(Symbol, Tuple)`
+/// key per probe.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    map: HashMap<(Symbol, Tuple), Derivation>,
+    map: HashMap<Symbol, HashMap<Tuple, Derivation>>,
 }
 
 impl Trace {
-    /// The recorded derivation of a derived fact, if any.
+    /// The recorded derivation of a derived fact, if any. Borrow-based:
+    /// no key is cloned for the lookup.
     pub fn derivation(&self, pred: &Symbol, tuple: &Tuple) -> Option<&Derivation> {
-        self.map.get(&(pred.clone(), tuple.clone()))
+        self.map.get(pred)?.get(tuple)
+    }
+
+    /// Records the first derivation of a fact (later derivations of the
+    /// same fact are ignored).
+    fn record(&mut self, pred: Symbol, tuple: Tuple, d: Derivation) {
+        self.map.entry(pred).or_default().entry(tuple).or_insert(d);
     }
 
     /// The EDB facts supporting a derived fact: the leaves of its proof
@@ -145,7 +162,7 @@ impl Trace {
             if !seen.insert(fact.clone()) {
                 continue;
             }
-            match self.map.get(&fact) {
+            match self.derivation(&fact.0, &fact.1) {
                 Some(d) => {
                     for b in d.body.iter().rev() {
                         stack.push(b.clone());
@@ -163,26 +180,25 @@ impl Trace {
 
     /// Renders the proof tree of a fact, indented.
     pub fn proof_tree(&self, pred: &Symbol, tuple: &Tuple) -> String {
-        fn render(trace: &Trace, fact: &(Symbol, Tuple), depth: usize, out: &mut String) {
+        fn render(trace: &Trace, pred: &Symbol, tuple: &Tuple, depth: usize, out: &mut String) {
             let indent = "  ".repeat(depth);
-            let args = fact
-                .1
+            let args = tuple
                 .iter()
                 .map(ToString::to_string)
                 .collect::<Vec<_>>()
                 .join(", ");
-            match trace.map.get(fact) {
+            match trace.derivation(pred, tuple) {
                 Some(d) => {
-                    out.push_str(&format!("{indent}{}({args})   [via {}]\n", fact.0, d.rule));
-                    for b in &d.body {
-                        render(trace, b, depth + 1, out);
+                    out.push_str(&format!("{indent}{pred}({args})   [via {}]\n", d.rule));
+                    for (bp, bt) in &d.body {
+                        render(trace, bp, bt, depth + 1, out);
                     }
                 }
-                None => out.push_str(&format!("{indent}{}({args})   [source fact]\n", fact.0)),
+                None => out.push_str(&format!("{indent}{pred}({args})   [source fact]\n")),
             }
         }
         let mut out = String::new();
-        render(self, &(pred.clone(), tuple.clone()), 0, &mut out);
+        render(self, pred, tuple, 0, &mut out);
         out
     }
 }
@@ -234,11 +250,18 @@ impl<'a> RelView<'a> {
         }
     }
 
+    /// Number of tuples visible through this view.
+    fn len(&self) -> usize {
+        self.limit - self.offset
+    }
+
     fn for_each_candidate(&self, bound: &[(usize, Term)], mut f: impl FnMut(&'a Tuple)) {
         if self.limit == self.offset {
             return;
         }
         if bound.is_empty() {
+            // Full-scan probes: every visible tuple is touched.
+            qc_obs::count(qc_obs::Counter::EvalFullScans, self.len() as u64);
             for t in &self.rel.tuples()[self.offset..self.limit] {
                 f(t);
             }
@@ -250,7 +273,9 @@ impl<'a> RelView<'a> {
             .iter()
             .min_by_key(|(pos, val)| self.rel.rows_with(*pos, val).len())
             .expect("nonempty bound");
-        for &id in self.rel.rows_with(*pos, val) {
+        let rows = self.rel.rows_with(*pos, val);
+        qc_obs::count(qc_obs::Counter::EvalIndexProbes, rows.len() as u64);
+        for &id in rows {
             let id = id as usize;
             if id >= self.offset && id < self.limit {
                 f(&self.rel.tuples()[id]);
@@ -311,6 +336,49 @@ impl<'a> Snapshots<'a> {
     }
 }
 
+/// Greedy most-bound-first join ordering.
+///
+/// Repeatedly selects, among the remaining atoms, the one with the most
+/// argument positions already ground (constants, or variables bound by
+/// previously selected atoms), preferring any boundness over none, breaking
+/// ties by the smaller visible snapshot and finally by textual position so
+/// the plan is deterministic. Each atom carries its original occurrence
+/// index, so the semi-naive Delta/Old/Full source assignment is unaffected
+/// by the permutation. Recomputed per invocation because snapshot sizes
+/// (in particular delta windows) change every round; rule bodies are small,
+/// so the O(n²) greedy pass is negligible next to the join itself.
+fn reorder_atoms(
+    atoms: &mut [(usize, &Atom)],
+    occ_source: &dyn Fn(usize) -> Source,
+    snaps: &Snapshots<'_>,
+) {
+    fn term_bound(t: &Term, bound: &BTreeSet<crate::Var>) -> bool {
+        match t {
+            Term::Var(v) => bound.contains(v),
+            Term::Const(_) => true,
+            Term::App(_, args) => args.iter().all(|a| term_bound(a, bound)),
+        }
+    }
+    let mut bound: BTreeSet<crate::Var> = BTreeSet::new();
+    for k in 0..atoms.len() {
+        let best = (k..atoms.len())
+            .min_by_key(|&i| {
+                let (occ, atom) = atoms[i];
+                let ground = atom.args.iter().filter(|a| term_bound(a, &bound)).count();
+                let size = snaps.view(&atom.pred, occ_source(occ)).len();
+                (
+                    usize::from(ground == 0),
+                    atom.args.len() - ground,
+                    size,
+                    occ,
+                )
+            })
+            .expect("nonempty suffix");
+        atoms.swap(k, best);
+        atoms[k].1.collect_vars(&mut bound);
+    }
+}
+
 /// Evaluates one rule with a per-occurrence source assignment, emitting
 /// derived head tuples.
 type EmitFn<'a> = dyn FnMut(Tuple, Option<Vec<(Symbol, Tuple)>>) -> Result<(), EvalError> + 'a;
@@ -324,7 +392,7 @@ fn eval_rule(
 ) -> Result<(), EvalError> {
     // Split the body: relational atoms with their occurrence index, and
     // comparisons (evaluated as soon as ground).
-    let atoms: Vec<(usize, &Atom)> = rule
+    let mut atoms: Vec<(usize, &Atom)> = rule
         .body
         .iter()
         .filter_map(Literal::as_atom)
@@ -335,6 +403,10 @@ fn eval_rule(
         .iter()
         .filter_map(Literal::as_comparison)
         .collect();
+
+    if opts.reorder && atoms.len() > 1 {
+        reorder_atoms(&mut atoms, occ_source, snaps);
+    }
 
     // Bindings are kept as a ground environment: var -> ground term.
     let mut env: HashMap<crate::Var, Term> = HashMap::new();
@@ -453,15 +525,22 @@ fn eval_rule(
                 }
             }
             let support = if opts.trace {
-                let mut facts = Vec::with_capacity(atoms.len());
-                for (_, atom) in atoms {
+                // Atoms may have been reordered for the join; restore
+                // textual body order via the occurrence index.
+                let mut facts: Vec<Option<(Symbol, Tuple)>> = vec![None; atoms.len()];
+                for (occ, atom) in atoms {
                     let tuple: Option<Tuple> = atom.args.iter().map(|a| ground(a, env)).collect();
                     match tuple {
-                        Some(t) => facts.push((atom.pred.clone(), t)),
+                        Some(t) => facts[*occ] = Some((atom.pred.clone(), t)),
                         None => return Err(EvalError::NonGroundHead(rule.to_string())),
                     }
                 }
-                Some(facts)
+                Some(
+                    facts
+                        .into_iter()
+                        .map(|f| f.expect("every occ filled"))
+                        .collect(),
+                )
             } else {
                 None
             };
@@ -576,7 +655,7 @@ fn naive_inner(
                 changed = true;
                 inserted += 1;
                 if let (Some(trace), Some(d)) = (trace.as_deref_mut(), d) {
-                    trace.map.entry((pred, t)).or_insert(d);
+                    trace.record(pred, t, d);
                 }
             }
         }
@@ -629,7 +708,7 @@ fn seminaive_inner(
         if idb.insert(pred.as_str(), t.clone()) {
             seeded += 1;
             if let (Some(trace), Some(d)) = (trace.as_deref_mut(), d) {
-                trace.map.entry((pred, t)).or_insert(d);
+                trace.record(pred, t, d);
             }
         }
     }
@@ -711,7 +790,7 @@ fn seminaive_inner(
             if idb.insert(pred.as_str(), t.clone()) {
                 inserted += 1;
                 if let (Some(trace), Some(d)) = (trace.as_deref_mut(), d) {
-                    trace.map.entry((pred, t)).or_insert(d);
+                    trace.record(pred, t, d);
                 }
             }
         }
@@ -936,6 +1015,79 @@ mod tests {
         for fact in traced.facts() {
             assert!(trace.derivation(&fact.pred, &fact.args).is_some(), "{fact}");
         }
+    }
+
+    #[test]
+    fn reordering_agrees_with_textual_order() {
+        // Deliberately bad textual order: the unselective cross-product
+        // atom first. Reordering must not change the answer set.
+        let prog = "q(X, Z) :- big(U, V), e(X, Y), e(Y, Z), lab(Z, red).";
+        let facts = "e(1, 2). e(2, 3). e(3, 4). lab(3, red). lab(4, blue). \
+                     big(a, b). big(b, c). big(c, d). big(d, e).";
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            let p = parse_program(prog).unwrap();
+            let db = Database::parse(facts).unwrap();
+            let ordered = evaluate(
+                &p,
+                &db,
+                &EvalOptions {
+                    strategy,
+                    ..EvalOptions::default()
+                },
+            )
+            .unwrap();
+            let textual = evaluate(
+                &p,
+                &db,
+                &EvalOptions {
+                    strategy,
+                    reorder: false,
+                    ..EvalOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(ordered.facts(), textual.facts(), "{strategy:?}");
+            assert_eq!(ordered.len_of(&Symbol::new("q")), 1, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn reordering_probes_indexes_instead_of_scanning() {
+        use std::sync::Arc;
+        // With reordering, the selective `lab(Z, red)` atom (constant) goes
+        // first and the `e` atoms are reached through index probes; the
+        // textual plan scans `big` × `e` first.
+        let prog = "q(X) :- big(U, V), e(X, Y), lab(Y, red).";
+        let facts = "e(1, 2). e(2, 3). lab(2, red). \
+                     big(a, b). big(b, c). big(c, d). big(d, e).";
+        let count_scans = |reorder: bool| {
+            let rec = Arc::new(qc_obs::PipelineRecorder::new());
+            {
+                let _g = qc_obs::install(rec.clone());
+                let p = parse_program(prog).unwrap();
+                let db = Database::parse(facts).unwrap();
+                evaluate(
+                    &p,
+                    &db,
+                    &EvalOptions {
+                        reorder,
+                        ..EvalOptions::default()
+                    },
+                )
+                .unwrap();
+            }
+            (
+                rec.counters().get(qc_obs::Counter::EvalFullScans),
+                rec.counters().get(qc_obs::Counter::EvalIndexProbes),
+            )
+        };
+        let (scans_ordered, probes_ordered) = count_scans(true);
+        let (scans_textual, _) = count_scans(false);
+        assert!(
+            scans_ordered < scans_textual,
+            "ordered {scans_ordered} !< textual {scans_textual}"
+        );
+        assert!(probes_ordered > 0);
     }
 
     #[test]

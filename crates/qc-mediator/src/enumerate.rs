@@ -14,8 +14,7 @@
 //! independent construction of the maximally-contained plan — the property
 //! tests pit it against the inverse-rules and MiniCon routes.
 
-use qc_containment::comparisons::cq_contained_in_ucq;
-use qc_containment::minimize;
+use qc_containment::{cq_contained_memo, engine, minimize};
 use qc_datalog::{Atom, ConjunctiveQuery, Const, Term, Ucq};
 
 use crate::expansion::expand_cq;
@@ -58,7 +57,6 @@ pub fn enumerated_plan(
     limits: &EnumerationLimits,
 ) -> Option<Ucq> {
     let n = limits.max_atoms.unwrap_or_else(|| query.size().max(1));
-    let target = Ucq::single(query.clone());
     let head_arity = query.head.arity();
 
     // Constants available to candidates: those of Q ∪ V.
@@ -74,6 +72,12 @@ pub fn enumerated_plan(
     }
 
     let mut sound: Vec<ConjunctiveQuery> = Vec::new();
+    // Candidates are generated in a deterministic order and buffered; each
+    // full batch is soundness-checked through [`flush_candidates`] (memoized
+    // containment, fanned out across worker threads when the engine's
+    // parallelism allows). Verdicts are consumed in candidate order, so the
+    // plan is identical for any parallelism.
+    let mut pending: Vec<ConjunctiveQuery> = Vec::new();
     let mut budget = limits.max_candidates;
 
     // Choose a multiset of views of each size 1..=n (by non-decreasing
@@ -137,7 +141,10 @@ pub fn enumerated_plan(
                 // same candidate anyway, so we only enumerate blocks.)
                 let var_blocks: Vec<usize> = (0..nblocks).filter(|b| choice[*b] == 0).collect();
                 if head_arity == 0 {
-                    consider(query, views, &target, Vec::new(), &body, &mut sound);
+                    pending.push(make_candidate(query, Vec::new(), &body));
+                    if pending.len() >= CHECK_BATCH {
+                        flush_candidates(&mut pending, query, views, &mut sound);
+                    }
                 } else if !var_blocks.is_empty() {
                     let mut head_sel = vec![0usize; head_arity];
                     loop {
@@ -145,7 +152,10 @@ pub fn enumerated_plan(
                             .iter()
                             .map(|&k| Term::var(format!("B{}", var_blocks[k])))
                             .collect();
-                        consider(query, views, &target, head_args, &body, &mut sound);
+                        pending.push(make_candidate(query, head_args, &body));
+                        if pending.len() >= CHECK_BATCH {
+                            flush_candidates(&mut pending, query, views, &mut sound);
+                        }
                         // Odometer over head selections.
                         let mut k = 0;
                         loop {
@@ -187,6 +197,8 @@ pub fn enumerated_plan(
         }
     }
 
+    flush_candidates(&mut pending, query, views, &mut sound);
+
     // Drop candidates subsumed by another sound candidate.
     Some(if sound.is_empty() {
         Ucq::empty(query.head.pred.as_str(), head_arity)
@@ -195,31 +207,50 @@ pub fn enumerated_plan(
     })
 }
 
-/// Soundness check + insertion.
-fn consider(
+/// Candidates buffered between soundness-check batches.
+const CHECK_BATCH: usize = 1024;
+
+/// Assembles a candidate plan from a head/body choice.
+fn make_candidate(
     query: &ConjunctiveQuery,
-    views: &LavSetting,
-    target: &Ucq,
     head_args: Vec<Term>,
     body: &[Atom],
-    sound: &mut Vec<ConjunctiveQuery>,
-) {
-    let candidate = ConjunctiveQuery::new(
+) -> ConjunctiveQuery {
+    ConjunctiveQuery::new(
         Atom {
             pred: query.head.pred.clone(),
             args: head_args,
         },
         body.to_vec(),
         Vec::new(),
-    );
-    if let Some(exp) = expand_cq(&candidate, views) {
-        if cq_contained_in_ucq(&exp, target) {
-            let min = minimize(&candidate);
+    )
+}
+
+/// Soundness-checks a batch of candidates — expansion plus memoized
+/// containment in the query, fanned out across worker threads when the
+/// engine's parallelism allows — then inserts the sound ones (minimized,
+/// deduped) in candidate order. Clears the buffer.
+fn flush_candidates(
+    pending: &mut Vec<ConjunctiveQuery>,
+    query: &ConjunctiveQuery,
+    views: &LavSetting,
+    sound: &mut Vec<ConjunctiveQuery>,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let verdicts = engine::parallel_map(pending, |c| {
+        expand_cq(c, views).is_some_and(|exp| cq_contained_memo(&exp, query))
+    });
+    for (c, ok) in pending.iter().zip(verdicts) {
+        if ok {
+            let min = minimize(c);
             if !sound.contains(&min) {
                 sound.push(min);
             }
         }
     }
+    pending.clear();
 }
 
 /// Enumerates set partitions of `0..n` via restricted growth strings.

@@ -25,9 +25,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use qc_containment::comparisons::cq_contained_in_ucq;
 use qc_containment::homomorphism::{all_containment_mappings, apply_mapping};
-use qc_containment::{cq_contained, minimize};
+use qc_containment::{cq_contained_memo, engine, minimize};
 use qc_datalog::{Atom, Comparison, ConjunctiveQuery, Subst, Term, Ucq, Var, VarGen};
 
 use crate::expansion::expand_cq;
@@ -82,15 +81,21 @@ pub fn minicon_rewritings(query: &ConjunctiveQuery, views: &LavSetting) -> Ucq {
         n,
         &mut rewritings,
     );
-    // Soundness check + minimization + dedup.
+    // Soundness check + minimization + dedup. The per-candidate checks
+    // are independent: each expansion's containment in the query goes
+    // through the canonical memo and the batch fans out across worker
+    // threads when the engine's parallelism allows. Verdicts come back in
+    // candidate order, so dedup (and hence the output) is identical for
+    // any parallelism.
+    let verdicts = engine::parallel_map(&rewritings, |rw| {
+        expand_cq(rw, views).is_some_and(|exp| cq_contained_memo(&exp, query))
+    });
     let mut sound: Vec<ConjunctiveQuery> = Vec::new();
-    for rw in rewritings {
-        if let Some(exp) = expand_cq(&rw, views) {
-            if cq_contained(&exp, query) {
-                let min = minimize(&rw);
-                if !sound.iter().any(|s| s == &min) {
-                    sound.push(min);
-                }
+    for (rw, ok) in rewritings.iter().zip(verdicts) {
+        if ok {
+            let min = minimize(rw);
+            if !sound.iter().any(|s| s == &min) {
+                sound.push(min);
             }
         }
     }
@@ -386,7 +391,6 @@ pub fn semi_interval_plan(query: &ConjunctiveQuery, views: &LavSetting) -> Ucq {
     };
     let skeletons = minicon_rewritings(&stripped_query, &stripped_views);
 
-    let target = Ucq::single(query.clone());
     let mut disjuncts: Vec<ConjunctiveQuery> = Vec::new();
     for skel in &skeletons.disjuncts {
         let Some(exp) = expand_cq(skel, views) else {
@@ -445,7 +449,7 @@ pub fn semi_interval_plan(query: &ConjunctiveQuery, views: &LavSetting) -> Ucq {
                 if !cset.is_satisfiable() {
                     continue;
                 }
-                if cq_contained_in_ucq(&cexp, &target) && !disjuncts.contains(&candidate) {
+                if cq_contained_memo(&cexp, query) && !disjuncts.contains(&candidate) {
                     disjuncts.push(candidate);
                 }
             }
