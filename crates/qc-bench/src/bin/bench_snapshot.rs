@@ -198,6 +198,14 @@ fn counters_of(s: &Scenario, cfg: &Cfg) -> Vec<(String, u64)> {
         .collect()
 }
 
+/// Same as [`counters_of`], but with an unlimited [`qc_guard::Guard`]
+/// installed: the zero-overhead-when-idle check demands that a guard with
+/// no limits leaves every work counter bit-for-bit identical.
+fn counters_of_guarded(s: &Scenario, cfg: &Cfg) -> Vec<(String, u64)> {
+    let guard = qc_guard::Guard::unlimited();
+    qc_guard::with_guard(&guard, || counters_of(s, cfg))
+}
+
 /// Median wall-clock ns over [`TIMED_ITERS`] cold runs (memo cleared
 /// between iterations).
 fn median_ns(s: &Scenario, cfg: &Cfg) -> u64 {
@@ -322,6 +330,18 @@ fn check(path: &str) -> ExitCode {
                     s.name, name, current_n, committed_n
                 );
             }
+        }
+        // Zero-overhead-when-idle: an unlimited guard must not change a
+        // single work counter relative to the unguarded run.
+        let guarded = counters_of_guarded(&s, &cfg);
+        if guarded == current {
+            eprintln!("ok {:<44} guarded-unlimited counters identical", s.name);
+        } else {
+            eprintln!(
+                "GUARD OVERHEAD {}: unguarded {:?} vs guarded {:?}",
+                s.name, current, guarded
+            );
+            failures += 1;
         }
     }
     if failures > 0 {

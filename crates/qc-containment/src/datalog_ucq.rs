@@ -51,17 +51,11 @@ pub enum DatalogUcqError {
     TooManyAtoms(usize),
     /// A disjunct of the target query has more than 255 variables.
     TooManyVars(usize),
-    /// The type fixpoint exceeded its size budget. Reports which stage
-    /// tripped and how much of the limit was consumed when it did.
-    Budget {
-        /// Which budget dimension tripped (`"iterations"`, `"type
-        /// entries"`, `"types per key"`, `"keys"`).
-        stage: &'static str,
-        /// How much had been consumed when the limit tripped.
-        consumed: usize,
-        /// The configured limit (see [`FixpointBudget`]).
-        limit: usize,
-    },
+    /// A resource limit tripped: either a [`FixpointBudget`] dimension
+    /// (stages `"fixpoint/iterations"`, `"fixpoint/type_entries"`,
+    /// `"fixpoint/types_per_key"`, `"fixpoint/keys"`) or an installed
+    /// [`qc_guard::Guard`] limit (stage [`qc_guard::stage::FIXPOINT`]).
+    Resource(qc_guard::ResourceError),
     /// The answer predicate's arity disagrees with the target query's.
     ArityMismatch,
 }
@@ -78,20 +72,19 @@ impl fmt::Display for DatalogUcqError {
             DatalogUcqError::Comparisons => write!(f, "inputs must be comparison-free"),
             DatalogUcqError::TooManyAtoms(n) => write!(f, "target disjunct has {n} > 32 subgoals"),
             DatalogUcqError::TooManyVars(n) => write!(f, "target disjunct has {n} > 255 variables"),
-            DatalogUcqError::Budget {
-                stage,
-                consumed,
-                limit,
-            } => write!(
-                f,
-                "type fixpoint budget exceeded at {stage}: consumed {consumed} of limit {limit}"
-            ),
+            DatalogUcqError::Resource(e) => write!(f, "{e}"),
             DatalogUcqError::ArityMismatch => write!(f, "answer arity differs from target arity"),
         }
     }
 }
 
 impl std::error::Error for DatalogUcqError {}
+
+impl From<qc_guard::ResourceError> for DatalogUcqError {
+    fn from(e: qc_guard::ResourceError) -> Self {
+        DatalogUcqError::Resource(e)
+    }
+}
 
 /// Resource budgets for the fixpoint (the problem is 2EXPTIME-complete;
 /// budgets turn pathological inputs into errors instead of hangs).
@@ -586,11 +579,11 @@ fn compose(
                     cap: usize,
                 ) -> Result<(), DatalogUcqError> {
                     if ty.len() > cap {
-                        return Err(DatalogUcqError::Budget {
-                            stage: "type entries",
-                            consumed: ty.len(),
-                            limit: cap,
-                        });
+                        return Err(DatalogUcqError::Resource(qc_guard::ResourceError::budget(
+                            "fixpoint/type_entries",
+                            ty.len() as u64,
+                            cap as u64,
+                        )));
                     }
                     if k == per_var.len() {
                         ty.insert(Req {
@@ -883,13 +876,14 @@ pub fn datalog_contained_in_ucq(
         HashMap::new();
     loop {
         iterations += 1;
+        qc_guard::check(qc_guard::stage::FIXPOINT)?;
         qc_obs::count(qc_obs::Counter::FixpointIterations, 1);
         if iterations > ctx.budget.max_iterations {
-            return Err(DatalogUcqError::Budget {
-                stage: "iterations",
-                consumed: iterations,
-                limit: ctx.budget.max_iterations,
-            });
+            return Err(DatalogUcqError::Resource(qc_guard::ResourceError::budget(
+                "fixpoint/iterations",
+                iterations as u64,
+                ctx.budget.max_iterations as u64,
+            )));
         }
         let mut changed = false;
         demands.changed = false;
@@ -905,6 +899,9 @@ pub fn datalog_contained_in_ucq(
                     &mut gen,
                     &mut demands,
                     &mut |spec, children, combo| {
+                        // One work unit per composition — the fixpoint's
+                        // dominant operation, same site as the counter.
+                        qc_guard::tick(qc_guard::stage::FIXPOINT, 1)?;
                         qc_obs::count(qc_obs::Counter::FixpointComposeCalls, 1);
                         let cache_key = (rule_idx, delta.clone(), combo.clone());
                         if let Some((pred, pat, ty)) = compose_cache.get(&cache_key) {
@@ -927,21 +924,21 @@ pub fn datalog_contained_in_ucq(
                         changed = true;
                     }
                     if entry.len() > ctx.budget.max_types_per_key {
-                        return Err(DatalogUcqError::Budget {
-                            stage: "types per key",
-                            consumed: entry.len(),
-                            limit: ctx.budget.max_types_per_key,
-                        });
+                        return Err(DatalogUcqError::Resource(qc_guard::ResourceError::budget(
+                            "fixpoint/types_per_key",
+                            entry.len() as u64,
+                            ctx.budget.max_types_per_key as u64,
+                        )));
                     }
                 }
             }
             let demanded = demands.map.values().map(BTreeSet::len).sum::<usize>();
             if types.len() > ctx.budget.max_keys || demanded > ctx.budget.max_keys {
-                return Err(DatalogUcqError::Budget {
-                    stage: "keys",
-                    consumed: types.len().max(demanded),
-                    limit: ctx.budget.max_keys,
-                });
+                return Err(DatalogUcqError::Resource(qc_guard::ResourceError::budget(
+                    "fixpoint/keys",
+                    types.len().max(demanded) as u64,
+                    ctx.budget.max_keys as u64,
+                )));
             }
         }
         if !changed && !demands.changed {

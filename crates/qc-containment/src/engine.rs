@@ -110,6 +110,15 @@ pub fn with_options<R>(opts: EngineOptions, f: impl FnOnce() -> R) -> R {
 ///   totals are merged into the parent's recorder in worker order, so
 ///   aggregate counters are deterministic for a fixed parallelism.
 ///   (Worker span trees are not reparented — only counters merge.)
+/// * Workers re-install the parent's [`qc_guard::Guard`] (guards are
+///   thread-local but share their budget/deadline state), so a limit set
+///   on the caller governs the whole fan-out.
+/// * A panic inside `f` on a worker is isolated to that item: the slot is
+///   left empty and the item is retried sequentially on the calling thread
+///   after the scope joins. Transient faults (including injected ones)
+///   heal; a persistent panic — and any [`qc_guard::trip`] unwind —
+///   surfaces on the calling thread, where `qc_guard::guarded` or the
+///   caller's panic handling can see it.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -123,6 +132,7 @@ where
     }
     let worker_opts = opts.with_parallelism(1);
     let parent_active = qc_obs::is_active();
+    let parent_guard = qc_guard::current();
     // Contiguous chunking: ceil(len / workers) keeps chunk assignment a
     // pure function of (len, parallelism).
     let chunk = items.len().div_ceil(workers);
@@ -134,17 +144,34 @@ where
             let rec = std::sync::Arc::new(qc_obs::PipelineRecorder::new());
             recorders.push(rec.clone());
             let f = &f;
+            let guard = parent_guard.clone();
             handles.push(scope.spawn(move || {
                 let _install = parent_active.then(|| qc_obs::install(rec));
-                with_options(worker_opts, || {
-                    for (t, slot) in slice.iter().zip(out.iter_mut()) {
-                        *slot = Some(f(t));
-                    }
-                });
+                let mut body = || {
+                    with_options(worker_opts, || {
+                        for (t, slot) in slice.iter().zip(out.iter_mut()) {
+                            // Panic isolation: a poisoned item leaves its
+                            // slot empty for the sequential retry below.
+                            if let Ok(v) =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(t)))
+                            {
+                                *slot = Some(v);
+                            }
+                        }
+                    })
+                };
+                match guard {
+                    Some(g) => qc_guard::with_guard(&g, body),
+                    None => body(),
+                }
             }));
         }
         for h in handles {
-            h.join().expect("containment worker panicked");
+            // A panic outside the per-item isolation (recorder install,
+            // scope plumbing) is re-raised on the caller, not swallowed.
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
     });
     if parent_active {
@@ -161,7 +188,12 @@ where
     }
     results
         .into_iter()
-        .map(|r| r.expect("every slot filled"))
+        .zip(items)
+        .map(|(r, t)| match r {
+            Some(v) => v,
+            // Sequential retry of the items whose worker run panicked.
+            None => f(t),
+        })
         .collect()
 }
 
@@ -212,6 +244,46 @@ mod tests {
             parallel_map(&[0u8, 1], |_| current().parallelism)
         });
         assert_eq!(nested, vec![1, 1]);
+    }
+
+    #[test]
+    fn parallel_map_heals_a_transient_worker_panic() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let attempts = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..8).collect();
+        let out = with_options(EngineOptions::sequential().with_parallelism(4), || {
+            parallel_map(&items, |&x| {
+                if x == 3 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient worker fault");
+                }
+                x + 1
+            })
+        });
+        let expect: Vec<u64> = (1..=8).collect();
+        assert_eq!(out, expect);
+        // The poisoned item was attempted twice: once on the worker, once
+        // on the sequential retry path.
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn parallel_map_workers_share_the_parent_guard() {
+        let guard = qc_guard::Guard::unlimited().with_budget(10);
+        let items: Vec<u64> = (0..64).collect();
+        let res = qc_guard::with_guard(&guard, || {
+            qc_guard::guarded(|| {
+                with_options(EngineOptions::sequential().with_parallelism(4), || {
+                    parallel_map(&items, |&x| {
+                        qc_guard::trip(qc_guard::stage::HOM_SEARCH, 1);
+                        x
+                    })
+                })
+            })
+        });
+        let err = res.expect_err("a 10-unit budget cannot cover 64 items");
+        assert_eq!(err.stage, qc_guard::stage::HOM_SEARCH);
+        assert_eq!(err.kind, qc_guard::ResourceKind::Budget);
+        assert!(guard.consumed() > 10);
     }
 
     #[test]

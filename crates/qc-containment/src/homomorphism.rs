@@ -219,6 +219,10 @@ fn bucketed_search(
     m: &mut Mapping,
     visit: &mut impl FnMut(&Mapping) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
+    // One work unit per search node, at the `HomSearchNodes` counter site;
+    // `trip` unwinds to the nearest `qc_guard::guarded` boundary because
+    // the search has no fallible plumbing of its own.
+    qc_guard::trip(qc_guard::stage::HOM_SEARCH, 1);
     qc_obs::count(qc_obs::Counter::HomSearchNodes, 1);
     if k == goals.len() {
         qc_obs::count(qc_obs::Counter::HomMappingsFound, 1);
@@ -298,6 +302,7 @@ fn naive_search(
     m: &mut Mapping,
     visit: &mut impl FnMut(&Mapping) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
+    qc_guard::trip(qc_guard::stage::HOM_SEARCH, 1);
     qc_obs::count(qc_obs::Counter::HomSearchNodes, 1);
     if k == goals.len() {
         qc_obs::count(qc_obs::Counter::HomMappingsFound, 1);

@@ -85,6 +85,9 @@ fn canonical_key(q: &ConjunctiveQuery) -> Rule {
 /// With [`engine::EngineOptions::memo_capacity`] `== 0` this is exactly
 /// `cq_contained` (no key construction, no cache access).
 pub fn cq_contained_memo(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    // One work unit per containment question asked through the memo (hits
+    // and misses both — the canonicalization alone is real work).
+    qc_guard::trip(qc_guard::stage::MEMO, 1);
     let capacity = engine::current().memo_capacity;
     if capacity == 0 {
         return cq_contained(q1, q2);

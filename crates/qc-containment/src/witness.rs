@@ -53,6 +53,10 @@ pub fn find_counterexample_expansion(
         .collect();
     let mut explored = 0usize;
     while let Some((rule, unfoldings)) = queue.pop_front() {
+        // One work unit per partial expansion explored; `trip` unwinds to
+        // the nearest `qc_guard::guarded` boundary since the search
+        // signals exhaustion of its *own* budget with `None`.
+        qc_guard::trip(qc_guard::stage::WITNESS, 1);
         explored += 1;
         if explored > budget.max_explored {
             return None;

@@ -75,6 +75,9 @@ pub enum EvalError {
     UnboundComparison(String),
     /// A head variable was unbound at emission (the rule is unsafe).
     NonGroundHead(String),
+    /// An installed [`qc_guard::Guard`] limit tripped (budget, deadline,
+    /// or cancellation) during evaluation.
+    Resource(qc_guard::ResourceError),
 }
 
 impl fmt::Display for EvalError {
@@ -87,11 +90,18 @@ impl fmt::Display for EvalError {
             }
             EvalError::UnboundComparison(c) => write!(f, "comparison never grounded: {c}"),
             EvalError::NonGroundHead(r) => write!(f, "non-ground head at emission: {r}"),
+            EvalError::Resource(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for EvalError {}
+
+impl From<qc_guard::ResourceError> for EvalError {
+    fn from(e: qc_guard::ResourceError) -> Self {
+        EvalError::Resource(e)
+    }
+}
 
 /// Evaluates `program` over `edb`, returning the derived IDB relations.
 pub fn evaluate(
@@ -502,6 +512,9 @@ fn eval_rule(
         }
 
         if k == atoms.len() {
+            // One work unit per rule firing — the same granularity as the
+            // `EvalRuleFirings` counter, so guard budgets are reproducible.
+            qc_guard::tick(qc_guard::stage::EVAL, 1)?;
             if done.len() != comparisons.len() {
                 let c = comparisons
                     .iter()
@@ -619,6 +632,7 @@ fn naive_inner(
         if iterations > opts.max_iterations {
             return Err(EvalError::IterationLimit(opts.max_iterations));
         }
+        qc_guard::check(qc_guard::stage::EVAL)?;
         qc_obs::count(qc_obs::Counter::EvalRounds, 1);
         let marks: HashMap<Symbol, (usize, usize)> = idb
             .preds()
@@ -728,6 +742,7 @@ fn seminaive_inner(
         if !any_delta {
             return Ok(idb);
         }
+        qc_guard::check(qc_guard::stage::EVAL)?;
         qc_obs::count(qc_obs::Counter::EvalRounds, 1);
         qc_obs::count(
             qc_obs::Counter::EvalDeltaTuples,

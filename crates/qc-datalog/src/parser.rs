@@ -437,7 +437,9 @@ impl Parser {
                     self.expect(&Tok::RParen, "')' closing function term")?;
                     return Ok(Term::app(name, args));
                 }
-                let first = name.chars().next().expect("nonempty ident");
+                let Some(first) = name.chars().next() else {
+                    return Err(self.err_here("empty identifier"));
+                };
                 if first.is_ascii_uppercase() || first == '_' {
                     Ok(Term::Var(Var::new(name)))
                 } else {

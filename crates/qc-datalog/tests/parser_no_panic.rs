@@ -1,0 +1,120 @@
+//! Fuzz-style robustness tests: the parser must reject arbitrary garbage
+//! with a positioned `ParseError`, never a panic. Three input shapes probe
+//! different depths: raw bytes (lexer), token soup (grammar), and mutated
+//! well-formed rules (recovery near valid syntax).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qc_datalog::{parse_program, parse_query, parse_rule, parse_term, Database};
+
+/// Runs one input through every parser entry point. Each call must return
+/// (Ok or Err) — a panic fails the test — and every error must carry a
+/// 1-based position.
+fn assert_parsers_survive(input: &str) {
+    if let Err(e) = parse_rule(input) {
+        assert!(e.line >= 1 && e.col >= 1, "unpositioned error: {e}");
+    }
+    if let Err(e) = parse_program(input) {
+        assert!(e.line >= 1 && e.col >= 1, "unpositioned error: {e}");
+    }
+    if let Err(e) = parse_query(input) {
+        assert!(e.line >= 1 && e.col >= 1, "unpositioned error: {e}");
+    }
+    if let Err(e) = parse_term(input) {
+        assert!(e.line >= 1 && e.col >= 1, "unpositioned error: {e}");
+    }
+    // Database::parse shares the lexer; it must be equally robust.
+    let _ = Database::parse(input);
+}
+
+/// Fragments biased toward the grammar: enough structure to get past the
+/// lexer, misassembled enough to exercise every error path.
+const SOUP: &[&str] = &[
+    ":-",
+    ".",
+    ",",
+    "(",
+    ")",
+    "<",
+    ">",
+    "=",
+    "!=",
+    "<=",
+    ">=",
+    "_",
+    "'",
+    "q",
+    "V",
+    "f",
+    "p(X)",
+    "X",
+    "1970",
+    "-3",
+    "2.5",
+    "'de luxe'",
+    "%%",
+    "\n",
+    " ",
+    "\t",
+    "q(X) :- ",
+    "r(X, Y)",
+    "f(",
+    "))",
+    "((",
+    ":- q.",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Raw random bytes (lossily decoded): the lexer must reject them
+    /// without panicking, whatever the byte soup decodes to.
+    #[test]
+    fn raw_bytes_never_panic(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(0..200usize);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u8)).collect();
+        let input = String::from_utf8_lossy(&bytes);
+        assert_parsers_survive(&input);
+    }
+
+    /// Token soup: random concatenations of grammar-adjacent fragments
+    /// reach deep into the recursive-descent paths.
+    #[test]
+    fn token_soup_never_panics(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(0..24usize);
+        let mut input = String::new();
+        for _ in 0..n {
+            input.push_str(SOUP[rng.gen_range(0..SOUP.len())]);
+            if rng.gen_bool(0.3) {
+                input.push(' ');
+            }
+        }
+        assert_parsers_survive(&input);
+    }
+
+    /// Mutated well-formed rules: start from valid syntax and corrupt a few
+    /// positions, probing error handling one edit away from acceptance.
+    #[test]
+    fn mutated_rules_never_panic(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = "q(X, Y) :- r(X, Z), s(Z, Y), Y < 1970, X != 'de luxe', t(f(X, g(Y))).";
+        let mut bytes = base.as_bytes().to_vec();
+        for _ in 0..rng.gen_range(1..6usize) {
+            let i = rng.gen_range(0..bytes.len());
+            match rng.gen_range(0..3u8) {
+                0 => bytes[i] = rng.gen_range(0..=255u8),
+                1 => { bytes.remove(i); }
+                _ => bytes.insert(i, rng.gen_range(0..=127u8)),
+            }
+            if bytes.is_empty() {
+                break;
+            }
+        }
+        let input = String::from_utf8_lossy(&bytes);
+        assert_parsers_survive(&input);
+    }
+}

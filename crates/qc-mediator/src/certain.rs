@@ -49,6 +49,19 @@ impl fmt::Display for CertainError {
     }
 }
 
+impl CertainError {
+    /// Returns the underlying [`qc_guard::ResourceError`] when this error
+    /// records resource exhaustion (budget, deadline, or cancellation) in
+    /// any wrapped stage, mirroring `RelativeError::resource`.
+    pub fn resource(&self) -> Option<&qc_guard::ResourceError> {
+        match self {
+            CertainError::Eval(EvalError::Resource(e)) => Some(e),
+            CertainError::FnElim(FnElimError::Resource(e)) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 impl std::error::Error for CertainError {}
 
 impl From<EvalError> for CertainError {

@@ -110,6 +110,10 @@ pub fn enumerated_plan(
             // Represent choice per block: 0 = variable, 1.. = const idx+1.
             let mut choice = vec![0usize; nblocks];
             loop {
+                // One work unit per candidate generated; `trip` unwinds to
+                // the nearest `qc_guard::guarded` boundary (the built-in
+                // `max_candidates` cap below stays a `None` return).
+                qc_guard::trip(qc_guard::stage::ENUMERATION, 1);
                 budget = match budget.checked_sub(1) {
                     Some(b) => b,
                     None => return false,

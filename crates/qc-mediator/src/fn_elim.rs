@@ -27,8 +27,10 @@ pub enum FnElimError {
     NestedFunctionTerms(String),
     /// A function term appeared in a comparison literal.
     FunctionTermInComparison(String),
-    /// Specialization exceeded its budget (pattern explosion).
-    Budget,
+    /// A resource limit tripped: the built-in specialization budget
+    /// (stage `"fn_elim/rules"` — pattern explosion) or an installed
+    /// [`qc_guard::Guard`] limit (stage [`qc_guard::stage::FN_ELIM`]).
+    Resource(qc_guard::ResourceError),
 }
 
 impl fmt::Display for FnElimError {
@@ -40,12 +42,18 @@ impl fmt::Display for FnElimError {
             FnElimError::FunctionTermInComparison(c) => {
                 write!(f, "function term in comparison {c}")
             }
-            FnElimError::Budget => write!(f, "pattern specialization budget exceeded"),
+            FnElimError::Resource(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for FnElimError {}
+
+impl From<qc_guard::ResourceError> for FnElimError {
+    fn from(e: qc_guard::ResourceError) -> Self {
+        FnElimError::Resource(e)
+    }
+}
 
 /// The shape of one argument position.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -133,6 +141,9 @@ pub fn eliminate_function_terms(plan: &Program) -> Result<Program, FnElimError> 
                 },
             )?;
             for (new_rule, head_pred, head_shapes) in reports {
+                // One work unit per specialized rule considered — the same
+                // granularity as the `FnElimRulesEmitted` counter.
+                qc_guard::tick(qc_guard::stage::FN_ELIM, 1)?;
                 if derivable.entry(head_pred).or_default().insert(head_shapes) {
                     changed = true;
                 }
@@ -143,7 +154,11 @@ pub fn eliminate_function_terms(plan: &Program) -> Result<Program, FnElimError> 
                     changed = true;
                 }
                 if out.len() > budget {
-                    return Err(FnElimError::Budget);
+                    return Err(FnElimError::Resource(qc_guard::ResourceError::budget(
+                        "fn_elim/rules",
+                        out.len() as u64,
+                        budget as u64,
+                    )));
                 }
             }
         }

@@ -134,6 +134,11 @@ fn form_mcds(
             // Every way of closing yields a (potentially different) MCD.
             for closed in close_all(query, &view, &existential, state) {
                 if let Some(mcd) = finalize(query, source, &view, &existential, &closed) {
+                    // One work unit per MCD formed (the `MiniconMcdsFormed`
+                    // granularity); `trip` unwinds to the nearest
+                    // `qc_guard::guarded` boundary because rewriting
+                    // construction has no fallible plumbing.
+                    qc_guard::trip(qc_guard::stage::MINICON, 1);
                     out.push(mcd);
                 }
             }

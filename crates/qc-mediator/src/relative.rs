@@ -25,7 +25,7 @@ use qc_containment::ucq_contained;
 use qc_datalog::eval::{EvalError, EvalOptions};
 use qc_datalog::{Program, Symbol, Ucq, UnfoldError};
 
-use crate::expansion::{expand_program, expand_ucq};
+use crate::expansion::{expand_cq, expand_program, expand_ucq};
 use crate::fn_elim::{eliminate_function_terms, FnElimError};
 use crate::inverse_rules::max_contained_plan;
 use crate::minicon::semi_interval_plan;
@@ -46,6 +46,11 @@ pub enum RelativeError {
     FnElim(FnElimError),
     /// Plan evaluation failed (freeze-and-evaluate route).
     Eval(EvalError),
+    /// An installed [`qc_guard::Guard`] limit tripped in a stage with no
+    /// fallible plumbing of its own (homomorphism search, memo, MiniCon,
+    /// enumeration) and unwound to the enclosing `qc_guard::guarded`
+    /// boundary.
+    Resource(qc_guard::ResourceError),
     /// Definition 4.5's precondition fails: the constants of `Q1 ∪ V`
     /// must be a subset of those of `Q2 ∪ V`.
     ConstantsPrecondition,
@@ -59,6 +64,7 @@ impl fmt::Display for RelativeError {
             RelativeError::DatalogUcq(e) => write!(f, "datalog/UCQ containment: {e}"),
             RelativeError::FnElim(e) => write!(f, "function-term elimination: {e}"),
             RelativeError::Eval(e) => write!(f, "evaluation: {e}"),
+            RelativeError::Resource(e) => write!(f, "{e}"),
             RelativeError::ConstantsPrecondition => write!(
                 f,
                 "Definition 4.5 precondition: constants of Q1 ∪ V must be among those of Q2 ∪ V"
@@ -87,6 +93,38 @@ impl From<FnElimError> for RelativeError {
 impl From<EvalError> for RelativeError {
     fn from(e: EvalError) -> Self {
         RelativeError::Eval(e)
+    }
+}
+impl From<qc_guard::ResourceError> for RelativeError {
+    fn from(e: qc_guard::ResourceError) -> Self {
+        RelativeError::Resource(e)
+    }
+}
+
+impl RelativeError {
+    /// The underlying [`qc_guard::ResourceError`] when this error is a
+    /// resource exhaustion (directly, or wrapped by a stage error), `None`
+    /// for genuine input/class errors. This is the split the anytime
+    /// verdict uses: resource errors become [`Verdict::Unknown`], anything
+    /// else stays an error.
+    pub fn resource(&self) -> Option<&qc_guard::ResourceError> {
+        match self {
+            RelativeError::Resource(e) => Some(e),
+            RelativeError::DatalogUcq(DatalogUcqError::Resource(e)) => Some(e),
+            RelativeError::FnElim(FnElimError::Resource(e)) => Some(e),
+            RelativeError::Eval(EvalError::Resource(e)) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Runs a fallible relative-containment step under a
+/// [`qc_guard::guarded`] boundary, folding guard trips from
+/// non-fallible stages into [`RelativeError::Resource`].
+fn run_guarded<T>(f: impl FnOnce() -> Result<T, RelativeError>) -> Result<T, RelativeError> {
+    match qc_guard::guarded(f) {
+        Ok(r) => r,
+        Err(e) => Err(RelativeError::Resource(e)),
     }
 }
 
@@ -290,6 +328,144 @@ pub fn relatively_contained(
                 .into(),
         )),
     }
+}
+
+/// What was proven before a resource limit cut a decision short.
+///
+/// Everything here is an **under-approximation** — sound partial progress,
+/// never a guess. `partial_plan` is a union of disjuncts of `Q1`'s
+/// maximally-contained plan whose expansions were each *proven* contained
+/// in `Q2`; any subset of a maximally-contained plan is itself a contained
+/// (just possibly not maximal) plan, so the partial plan is always safe to
+/// execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partial {
+    /// The limit that stopped the decision (stage, kind, consumed/limit).
+    pub resource: qc_guard::ResourceError,
+    /// Plan disjuncts proven contained before the limit hit.
+    pub disjuncts_contained: usize,
+    /// Total plan disjuncts (0 when the plan itself was never built).
+    pub disjuncts_total: usize,
+    /// The proven-contained part of the maximally-contained plan, when
+    /// any disjunct got that far.
+    pub partial_plan: Option<Ucq>,
+}
+
+/// An anytime relative-containment answer: definite whenever the
+/// procedure ran to completion, [`Verdict::Unknown`] — with the sound
+/// partial progress — when a [`qc_guard::Guard`] limit cut it short.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// `Q1 ⊑_V Q2` proven.
+    Contained,
+    /// A counterexample disjunct was found: `Q1 ⋢_V Q2`, definitely.
+    NotContained,
+    /// A resource limit stopped the decision; the payload says how far it
+    /// got.
+    Unknown(Partial),
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Contained => write!(f, "contained"),
+            Verdict::NotContained => write!(f, "not contained"),
+            Verdict::Unknown(p) => {
+                write!(f, "unknown — {}", p.resource)?;
+                if p.disjuncts_total > 0 {
+                    write!(
+                        f,
+                        " ({} of {} plan disjuncts proven contained)",
+                        p.disjuncts_contained, p.disjuncts_total
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn unknown(resource: qc_guard::ResourceError) -> Verdict {
+    Verdict::Unknown(Partial {
+        resource,
+        disjuncts_contained: 0,
+        disjuncts_total: 0,
+        partial_plan: None,
+    })
+}
+
+/// Anytime version of [`relatively_contained`]: runs the same decision
+/// procedures under the installed [`qc_guard::Guard`] (if any) and turns
+/// resource exhaustion into [`Verdict::Unknown`] carrying the sound
+/// partial progress instead of an error. Genuine input/class errors still
+/// surface as `Err`.
+///
+/// For nonrecursive `Q1`/`Q2` the per-disjunct containment checks run
+/// individually, so a limit hitting midway still reports every disjunct
+/// proven so far (and the corresponding partial contained plan). A
+/// disjunct proven *not* contained is a definite refutation regardless of
+/// any later exhaustion, so [`Verdict::NotContained`] is exact.
+pub fn relatively_contained_verdict(
+    q1: &Program,
+    ans1: &Symbol,
+    q2: &Program,
+    ans2: &Symbol,
+    views: &LavSetting,
+) -> Result<Verdict, RelativeError> {
+    let _span = qc_obs::span("relative_containment_verdict");
+    let q1_recursive = q1.dependency_graph().pred_in_cycle_reachable_from(ans1);
+    let q2_recursive = q2.dependency_graph().pred_in_cycle_reachable_from(ans2);
+
+    if q1_recursive || q2_recursive {
+        // The recursive routes decide through one monolithic fixpoint or
+        // evaluation; exhaustion cannot be attributed to individual
+        // disjuncts, so the anytime answer carries no partial plan.
+        return match run_guarded(|| relatively_contained(q1, ans1, q2, ans2, views)) {
+            Ok(true) => Ok(Verdict::Contained),
+            Ok(false) => Ok(Verdict::NotContained),
+            Err(e) => match e.resource() {
+                Some(r) => Ok(unknown(r.clone())),
+                None => Err(e),
+            },
+        };
+    }
+
+    let u2 = q2.unfold(ans2)?;
+    let p1 = match run_guarded(|| max_contained_ucq_plan(q1, ans1, views)) {
+        Ok(p) => p,
+        Err(e) => {
+            return match e.resource() {
+                Some(r) => Ok(unknown(r.clone())),
+                None => Err(e),
+            }
+        }
+    };
+    let total = p1.disjuncts.len();
+    let mut proven: Vec<qc_datalog::ConjunctiveQuery> = Vec::new();
+    for d in &p1.disjuncts {
+        let exp = {
+            let _s = qc_obs::span("expansion");
+            expand_cq(d, views)
+        }
+        .ok_or_else(|| RelativeError::Unsupported("plan disjunct does not expand".into()))?;
+        let _s = qc_obs::span("containment_check");
+        match qc_guard::guarded(|| qc_containment::cq_contained_in_ucq(&exp, &u2)) {
+            Ok(true) => proven.push(d.clone()),
+            Ok(false) => return Ok(Verdict::NotContained),
+            Err(r) => {
+                let disjuncts_contained = proven.len();
+                let partial_plan = (!proven.is_empty())
+                    .then(|| Ucq::new(proven).expect("disjuncts share the query head"));
+                return Ok(Verdict::Unknown(Partial {
+                    resource: r,
+                    disjuncts_contained,
+                    disjuncts_total: total,
+                    partial_plan,
+                }));
+            }
+        }
+    }
+    Ok(Verdict::Contained)
 }
 
 /// Decides relative containment with binding patterns, `Q1 ⊑_{V,B} Q2`

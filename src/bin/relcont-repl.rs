@@ -22,12 +22,13 @@ use std::io::{self, BufRead, Write};
 
 use relcont::datalog::eval::EvalOptions;
 use relcont::datalog::{parse_rule, Database, Program, Symbol};
+use relcont::guard::Guard;
 use relcont::mediator::analysis::{is_lossless, source_coverage, unused_sources};
 use relcont::mediator::binding::reachable_certain_answers;
 use relcont::mediator::certain::{certain_answer_support, certain_answers};
 use relcont::mediator::relative::{
     explain_containment, max_contained_ucq_plan, relatively_contained_bp,
-    relatively_contained_witness,
+    relatively_contained_verdict, relatively_contained_witness, Verdict,
 };
 use relcont::mediator::schema::{LavSetting, SourceDescription};
 
@@ -50,6 +51,10 @@ commands:
   show                    list views, queries, and facts
   :stats                  per-stage spans and engine counters so far
   :stats reset            clear the collected statistics
+  :limit                  show the active resource limits
+  :limit budget <units>   work-unit budget for subsequent commands
+  :limit timeout <ms>     wall-clock deadline for subsequent commands
+  :limit off              remove all resource limits
   reset                   clear everything
   help                    this text
   quit                    exit";
@@ -59,6 +64,8 @@ struct Session {
     queries: BTreeMap<String, Program>,
     facts: Database,
     recorder: std::sync::Arc<qc_obs::PipelineRecorder>,
+    limit_budget: Option<u64>,
+    limit_timeout_ms: Option<u64>,
 }
 
 impl Session {
@@ -68,7 +75,28 @@ impl Session {
             queries: BTreeMap::new(),
             facts: Database::new(),
             recorder,
+            limit_budget: None,
+            limit_timeout_ms: None,
         }
+    }
+
+    fn limited(&self) -> bool {
+        self.limit_budget.is_some() || self.limit_timeout_ms.is_some()
+    }
+
+    /// Builds a fresh guard for one command from the session's limits.
+    fn guard(&self) -> Option<Guard> {
+        if !self.limited() {
+            return None;
+        }
+        let mut g = Guard::unlimited();
+        if let Some(units) = self.limit_budget {
+            g = g.with_budget(units);
+        }
+        if let Some(ms) = self.limit_timeout_ms {
+            g = g.with_timeout(std::time::Duration::from_millis(ms));
+        }
+        Some(g)
     }
 
     fn query(&self, name: &str) -> Result<(&Program, Symbol), String> {
@@ -87,6 +115,22 @@ impl Session {
             Some((c, r)) => (c, r.trim()),
             None => (line, ""),
         };
+        let guard = self.guard();
+        let mut body = || {
+            // A trip from a stage without fallible plumbing surfaces here
+            // as an "undecided" line instead of aborting the session.
+            match relcont::guard::guarded(|| self.dispatch(cmd, rest)) {
+                Ok(r) => r,
+                Err(resource) => Ok(Some(format!("undecided: {resource}"))),
+            }
+        };
+        match &guard {
+            Some(g) => relcont::guard::with_guard(g, body),
+            None => body(),
+        }
+    }
+
+    fn dispatch(&mut self, cmd: &str, rest: &str) -> Result<Option<String>, String> {
         match cmd {
             "help" => Ok(Some(HELP.to_string())),
             "view" => {
@@ -162,6 +206,21 @@ impl Session {
                         "{n1} {} {n2} under the binding patterns",
                         if holds { "\u{2291}" } else { "\u{22e2}" }
                     )))
+                } else if self.limited() {
+                    // Anytime path: report partial progress when a limit
+                    // stops the decision instead of a bare error.
+                    let verdict = relatively_contained_verdict(q1, &a1, q2, &a2, &self.views)
+                        .map_err(|e| e.to_string())?;
+                    let mut out = format!("{n1} vs {n2}: {verdict}");
+                    if let Verdict::Unknown(partial) = &verdict {
+                        if let Some(plan) = &partial.partial_plan {
+                            out.push_str("\npartial plan proven contained so far:");
+                            for d in &plan.disjuncts {
+                                out.push_str(&format!("\n{}", d.tidy_names().to_rule()));
+                            }
+                        }
+                    }
+                    Ok(Some(out))
                 } else {
                     let kind = explain_containment(q1, &a1, q2, &a2, &self.views)
                         .map_err(|e| e.to_string())?;
@@ -311,6 +370,38 @@ impl Session {
                 }
                 out.push_str(&format!("facts: {} tuple(s)\n", self.facts.total_len()));
                 Ok(Some(out.trim_end().to_string()))
+            }
+            ":limit" | "limit" => {
+                let mut parts = rest.split_whitespace();
+                match (parts.next(), parts.next()) {
+                    (None, _) => Ok(Some(format!(
+                        "budget: {}, timeout: {}",
+                        self.limit_budget
+                            .map_or("unlimited".into(), |b| format!("{b} units")),
+                        self.limit_timeout_ms
+                            .map_or("unlimited".into(), |ms| format!("{ms} ms")),
+                    ))),
+                    (Some("off"), _) => {
+                        self.limit_budget = None;
+                        self.limit_timeout_ms = None;
+                        Ok(Some("resource limits removed".into()))
+                    }
+                    (Some("budget"), Some(v)) => {
+                        let units: u64 = v
+                            .parse()
+                            .map_err(|_| format!("budget expects a unit count, got {v:?}"))?;
+                        self.limit_budget = Some(units);
+                        Ok(Some(format!("budget set to {units} work unit(s)")))
+                    }
+                    (Some("timeout"), Some(v)) => {
+                        let ms: u64 = v
+                            .parse()
+                            .map_err(|_| format!("timeout expects milliseconds, got {v:?}"))?;
+                        self.limit_timeout_ms = Some(ms);
+                        Ok(Some(format!("timeout set to {ms} ms")))
+                    }
+                    _ => Err("usage: :limit [budget <units> | timeout <ms> | off]".into()),
+                }
             }
             ":stats" | "stats" => {
                 if rest == "reset" {

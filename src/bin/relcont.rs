@@ -17,38 +17,59 @@
 //!
 //! When `--ans` is omitted, the head predicate of the file's first rule is
 //! used. Exit code 0 = containment holds / success, 1 = does not hold,
-//! 2 = usage or input error.
+//! 2 = usage or input error, 3 = undecided (a resource limit stopped the
+//! decision before it finished).
 //!
-//! Every command also accepts the observability flags:
+//! Every command also accepts the observability and resource flags:
 //!
 //! ```text
 //! --trace              print the per-stage pipeline tree to stderr
 //! --metrics-json PATH  write the pipeline report (spans + counters) as JSON
+//! --timeout MS         wall-clock deadline for the decision procedures
+//! --budget UNITS       work-unit budget (deterministic; counter-aligned)
 //! ```
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use relcont::datalog::eval::EvalOptions;
+use relcont::datalog::eval::{EvalError, EvalOptions};
 use relcont::datalog::{parse_program, Database, Program, Symbol};
+use relcont::guard::Guard;
 use relcont::mediator::binding::reachable_certain_answers;
 use relcont::mediator::certain::certain_answers;
 use relcont::mediator::relative::{
     explain_containment, max_contained_ucq_plan, relatively_contained_bp,
-    relatively_contained_witness, ContainmentKind,
+    relatively_contained_verdict, relatively_contained_witness, ContainmentKind, Verdict,
 };
 use relcont::mediator::schema::LavSetting;
+
+/// What a command run decided, driving the exit code.
+enum Outcome {
+    /// Containment holds / command succeeded (exit 0).
+    True,
+    /// Containment does not hold (exit 1).
+    False,
+    /// A resource limit stopped the decision (exit 3).
+    Unknown(String),
+}
+
+fn outcome_of(holds: bool) -> Outcome {
+    if holds {
+        Outcome::True
+    } else {
+        Outcome::False
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(holds) => {
-            if holds {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
+        Ok(Outcome::True) => ExitCode::SUCCESS,
+        Ok(Outcome::False) => ExitCode::from(1),
+        Ok(Outcome::Unknown(reason)) => {
+            eprintln!("relcont: undecided: {reason}");
+            ExitCode::from(3)
         }
         Err(msg) => {
             eprintln!("relcont: {msg}");
@@ -69,9 +90,12 @@ usage:
   relcont validate --views FILE [--query FILE]
 observability (any command):
   --trace              print the per-stage pipeline tree to stderr
-  --metrics-json PATH  write the pipeline report (spans + counters) as JSON";
+  --metrics-json PATH  write the pipeline report (spans + counters) as JSON
+resource limits (any command; exit 3 when one stops the decision):
+  --timeout MS         wall-clock deadline in milliseconds
+  --budget UNITS       deterministic work-unit budget";
 
-fn run(args: &[String]) -> Result<bool, String> {
+fn run(args: &[String]) -> Result<Outcome, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("missing command".into());
     };
@@ -82,16 +106,30 @@ fn run(args: &[String]) -> Result<bool, String> {
     } else {
         None
     };
-    let _guard = recorder
+    let _obs = recorder
         .clone()
         .map(|r| qc_obs::install(r as std::sync::Arc<dyn qc_obs::Recorder>));
-    let result = match cmd.as_str() {
-        "check" => cmd_check(&opts),
-        "plan" => cmd_plan(&opts),
-        "certain" => cmd_certain(&opts),
-        "eval" => cmd_eval(&opts),
-        "validate" => cmd_validate(&opts),
-        other => Err(format!("unknown command {other:?}")),
+    let guard = opts.guard()?;
+    let result = {
+        let body = || -> Result<Outcome, String> {
+            // `guarded` converts trips from stages without fallible
+            // plumbing into an Unknown outcome instead of an unwind.
+            match relcont::guard::guarded(|| match cmd.as_str() {
+                "check" => cmd_check(&opts),
+                "plan" => cmd_plan(&opts),
+                "certain" => cmd_certain(&opts),
+                "eval" => cmd_eval(&opts),
+                "validate" => cmd_validate(&opts),
+                other => Err(format!("unknown command {other:?}")),
+            }) {
+                Ok(r) => r,
+                Err(resource) => Ok(Outcome::Unknown(resource.to_string())),
+            }
+        };
+        match &guard {
+            Some(g) => relcont::guard::with_guard(g, body),
+            None => body(),
+        }
     };
     if let Some(rec) = recorder {
         let report = rec.report(format!("relcont {cmd}"));
@@ -101,7 +139,14 @@ fn run(args: &[String]) -> Result<bool, String> {
         if let Some(path) = metrics_path {
             let json = serde_json::to_string_pretty(&report)
                 .map_err(|e| format!("metrics serialization: {e}"))?;
-            std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+            let verdict = match &result {
+                Ok(Outcome::True) => "contained",
+                Ok(Outcome::False) => "not_contained",
+                Ok(Outcome::Unknown(_)) => "unknown",
+                Err(_) => "error",
+            };
+            let wrapped = format!("{{\n  \"verdict\": \"{verdict}\",\n  \"report\": {json}\n}}");
+            std::fs::write(&path, wrapped).map_err(|e| format!("{path}: {e}"))?;
         }
     }
     result
@@ -123,6 +168,33 @@ impl Flags {
 
     fn optional(&self, key: &str) -> Option<&str> {
         self.values.get(key).map(String::as_str)
+    }
+
+    /// True when a resource limit was requested, i.e. the run should use the
+    /// anytime verdict path rather than the plain decision procedures.
+    fn limited(&self) -> bool {
+        self.optional("timeout").is_some() || self.optional("budget").is_some()
+    }
+
+    /// Builds the guard described by `--timeout` / `--budget`, if any.
+    fn guard(&self) -> Result<Option<Guard>, String> {
+        if !self.limited() {
+            return Ok(None);
+        }
+        let mut g = Guard::unlimited();
+        if let Some(ms) = self.optional("timeout") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("--timeout expects milliseconds, got {ms:?}"))?;
+            g = g.with_timeout(std::time::Duration::from_millis(ms));
+        }
+        if let Some(units) = self.optional("budget") {
+            let units: u64 = units
+                .parse()
+                .map_err(|_| format!("--budget expects a unit count, got {units:?}"))?;
+            g = g.with_budget(units);
+        }
+        Ok(Some(g))
     }
 }
 
@@ -216,7 +288,7 @@ fn load_query(path: &str, ans: Option<&str>) -> Result<(Program, Symbol), String
     Ok((program, ans))
 }
 
-fn cmd_check(flags: &Flags) -> Result<bool, String> {
+fn cmd_check(flags: &Flags) -> Result<Outcome, String> {
     let views = load_views(flags.required("views")?)?;
     let (q1, ans1) = load_query(flags.required("q1")?, flags.optional("ans1"))?;
     let (q2, ans2) = load_query(flags.required("q2")?, flags.optional("ans2"))?;
@@ -228,7 +300,30 @@ fn cmd_check(flags: &Flags) -> Result<bool, String> {
             if holds { "\u{2291}" } else { "\u{22e2}" },
             views.sources.len()
         );
-        return Ok(holds);
+        return Ok(outcome_of(holds));
+    }
+    if flags.limited() {
+        // Under a resource limit, take the anytime path: it reports how far
+        // the decision got instead of failing with a bare resource error.
+        let verdict = relatively_contained_verdict(&q1, &ans1, &q2, &ans2, &views)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{ans1} vs {ans2} relative to {} source(s): {verdict}",
+            views.sources.len()
+        );
+        return Ok(match verdict {
+            Verdict::Contained => Outcome::True,
+            Verdict::NotContained => Outcome::False,
+            Verdict::Unknown(partial) => {
+                if let Some(plan) = &partial.partial_plan {
+                    println!("% partial plan proven contained so far:");
+                    for d in &plan.disjuncts {
+                        println!("{}", d.tidy_names().to_rule());
+                    }
+                }
+                Outcome::Unknown(partial.resource.to_string())
+            }
+        });
     }
     let kind = explain_containment(&q1, &ans1, &q2, &ans2, &views).map_err(|e| e.to_string())?;
     println!(
@@ -242,13 +337,21 @@ fn cmd_check(flags: &Flags) -> Result<bool, String> {
             println!("{w}");
         }
     }
-    Ok(!matches!(kind, ContainmentKind::No))
+    Ok(outcome_of(!matches!(kind, ContainmentKind::No)))
 }
 
-fn cmd_plan(flags: &Flags) -> Result<bool, String> {
+fn cmd_plan(flags: &Flags) -> Result<Outcome, String> {
     let views = load_views(flags.required("views")?)?;
     let (q, ans) = load_query(flags.required("query")?, flags.optional("ans"))?;
-    let plan = max_contained_ucq_plan(&q, &ans, &views).map_err(|e| e.to_string())?;
+    let plan = match max_contained_ucq_plan(&q, &ans, &views) {
+        Ok(plan) => plan,
+        Err(e) => {
+            if let Some(r) = e.resource() {
+                return Ok(Outcome::Unknown(r.to_string()));
+            }
+            return Err(e.to_string());
+        }
+    };
     if plan.is_empty() {
         println!("% the maximally-contained plan is empty (no certain answers ever)");
     } else {
@@ -256,10 +359,10 @@ fn cmd_plan(flags: &Flags) -> Result<bool, String> {
             println!("{}", d.tidy_names().to_rule());
         }
     }
-    Ok(true)
+    Ok(Outcome::True)
 }
 
-fn cmd_certain(flags: &Flags) -> Result<bool, String> {
+fn cmd_certain(flags: &Flags) -> Result<Outcome, String> {
     let views = load_views(flags.required("views")?)?;
     let (q, ans) = load_query(flags.required("query")?, flags.optional("ans"))?;
     let mut db = Database::new();
@@ -273,23 +376,31 @@ fn cmd_certain(flags: &Flags) -> Result<bool, String> {
     if flags.optional("instance").is_none() && flags.optional("csv").is_none() {
         return Err("certain needs --instance and/or --csv".into());
     }
-    let rel = if flags.bp {
+    let rel = match if flags.bp {
         reachable_certain_answers(&q, &ans, &views, &db, &EvalOptions::default())
     } else {
         certain_answers(&q, &ans, &views, &db, &EvalOptions::default())
-    }
-    .map_err(|e| e.to_string())?;
+    } {
+        Ok(rel) => rel,
+        Err(e) => {
+            if let Some(r) = e.resource() {
+                return Ok(Outcome::Unknown(r.to_string()));
+            }
+            return Err(e.to_string());
+        }
+    };
     let mut rows: Vec<String> = rel
         .tuples()
         .iter()
         .map(|t| {
             let mut line = String::new();
-            write!(line, "{ans}(").expect("write to string");
+            // Writing into a String cannot fail.
+            let _ = write!(line, "{ans}(");
             for (i, v) in t.iter().enumerate() {
                 if i > 0 {
                     line.push_str(", ");
                 }
-                write!(line, "{v}").expect("write to string");
+                let _ = write!(line, "{v}");
             }
             line.push_str(").");
             line
@@ -299,10 +410,10 @@ fn cmd_certain(flags: &Flags) -> Result<bool, String> {
     for r in rows {
         println!("{r}");
     }
-    Ok(true)
+    Ok(Outcome::True)
 }
 
-fn cmd_validate(flags: &Flags) -> Result<bool, String> {
+fn cmd_validate(flags: &Flags) -> Result<Outcome, String> {
     let views = load_views(flags.required("views")?)?;
     let schema = relcont::mediator::schema::MediatedSchema::infer(&views);
     schema
@@ -328,7 +439,7 @@ fn cmd_validate(flags: &Flags) -> Result<bool, String> {
         }
         println!("query {ans}: safe and consistent with the schema");
     }
-    Ok(true)
+    Ok(Outcome::True)
 }
 
 /// Loads `--csv pred=file[,pred=file…]` specs into a database.
@@ -344,7 +455,7 @@ fn load_csv_specs(db: &mut Database, specs: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_eval(flags: &Flags) -> Result<bool, String> {
+fn cmd_eval(flags: &Flags) -> Result<Outcome, String> {
     let text =
         std::fs::read_to_string(flags.required("program")?).map_err(|e| format!("program: {e}"))?;
     let program = parse_program(&text).map_err(|e| format!("program: {e}"))?;
@@ -352,8 +463,11 @@ fn cmd_eval(flags: &Flags) -> Result<bool, String> {
         std::fs::read_to_string(flags.required("data")?).map_err(|e| format!("data: {e}"))?;
     let db = Database::parse(&data).map_err(|e| format!("data: {e}"))?;
     let ans = Symbol::new(flags.required("ans")?);
-    let rel = relcont::datalog::eval::answers(&program, &db, &ans, &EvalOptions::default())
-        .map_err(|e| e.to_string())?;
+    let rel = match relcont::datalog::eval::answers(&program, &db, &ans, &EvalOptions::default()) {
+        Ok(rel) => rel,
+        Err(EvalError::Resource(r)) => return Ok(Outcome::Unknown(r.to_string())),
+        Err(e) => return Err(e.to_string()),
+    };
     let mut rows: Vec<String> = rel
         .tuples()
         .iter()
@@ -368,5 +482,5 @@ fn cmd_eval(flags: &Flags) -> Result<bool, String> {
     for r in rows {
         println!("{r}");
     }
-    Ok(true)
+    Ok(Outcome::True)
 }

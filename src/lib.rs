@@ -26,6 +26,7 @@
 pub use qc_constraints as constraints;
 pub use qc_containment as containment;
 pub use qc_datalog as datalog;
+pub use qc_guard as guard;
 pub use qc_mediator as mediator;
 
 // Ergonomic top-level re-exports of the headline API.

@@ -142,6 +142,120 @@ fn cli_binding_patterns_via_directives() {
 }
 
 #[test]
+fn cli_resource_limits_yield_exit_3_and_tagged_metrics() {
+    let dir = tmpdir("limits");
+    let views = write_tmp(
+        &dir,
+        "views.dl",
+        "RedCars(CarNo, Model, Year) :- CarDesc(CarNo, Model, red, Year).
+         CarAndDriver(Model, Review) :- Review(Model, Review, 10).",
+    );
+    let q1 = write_tmp(
+        &dir,
+        "q1.dl",
+        "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
+    );
+    let q2 = write_tmp(
+        &dir,
+        "q2.dl",
+        "q2(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).",
+    );
+    let metrics = dir.join("metrics.json");
+    let bin = env!("CARGO_BIN_EXE_relcont");
+
+    // A one-unit budget stops the decision: exit 3, "undecided" on stderr,
+    // and the metrics JSON tagged with the unknown verdict.
+    let out = Command::new(bin)
+        .args(["check", "--budget", "1", "--views"])
+        .arg(&views)
+        .args(["--q1"])
+        .arg(&q1)
+        .args(["--q2"])
+        .arg(&q2)
+        .args(["--metrics-json"])
+        .arg(&metrics)
+        .output()
+        .expect("run relcont");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("undecided"));
+    let json = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(json.contains("\"verdict\": \"unknown\""), "{json}");
+
+    // A generous budget (and timeout) lets the same check finish: exit 0 and
+    // a "contained" verdict tag.
+    let out = Command::new(bin)
+        .args([
+            "check",
+            "--budget",
+            "1000000",
+            "--timeout",
+            "60000",
+            "--views",
+        ])
+        .arg(&views)
+        .args(["--q1"])
+        .arg(&q1)
+        .args(["--q2"])
+        .arg(&q2)
+        .args(["--metrics-json"])
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    assert!(json.contains("\"verdict\": \"contained\""), "{json}");
+
+    // A malformed limit is a usage error, not a crash.
+    let out = Command::new(bin)
+        .args(["check", "--budget", "lots", "--views"])
+        .arg(&views)
+        .args(["--q1"])
+        .arg(&q1)
+        .args(["--q2"])
+        .arg(&q2)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn repl_limit_command() {
+    let bin = env!("CARGO_BIN_EXE_relcont-repl");
+    let mut child = Command::new(bin)
+        .env("NO_PROMPT", "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let script = "view V(A, B) :- p(A, B).
+query qa(X) :- p(X, Y).
+query qb(X) :- p(X, X).
+:limit budget 1
+check qb qa
+:limit
+:limit off
+check qb qa
+quit
+";
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("qb vs qa: unknown"), "{stdout}");
+    assert!(stdout.contains("budget exhausted"), "{stdout}");
+    assert!(stdout.contains("budget: 1 units"), "{stdout}");
+    assert!(stdout.contains("resource limits removed"), "{stdout}");
+    assert!(
+        stdout.contains("qb vs qa: contained (classically)"),
+        "{stdout}"
+    );
+}
+
+#[test]
 fn cli_reports_usage_errors() {
     let bin = env!("CARGO_BIN_EXE_relcont");
     let out = Command::new(bin).arg("bogus").output().unwrap();

@@ -142,20 +142,18 @@ fn datalog_ucq_budget_and_input_errors() {
     };
     let err = datalog_contained_in_ucq(&p, &Symbol::new("t"), &q, &tiny).unwrap_err();
     match err {
-        DatalogUcqError::Budget {
-            stage,
-            consumed,
-            limit,
-        } => {
-            assert_eq!(stage, "type entries");
+        DatalogUcqError::Resource(e) => {
+            let (stage, consumed, limit) = (e.stage, e.consumed, e.limit);
+            assert_eq!(stage, "fixpoint/type_entries");
+            assert_eq!(e.kind, relcont::guard::ResourceKind::Budget);
             assert_eq!(limit, 1);
             assert!(
                 consumed > limit,
                 "consumed {consumed} should exceed limit {limit}"
             );
-            let msg = err.to_string();
+            let msg = e.to_string();
             assert!(
-                msg.contains("type entries") && msg.contains("of limit 1"),
+                msg.contains("fixpoint/type_entries") && msg.contains("of 1 units"),
                 "{msg}"
             );
         }

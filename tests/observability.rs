@@ -172,7 +172,7 @@ fn fixpoint_counters_and_budget_provenance() {
     let err = datalog_contained_in_ucq(&tc, &sym("t"), &loose, &tiny).unwrap_err();
     let msg = err.to_string();
     assert!(
-        msg.contains("iterations") && msg.contains("of limit 1"),
+        msg.contains("fixpoint/iterations") && msg.contains("of 1 units"),
         "budget error must report stage and consumed/limit: {msg}"
     );
 }
