@@ -31,6 +31,7 @@ use qc_mediator::minicon::minicon_rewritings;
 use qc_mediator::reductions::{asu_reduction, random_cnf3, thm33_reduction};
 use qc_mediator::relative::relatively_contained;
 use qc_mediator::workloads::{chain_edb, random_query, random_views, Shape};
+use qc_serve::{Request, ServeConfig, ServeCore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::Value;
@@ -173,6 +174,46 @@ fn scenarios() -> Vec<Scenario> {
         run: Box::new(move |_cfg| {
             datalog_contained_in_ucq(&tc, &Symbol::new("t"), &q_ucq, &FixpointBudget::default())
                 .unwrap();
+        }),
+    });
+
+    // Serve — queue-throughput counters: Example 1 pairs through the
+    // admission layer. Each pair starts with a budget of 1 work unit and
+    // doubles it until the verdict is definite, carrying checkpoints
+    // between rounds, so the serve_* counters (completed, resumed, tier
+    // churn) enter the committed snapshot with deterministic values. The
+    // service's own counter bank is folded into the installed recorder
+    // at the end.
+    let (views, queries) = qc_bench::example1();
+    out.push(Scenario {
+        name: "serve/example1_admission_resume",
+        run: Box::new(move |_cfg| {
+            let core = ServeCore::new(views.clone(), ServeConfig::default());
+            for (i, (qa, na)) in queries.iter().enumerate() {
+                for (j, (qb, nb)) in queries.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let mut req = Request::new(qa.clone(), na.clone(), qb.clone(), nb.clone());
+                    let mut budget = 1u64;
+                    loop {
+                        req.budget = Some(budget);
+                        let resp = core.handle(&req, 0).expect("serve scenario run");
+                        match resp.verdict {
+                            qc_mediator::relative::Verdict::Unknown(_) => {
+                                req.checkpoint = resp.checkpoint;
+                                budget = budget.saturating_mul(2);
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+            }
+            for (name, n) in core.counters().nonzero() {
+                if let Some(c) = qc_obs::Counter::from_name(&name) {
+                    qc_obs::count(c, n);
+                }
+            }
         }),
     });
 

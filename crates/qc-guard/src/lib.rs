@@ -235,8 +235,33 @@ impl Guard {
     }
 
     /// This guard with a work-unit budget (total ticks across all stages).
+    ///
+    /// The budget is a *limit*, not an allowance: work units already
+    /// consumed by this guard are kept, so calling `with_budget` on a
+    /// guard that has consumed `c` units leaves only `units - c` of
+    /// headroom (and trips immediately when `c >= units`). That is the
+    /// right semantics for tightening a limit mid-flight; for retry
+    /// loops that want to grant a *fresh* allowance, use
+    /// [`Guard::renew`], which zeroes the consumption first.
     pub fn with_budget(self, units: u64) -> Guard {
         self.rebuild(|i| i.budget = Some(units))
+    }
+
+    /// A fresh allowance for a retry: this guard with its consumed-unit
+    /// count reset to zero and the budget set to `units`.
+    ///
+    /// Unlike [`Guard::with_budget`] — which keeps the consumed count, so
+    /// an exhausted guard stays exhausted — `renew` is the retry-loop
+    /// primitive: a request that tripped its budget can be re-run under
+    /// `guard.renew(fresh_units)` and gets the full `fresh_units` of
+    /// headroom. The deadline, cancellation flag, and any injected fault
+    /// are carried over unchanged (a cancelled guard stays cancelled; use
+    /// [`Guard::with_timeout`] to also extend a deadline).
+    pub fn renew(self, units: u64) -> Guard {
+        self.rebuild(|i| {
+            i.budget = Some(units);
+            i.consumed = AtomicU64::new(0);
+        })
     }
 
     /// This guard with a wall-clock timeout from now.
@@ -534,6 +559,42 @@ mod tests {
             })
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn with_budget_keeps_consumption_and_renew_resets_it() {
+        // Exhaust a small budget.
+        let g = Guard::unlimited().with_budget(5);
+        let consumed = with_guard(&g, || {
+            while tick(stage::EVAL, 1).is_ok() {}
+            current().unwrap().consumed()
+        });
+        assert!(consumed > 5);
+        // `with_budget` keeps the consumed count: the same (or a smaller)
+        // budget trips on the very first tick.
+        let still_spent = g.clone().with_budget(5);
+        assert_eq!(still_spent.consumed(), consumed);
+        let e = with_guard(&still_spent, || tick(stage::EVAL, 1)).unwrap_err();
+        assert_eq!(e.kind, ResourceKind::Budget);
+        // `renew` grants a fresh allowance: consumption restarts at zero
+        // and the full budget is available again.
+        let renewed = g.renew(5);
+        assert_eq!(renewed.consumed(), 0);
+        assert_eq!(renewed.budget(), Some(5));
+        let ok = with_guard(&renewed, || {
+            let mut n = 0;
+            while tick(stage::EVAL, 1).is_ok() {
+                n += 1;
+            }
+            n
+        });
+        assert_eq!(ok, 5);
+        // Cancellation survives a renew (renew is not a reset).
+        let g = Guard::unlimited().with_budget(1);
+        g.cancel_token().cancel();
+        let renewed = g.renew(100);
+        let e = with_guard(&renewed, || tick(stage::EVAL, 1)).unwrap_err();
+        assert_eq!(e.kind, ResourceKind::Cancelled);
     }
 
     #[test]

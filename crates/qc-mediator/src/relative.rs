@@ -342,13 +342,25 @@ pub fn relatively_contained(
 pub struct Partial {
     /// The limit that stopped the decision (stage, kind, consumed/limit).
     pub resource: qc_guard::ResourceError,
-    /// Plan disjuncts proven contained before the limit hit.
-    pub disjuncts_contained: usize,
+    /// Indices (into the maximally-contained plan's disjunct list, which
+    /// is deterministic for a fixed input) of the disjuncts proven
+    /// contained before the limit hit, in ascending order. Recording the
+    /// *indices* rather than a count is what makes a `Partial` a
+    /// well-defined checkpoint: a retry can skip exactly these disjuncts
+    /// (see [`relatively_contained_verdict_resume`]).
+    pub disjuncts_proven: Vec<usize>,
     /// Total plan disjuncts (0 when the plan itself was never built).
     pub disjuncts_total: usize,
     /// The proven-contained part of the maximally-contained plan, when
     /// any disjunct got that far.
     pub partial_plan: Option<Ucq>,
+}
+
+impl Partial {
+    /// How many plan disjuncts were proven contained.
+    pub fn disjuncts_contained(&self) -> usize {
+        self.disjuncts_proven.len()
+    }
 }
 
 /// An anytime relative-containment answer: definite whenever the
@@ -376,7 +388,8 @@ impl fmt::Display for Verdict {
                     write!(
                         f,
                         " ({} of {} plan disjuncts proven contained)",
-                        p.disjuncts_contained, p.disjuncts_total
+                        p.disjuncts_contained(),
+                        p.disjuncts_total
                     )?;
                 }
                 Ok(())
@@ -388,7 +401,7 @@ impl fmt::Display for Verdict {
 fn unknown(resource: qc_guard::ResourceError) -> Verdict {
     Verdict::Unknown(Partial {
         resource,
-        disjuncts_contained: 0,
+        disjuncts_proven: Vec::new(),
         disjuncts_total: 0,
         partial_plan: None,
     })
@@ -411,6 +424,30 @@ pub fn relatively_contained_verdict(
     q2: &Program,
     ans2: &Symbol,
     views: &LavSetting,
+) -> Result<Verdict, RelativeError> {
+    relatively_contained_verdict_resume(q1, ans1, q2, ans2, views, &[])
+}
+
+/// [`relatively_contained_verdict`] resumed from a checkpoint: the plan
+/// disjuncts whose indices appear in `proven_before` (as recorded by an
+/// earlier run's [`Partial::disjuncts_proven`]) are taken as already
+/// proven contained and skipped, so a retried request with a fresh budget
+/// continues where it stopped instead of recomputing.
+///
+/// The maximally-contained plan's disjunct order is deterministic for a
+/// fixed input, which is what makes the indices meaningful across runs.
+/// Indices out of range for the rebuilt plan are ignored, so a stale or
+/// foreign checkpoint degrades to extra work, never to unsoundness — but
+/// callers are expected to key checkpoints by request (see `qc-serve`).
+/// For recursive inputs the decision is monolithic and `proven_before` is
+/// ignored.
+pub fn relatively_contained_verdict_resume(
+    q1: &Program,
+    ans1: &Symbol,
+    q2: &Program,
+    ans2: &Symbol,
+    views: &LavSetting,
+    proven_before: &[usize],
 ) -> Result<Verdict, RelativeError> {
     let _span = qc_obs::span("relative_containment_verdict");
     let q1_recursive = q1.dependency_graph().pred_in_cycle_reachable_from(ans1);
@@ -442,7 +479,13 @@ pub fn relatively_contained_verdict(
     };
     let total = p1.disjuncts.len();
     let mut proven: Vec<qc_datalog::ConjunctiveQuery> = Vec::new();
-    for d in &p1.disjuncts {
+    let mut proven_ix: Vec<usize> = Vec::new();
+    for (ix, d) in p1.disjuncts.iter().enumerate() {
+        if proven_before.contains(&ix) {
+            proven.push(d.clone());
+            proven_ix.push(ix);
+            continue;
+        }
         let exp = {
             let _s = qc_obs::span("expansion");
             expand_cq(d, views)
@@ -450,15 +493,17 @@ pub fn relatively_contained_verdict(
         .ok_or_else(|| RelativeError::Unsupported("plan disjunct does not expand".into()))?;
         let _s = qc_obs::span("containment_check");
         match qc_guard::guarded(|| qc_containment::cq_contained_in_ucq(&exp, &u2)) {
-            Ok(true) => proven.push(d.clone()),
+            Ok(true) => {
+                proven.push(d.clone());
+                proven_ix.push(ix);
+            }
             Ok(false) => return Ok(Verdict::NotContained),
             Err(r) => {
-                let disjuncts_contained = proven.len();
                 let partial_plan = (!proven.is_empty())
                     .then(|| Ucq::new(proven).expect("disjuncts share the query head"));
                 return Ok(Verdict::Unknown(Partial {
                     resource: r,
-                    disjuncts_contained,
+                    disjuncts_proven: proven_ix,
                     disjuncts_total: total,
                     partial_plan,
                 }));

@@ -138,6 +138,22 @@ counters! {
     CanonicalDbTuples => "canonical_db_tuples",
     /// Rules produced by expansion (P ↦ P^exp).
     ExpansionRules => "expansion_rules",
+    /// Requests admitted into the serve queue.
+    ServeAdmitted => "serve_admitted",
+    /// Requests shed because the admission queue was full.
+    ServeShed => "serve_shed",
+    /// Requests that ran to a verdict (definite or Unknown).
+    ServeCompleted => "serve_completed",
+    /// Requests executed at a degraded ladder tier (below Full).
+    ServeDegradedRuns => "serve_degraded_runs",
+    /// Requests resumed from a checkpoint instead of restarting.
+    ServeResumed => "serve_resumed",
+    /// Worker threads restarted after a panic.
+    ServeWorkerRestarts => "serve_worker_restarts",
+    /// Degradation-ladder steps down (toward cheaper tiers).
+    ServeTierDowngrades => "serve_tier_downgrades",
+    /// Degradation-ladder steps back up (toward Full).
+    ServeTierUpgrades => "serve_tier_upgrades",
 }
 
 impl std::fmt::Display for Counter {
@@ -151,9 +167,19 @@ impl std::fmt::Display for Counter {
 /// All operations use `Ordering::Relaxed`: totals are exact because every
 /// update is an atomic RMW, only cross-counter ordering is unspecified —
 /// fine for metrics.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Counters {
     slots: [AtomicU64; Counter::COUNT],
+}
+
+// Derived `Default` relies on the stdlib's array impls, which stop at 32
+// elements; build the slot array explicitly instead.
+impl Default for Counters {
+    fn default() -> Counters {
+        Counters {
+            slots: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 impl Counters {

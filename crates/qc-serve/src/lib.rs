@@ -1,0 +1,1246 @@
+//! qc-serve: a supervised containment service.
+//!
+//! The layer between the anytime decision procedures
+//! ([`qc_mediator::relative`] under [`qc_guard`]) and a long-running
+//! deployment: relative containment is Π₂ᵖ-hard (Thm 3.3), so any
+//! per-request limit *will* trip on adversarial or merely large inputs,
+//! and the service has to stay up and useful anyway. Three mechanisms:
+//!
+//! * **Admission control** — a bounded queue that sheds load explicitly
+//!   ([`ServiceError::ShedUnderLoad`]) instead of queueing to death, plus
+//!   a [`CapacityModel`] deriving each request's work-unit grant from the
+//!   queue depth and a global budget pool.
+//! * **Degradation ladder** ([`ladder`]) — repeated resource trips step
+//!   the service down from full Thm 3.1 enumeration to a budget-capped
+//!   sequential run to a MiniCon-only sound under-approximation; definite
+//!   answers step it back up. The active [`ladder::Tier`] is reported in
+//!   every [`Response`].
+//! * **Resumable verdicts** ([`checkpoint`]) — an `Unknown` response
+//!   carries a [`checkpoint::Checkpoint`] of the disjuncts already
+//!   proven, and a retry hands it back so the per-disjunct loop continues
+//!   where it stopped. Resumed runs reach exactly the verdict a one-shot
+//!   unlimited run would (differentially tested).
+//!
+//! [`ServeCore`] is the threadless, deterministic engine (used directly
+//! by the REPL and benchmarks); [`Service`] wraps it with worker threads,
+//! the admission queue, and panic supervision. Every admitted request
+//! gets a [`Response`] or a typed [`ServiceError`] — never silence.
+
+pub mod checkpoint;
+pub mod ladder;
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use qc_containment::engine::{self, EngineOptions};
+use qc_datalog::{ConjunctiveQuery, Program, Symbol, Ucq};
+use qc_guard::{FaultPlan, Guard, ResourceError};
+use qc_mediator::expansion::expand_cq;
+use qc_mediator::minicon::minicon_rewritings;
+use qc_mediator::relative::{relatively_contained_verdict_resume, Partial, RelativeError, Verdict};
+use qc_mediator::schema::LavSetting;
+use qc_obs::{Counter, Counters};
+
+pub use checkpoint::Checkpoint;
+pub use ladder::{DegradationController, Tier};
+
+/// Guard stage name for limits imposed by the service itself (synthetic
+/// resource provenance on under-approximated answers).
+pub const STAGE: &str = "serve";
+
+// ---------------------------------------------------------------------------
+// Errors, requests, responses
+// ---------------------------------------------------------------------------
+
+/// Why a request did not get a verdict. The taxonomy is the service's
+/// contract: every admitted request ends in a [`Response`] or exactly one
+/// of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Refused before running: the service is draining, or the input is
+    /// outside the decidable classes (the payload says which).
+    Rejected(String),
+    /// The admission queue was full; the request was never admitted.
+    ShedUnderLoad {
+        /// Queue length observed at the shed.
+        queue_len: usize,
+    },
+    /// The request waited in the queue longer than its queue timeout.
+    Timeout {
+        /// How long it waited before being abandoned.
+        waited_ms: u64,
+    },
+    /// The worker running the request panicked, and so did the one retry;
+    /// the request is isolated as poisoned rather than retried forever.
+    WorkerLost(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Rejected(why) => write!(f, "rejected: {why}"),
+            ServiceError::ShedUnderLoad { queue_len } => {
+                write!(f, "shed under load (queue length {queue_len})")
+            }
+            ServiceError::Timeout { waited_ms } => {
+                write!(f, "timed out in queue after {waited_ms} ms")
+            }
+            ServiceError::WorkerLost(why) => write!(f, "worker lost: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One containment question: is `Q1 ⊑_V Q2` for the service's views?
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The (candidate) contained query.
+    pub q1: Program,
+    /// Its answer predicate.
+    pub ans1: Symbol,
+    /// The containing query.
+    pub q2: Program,
+    /// Its answer predicate.
+    pub ans2: Symbol,
+    /// Explicit work-unit budget, overriding the capacity model's grant.
+    pub budget: Option<u64>,
+    /// Per-run wall-clock limit, overriding the service default.
+    pub timeout: Option<Duration>,
+    /// Checkpoint from a previous `Unknown` answer to resume from.
+    pub checkpoint: Option<Checkpoint>,
+    /// Deterministic fault to inject (chaos harness only).
+    pub fault: Option<FaultPlan>,
+}
+
+impl Request {
+    /// A plain request with no overrides.
+    pub fn new(q1: Program, ans1: Symbol, q2: Program, ans2: Symbol) -> Request {
+        Request {
+            q1,
+            ans1,
+            q2,
+            ans2,
+            budget: None,
+            timeout: None,
+            checkpoint: None,
+            fault: None,
+        }
+    }
+
+    /// Deterministic fingerprint of `(Q1, ans1, Q2, ans2, V)`, the key
+    /// that scopes a [`Checkpoint`] to the request that produced it. The
+    /// hash is over the rendered programs and view definitions, so
+    /// textually identical requests fingerprint equal regardless of how
+    /// they were built.
+    pub fn fingerprint(&self, views: &LavSetting) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.q1.to_string().hash(&mut h);
+        self.ans1.as_str().hash(&mut h);
+        self.q2.to_string().hash(&mut h);
+        self.ans2.as_str().hash(&mut h);
+        for s in &views.sources {
+            s.to_string().hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// A served verdict plus the provenance a caller needs to interpret and
+/// retry it.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The anytime answer.
+    pub verdict: Verdict,
+    /// The ladder tier that produced it. Degraded tiers are still sound:
+    /// `Contained`/`NotContained` at any tier agree with the unlimited
+    /// oracle (see the module docs of [`ladder`]).
+    pub tier: Tier,
+    /// Whether the run continued from a request checkpoint.
+    pub resumed: bool,
+    /// Work units consumed by this run.
+    pub consumed: u64,
+    /// Resume token, present when the verdict is `Unknown` and the run
+    /// got far enough to have per-disjunct progress worth keeping.
+    pub checkpoint: Option<Checkpoint>,
+}
+
+/// Coarse service health, derived from the ladder and queue state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Serving at the full tier.
+    Healthy,
+    /// Serving, but the ladder has stepped below [`Tier::Full`].
+    Degraded,
+    /// No longer admitting; queued work is being finished.
+    Draining,
+}
+
+impl Health {
+    /// Stable lower-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Draining => "draining",
+        }
+    }
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Capacity model
+// ---------------------------------------------------------------------------
+
+/// Derives per-request work-unit grants from a global budget pool and the
+/// observed queue depth: a request admitted to an idle service may spend
+/// the whole remaining pool; one admitted behind `d` waiters gets
+/// `remaining / (d + 1)`, never less than the configured floor. Consumed
+/// units are settled back against the pool, so sustained load tightens
+/// grants gradually instead of cutting anyone off outright — the floor
+/// guarantees every admitted request can still make progress (the ladder,
+/// not the pool, is what handles chronic overload).
+#[derive(Debug)]
+pub struct CapacityModel {
+    pool: AtomicU64,
+    min_budget: u64,
+}
+
+impl CapacityModel {
+    /// A pool of `pool` work units with a per-request floor of
+    /// `min_budget` (clamped to at least 1).
+    pub fn new(pool: u64, min_budget: u64) -> CapacityModel {
+        CapacityModel {
+            pool: AtomicU64::new(pool),
+            min_budget: min_budget.max(1),
+        }
+    }
+
+    /// Unspent units in the pool.
+    pub fn remaining(&self) -> u64 {
+        self.pool.load(Ordering::Relaxed)
+    }
+
+    /// The per-request grant floor.
+    pub fn min_budget(&self) -> u64 {
+        self.min_budget
+    }
+
+    /// The work-unit grant for a request admitted with `depth` others
+    /// waiting behind it.
+    pub fn grant(&self, depth: usize) -> u64 {
+        (self.remaining() / (depth as u64 + 1)).max(self.min_budget)
+    }
+
+    /// Settles `consumed` units against the pool (saturating at zero).
+    pub fn settle(&self, consumed: u64) {
+        let _ = self
+            .pool
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(consumed))
+            });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for [`ServeCore`] / [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads ([`Service`] only).
+    pub workers: usize,
+    /// Admission-queue capacity; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Global work-unit budget pool (see [`CapacityModel`]).
+    pub pool: u64,
+    /// Per-request grant floor.
+    pub min_budget: u64,
+    /// At [`Tier::Bounded`], grants are divided by this (still floored at
+    /// `min_budget`).
+    pub bounded_divisor: u64,
+    /// Default per-run wall-clock limit (requests may override).
+    pub default_timeout: Option<Duration>,
+    /// How long a request may wait in the queue before it is answered
+    /// with [`ServiceError::Timeout`] instead of running.
+    pub queue_timeout: Option<Duration>,
+    /// Consecutive resource trips before the ladder steps down.
+    pub trip_threshold: u32,
+    /// Consecutive definite answers before it steps back up.
+    pub recover_threshold: u32,
+    /// Start with workers paused (deterministic queue tests).
+    pub start_paused: bool,
+    /// Engine configuration for [`Tier::Full`] runs. Defaults to the
+    /// sequential optimized engine: service-level parallelism comes from
+    /// workers, and sequential runs keep verdicts (and checkpoints)
+    /// deterministic per request.
+    pub engine: EngineOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            pool: 1 << 22,
+            min_budget: 4096,
+            bounded_divisor: 4,
+            default_timeout: None,
+            queue_timeout: None,
+            trip_threshold: 3,
+            recover_threshold: 3,
+            start_paused: false,
+            engine: EngineOptions::sequential(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter sink
+// ---------------------------------------------------------------------------
+
+/// A [`qc_obs::Recorder`] that folds counters into a shared bank and
+/// ignores spans. This is what worker threads install: the span tree of
+/// [`qc_obs::PipelineRecorder`] assumes one thread, but counter totals
+/// aggregate safely from any number of them.
+pub struct CounterSink(pub Arc<Counters>);
+
+impl qc_obs::Recorder for CounterSink {
+    fn count(&self, c: Counter, n: u64) {
+        self.0.add(c, n);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ServeCore — the deterministic, threadless engine
+// ---------------------------------------------------------------------------
+
+/// A point-in-time view of the service's counters and ladder state.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Derived health (see [`Health`]).
+    pub health: Health,
+    /// Active ladder tier.
+    pub tier: Tier,
+    /// Requests waiting in the admission queue (0 for a bare core).
+    pub queue_len: usize,
+    /// Unspent units in the budget pool.
+    pub pool_remaining: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Requests that ran to a verdict.
+    pub completed: u64,
+    /// Requests resumed from a checkpoint.
+    pub resumed: u64,
+    /// Runs executed below [`Tier::Full`].
+    pub degraded_runs: u64,
+    /// Worker panics recovered by supervision.
+    pub worker_restarts: u64,
+    /// Ladder steps down.
+    pub tier_downgrades: u64,
+    /// Ladder steps up.
+    pub tier_upgrades: u64,
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "health: {}", self.health)?;
+        writeln!(f, "tier: {}", self.tier)?;
+        writeln!(f, "queue: {} waiting", self.queue_len)?;
+        writeln!(f, "pool: {} units remaining", self.pool_remaining)?;
+        writeln!(
+            f,
+            "requests: {} admitted, {} shed, {} completed, {} resumed",
+            self.admitted, self.shed, self.completed, self.resumed
+        )?;
+        write!(
+            f,
+            "ladder: {} degraded runs, {} down / {} up; {} worker restarts",
+            self.degraded_runs, self.tier_downgrades, self.tier_upgrades, self.worker_restarts
+        )
+    }
+}
+
+/// The deterministic heart of the service: capacity model, degradation
+/// ladder, resumption, and the per-tier decision procedures — everything
+/// except threads and queues. The REPL and benchmarks drive a bare core;
+/// [`Service`] drives one from supervised workers.
+pub struct ServeCore {
+    views: LavSetting,
+    cfg: ServeConfig,
+    capacity: CapacityModel,
+    ladder: Mutex<DegradationController>,
+    counters: Arc<Counters>,
+}
+
+impl ServeCore {
+    /// A core serving containment over `views`.
+    pub fn new(views: LavSetting, cfg: ServeConfig) -> ServeCore {
+        let capacity = CapacityModel::new(cfg.pool, cfg.min_budget);
+        let ladder = Mutex::new(DegradationController::new(
+            cfg.trip_threshold,
+            cfg.recover_threshold,
+        ));
+        ServeCore {
+            views,
+            cfg,
+            capacity,
+            ladder,
+            counters: Arc::new(Counters::new()),
+        }
+    }
+
+    /// The views this core serves against.
+    pub fn views(&self) -> &LavSetting {
+        &self.views
+    }
+
+    /// The shared counter bank (serve-level counters always land here;
+    /// engine counters do too when a [`CounterSink`] over it is
+    /// installed, as [`Service`] workers do).
+    pub fn counters(&self) -> &Arc<Counters> {
+        &self.counters
+    }
+
+    /// The active ladder tier.
+    pub fn tier(&self) -> Tier {
+        self.ladder().tier()
+    }
+
+    /// Stats snapshot (queue length 0 — a bare core has no queue).
+    pub fn stats(&self) -> ServeStats {
+        let tier = self.tier();
+        let c = |ctr| self.counters.get(ctr);
+        ServeStats {
+            health: if tier.degraded() {
+                Health::Degraded
+            } else {
+                Health::Healthy
+            },
+            tier,
+            queue_len: 0,
+            pool_remaining: self.capacity.remaining(),
+            admitted: c(Counter::ServeAdmitted),
+            shed: c(Counter::ServeShed),
+            completed: c(Counter::ServeCompleted),
+            resumed: c(Counter::ServeResumed),
+            degraded_runs: c(Counter::ServeDegradedRuns),
+            worker_restarts: c(Counter::ServeWorkerRestarts),
+            tier_downgrades: c(Counter::ServeTierDowngrades),
+            tier_upgrades: c(Counter::ServeTierUpgrades),
+        }
+    }
+
+    /// Locks the ladder, recovering from poisoning: a worker panicking
+    /// mid-update leaves the controller's counters merely stale, and a
+    /// poisoned lock must not take the whole service down with it.
+    fn ladder(&self) -> MutexGuard<'_, DegradationController> {
+        self.ladder
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Whether the MiniCon tier's soundness argument applies to this
+    /// request: both queries nonrecursive and everything comparison-free
+    /// (the semi-interval MiniCon variant exists, but its soundness story
+    /// under *relative* containment is exactly what the full tiers are
+    /// for). Unsupported requests run with [`Tier::Bounded`] semantics
+    /// instead.
+    fn minicon_supported(&self, req: &Request) -> bool {
+        !req.q1.has_comparisons()
+            && !req.q2.has_comparisons()
+            && self.views.is_comparison_free()
+            && !req
+                .q1
+                .dependency_graph()
+                .pred_in_cycle_reachable_from(&req.ans1)
+            && !req
+                .q2
+                .dependency_graph()
+                .pred_in_cycle_reachable_from(&req.ans2)
+    }
+
+    /// Decides one request at the active tier. `depth` is the number of
+    /// requests queued behind it (0 when called directly) and shapes the
+    /// capacity grant. `Err` is only [`ServiceError::Rejected`] here —
+    /// queue-level errors belong to [`Service`], and panics propagate to
+    /// the caller's supervision.
+    pub fn handle(&self, req: &Request, depth: usize) -> Result<Response, ServiceError> {
+        let fingerprint = req.fingerprint(&self.views);
+        let mut proven_before: Vec<usize> = Vec::new();
+        let mut resumed = false;
+        if let Some(cp) = &req.checkpoint {
+            if cp.fingerprint == fingerprint {
+                // The disjunct count is re-validated implicitly: the
+                // resume loop ignores out-of-range indices.
+                proven_before = cp.proven.clone();
+                resumed = true;
+                self.counters.add(Counter::ServeResumed, 1);
+            }
+        }
+
+        let tier = self.ladder().tier();
+        let grant = match req.budget {
+            Some(b) => b,
+            None => {
+                let g = self.capacity.grant(depth);
+                if tier == Tier::Bounded {
+                    (g / self.cfg.bounded_divisor.max(1)).max(self.capacity.min_budget())
+                } else {
+                    g
+                }
+            }
+        };
+        let mut guard = Guard::unlimited().with_budget(grant);
+        if let Some(t) = req.timeout.or(self.cfg.default_timeout) {
+            guard = guard.with_timeout(t);
+        }
+        if let Some(f) = req.fault {
+            guard = guard.with_fault(f);
+        }
+
+        let outcome = if tier == Tier::MiniconOnly && self.minicon_supported(req) {
+            engine::with_options(EngineOptions::sequential(), || {
+                qc_guard::with_guard(&guard, || self.minicon_verdict(req, grant))
+            })
+        } else {
+            let opts = if tier == Tier::Full {
+                self.cfg.engine
+            } else {
+                EngineOptions::sequential()
+            };
+            engine::with_options(opts, || {
+                qc_guard::with_guard(&guard, || {
+                    relatively_contained_verdict_resume(
+                        &req.q1,
+                        &req.ans1,
+                        &req.q2,
+                        &req.ans2,
+                        &self.views,
+                        &proven_before,
+                    )
+                })
+            })
+        };
+        self.capacity.settle(guard.consumed());
+
+        let verdict = match outcome {
+            Ok(v) => v,
+            Err(e) => return Err(ServiceError::Rejected(e.to_string())),
+        };
+        self.counters.add(Counter::ServeCompleted, 1);
+        if tier.degraded() {
+            self.counters.add(Counter::ServeDegradedRuns, 1);
+        }
+        let step = match &verdict {
+            Verdict::Unknown(_) => self
+                .ladder()
+                .on_resource_trip()
+                .map(|t| (Counter::ServeTierDowngrades, t)),
+            _ => self
+                .ladder()
+                .on_definite()
+                .map(|t| (Counter::ServeTierUpgrades, t)),
+        };
+        if let Some((ctr, _)) = step {
+            self.counters.add(ctr, 1);
+        }
+
+        let checkpoint = match &verdict {
+            // The MiniCon tier reports `disjuncts_total: 0` (its indices
+            // live in a different space than the plan's), so this arm
+            // only fires for resumable per-disjunct progress.
+            Verdict::Unknown(p) if p.disjuncts_total > 0 => Some(Checkpoint {
+                fingerprint,
+                disjuncts_total: p.disjuncts_total,
+                proven: p.disjuncts_proven.clone(),
+                memo_resident: qc_containment::memo::resident(),
+            }),
+            _ => None,
+        };
+        Ok(Response {
+            verdict,
+            tier,
+            resumed,
+            consumed: guard.consumed(),
+            checkpoint,
+        })
+    }
+
+    /// The bottom-tier procedure: MiniCon rewritings as a sound
+    /// under-approximation of the maximally-contained plan.
+    ///
+    /// Soundness of `NotContained`: each surviving rewriting `rw` is
+    /// sound (`rw^exp ⊆ Q1` — MiniCon's own filter), hence contained in
+    /// the maximally-contained plan `MCP`, and expansion preserves
+    /// containment, so `rw^exp ⊆ MCP^exp`. If some `rw^exp ⊄ Q2` then
+    /// `MCP^exp ⊄ Q2`, which by Thm 3.1 is exactly `Q1 ⋢_V Q2`.
+    ///
+    /// Incompleteness: all rewritings passing proves nothing — the
+    /// under-approximation may simply be missing the disjunct that
+    /// escapes `Q2` — so the answer is `Unknown` (with the checked
+    /// rewritings as the sound partial plan), never `Contained`.
+    fn minicon_verdict(&self, req: &Request, grant: u64) -> Result<Verdict, RelativeError> {
+        let u1 = req.q1.unfold(&req.ans1)?;
+        let u2 = req.q2.unfold(&req.ans2)?;
+        let mut sound: Vec<ConjunctiveQuery> = Vec::new();
+        let run = qc_guard::guarded(|| -> Result<bool, RelativeError> {
+            for d in &u1.disjuncts {
+                let rewritings = minicon_rewritings(d, &self.views);
+                for rw in rewritings.disjuncts {
+                    let exp = expand_cq(&rw, &self.views).ok_or_else(|| {
+                        RelativeError::Unsupported("rewriting does not expand".into())
+                    })?;
+                    if !qc_containment::cq_contained_in_ucq(&exp, &u2) {
+                        return Ok(false);
+                    }
+                    sound.push(rw);
+                }
+            }
+            Ok(true)
+        });
+        let resource = match run {
+            Ok(Ok(false)) => return Ok(Verdict::NotContained),
+            Ok(Err(e)) => return Err(e),
+            // Exhausted without a refutation: synthesize "the service's
+            // under-approximation stopped here" provenance.
+            Ok(Ok(true)) => ResourceError::budget(
+                STAGE,
+                qc_guard::current().map_or(0, |g| g.consumed()),
+                grant,
+            ),
+            // A genuine limit tripped mid-scan.
+            Err(r) => r,
+        };
+        let partial_plan = if sound.is_empty() {
+            None
+        } else {
+            Ucq::new(sound).ok()
+        };
+        Ok(Verdict::Unknown(Partial {
+            resource,
+            disjuncts_proven: Vec::new(),
+            disjuncts_total: 0,
+            partial_plan,
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Service — queue, workers, supervision
+// ---------------------------------------------------------------------------
+
+struct Job {
+    req: Request,
+    enqueued: Instant,
+    queue_timeout: Option<Duration>,
+    reply: mpsc::Sender<Result<Response, ServiceError>>,
+}
+
+struct QueueShared {
+    jobs: Mutex<VecDeque<Job>>,
+    cond: Condvar,
+    capacity: usize,
+    paused: AtomicBool,
+    draining: AtomicBool,
+}
+
+impl QueueShared {
+    fn jobs(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A pending answer; [`Ticket::wait`] blocks until the worker replies.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Response, ServiceError>>,
+}
+
+impl Ticket {
+    /// Blocks for the verdict. A closed channel (the service was torn
+    /// down so hard even drain replies were lost) maps to
+    /// [`ServiceError::WorkerLost`] — the caller always gets *something*.
+    pub fn wait(self) -> Result<Response, ServiceError> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(ServiceError::WorkerLost("reply channel closed".into())))
+    }
+}
+
+/// The supervised, multi-worker service: a [`ServeCore`] behind a bounded
+/// admission queue and panic-isolated worker threads. Dropping (or
+/// [`Service::shutdown`]) drains: no new admissions, queued requests
+/// still get answers, workers are joined.
+pub struct Service {
+    core: Arc<ServeCore>,
+    shared: Arc<QueueShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts `cfg.workers` worker threads over a fresh core.
+    pub fn start(views: LavSetting, cfg: ServeConfig) -> Service {
+        let start_paused = cfg.start_paused;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(QueueShared {
+            jobs: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            capacity: cfg.queue_capacity.max(1),
+            paused: AtomicBool::new(start_paused),
+            draining: AtomicBool::new(false),
+        });
+        let core = Arc::new(ServeCore::new(views, cfg));
+        let handles = (0..workers)
+            .map(|_| {
+                let core = Arc::clone(&core);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(core, shared))
+            })
+            .collect();
+        Service {
+            core,
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// The underlying core (counters, tier, views).
+    pub fn core(&self) -> &Arc<ServeCore> {
+        &self.core
+    }
+
+    /// Non-blocking admission: sheds when the queue is full, rejects when
+    /// draining.
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServiceError> {
+        self.admit(req, false)
+    }
+
+    /// Blocking admission for batch callers: waits for queue room instead
+    /// of shedding (still rejects when draining). Note that a paused
+    /// service never makes room.
+    pub fn submit_wait(&self, req: Request) -> Result<Ticket, ServiceError> {
+        self.admit(req, true)
+    }
+
+    fn admit(&self, req: Request, wait_for_room: bool) -> Result<Ticket, ServiceError> {
+        let counters = self.core.counters();
+        let mut jobs = self.shared.jobs();
+        loop {
+            if self.shared.draining.load(Ordering::SeqCst) {
+                return Err(ServiceError::Rejected("service is draining".into()));
+            }
+            if jobs.len() < self.shared.capacity {
+                break;
+            }
+            if !wait_for_room {
+                counters.add(Counter::ServeShed, 1);
+                return Err(ServiceError::ShedUnderLoad {
+                    queue_len: jobs.len(),
+                });
+            }
+            let (guard, _) = self
+                .shared
+                .cond
+                .wait_timeout(jobs, Duration::from_millis(50))
+                .unwrap_or_else(|e| {
+                    let (g, t) = e.into_inner();
+                    (g, t)
+                });
+            jobs = guard;
+        }
+        let (tx, rx) = mpsc::channel();
+        jobs.push_back(Job {
+            req,
+            enqueued: Instant::now(),
+            queue_timeout: None,
+            reply: tx,
+        });
+        counters.add(Counter::ServeAdmitted, 1);
+        drop(jobs);
+        self.shared.cond.notify_all();
+        Ok(Ticket { rx })
+    }
+
+    /// Submits every request (blocking for queue room) and waits for all
+    /// answers, preserving order.
+    pub fn run_batch(&self, reqs: Vec<Request>) -> Vec<Result<Response, ServiceError>> {
+        let tickets: Vec<Result<Ticket, ServiceError>> =
+            reqs.into_iter().map(|r| self.submit_wait(r)).collect();
+        tickets
+            .into_iter()
+            .map(|t| t.and_then(Ticket::wait))
+            .collect()
+    }
+
+    /// Pauses workers (they stop popping; admission continues). With a
+    /// bounded queue this makes shedding deterministic for tests.
+    pub fn pause(&self) {
+        self.shared.paused.store(true, Ordering::SeqCst);
+    }
+
+    /// Resumes paused workers.
+    pub fn unpause(&self) {
+        self.shared.paused.store(false, Ordering::SeqCst);
+        self.shared.cond.notify_all();
+    }
+
+    /// Stops admitting new requests; queued ones still run to answers.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.paused.store(false, Ordering::SeqCst);
+        self.shared.cond.notify_all();
+    }
+
+    /// Derived health: draining beats degraded beats healthy.
+    pub fn health(&self) -> Health {
+        if self.shared.draining.load(Ordering::SeqCst) {
+            Health::Draining
+        } else if self.core.tier().degraded() {
+            Health::Degraded
+        } else {
+            Health::Healthy
+        }
+    }
+
+    /// Stats snapshot including live queue length and health.
+    pub fn stats(&self) -> ServeStats {
+        let mut s = self.core.stats();
+        s.queue_len = self.shared.jobs().len();
+        s.health = self.health();
+        s
+    }
+
+    /// Drains and joins the workers.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.begin_drain();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Sets the per-job queue timeout at admission time. Kept as a free
+/// function on [`Request`]-level config instead: the service default is
+/// applied by the worker when it pops the job.
+fn waited_too_long(job: &Job, default: Option<Duration>) -> Option<u64> {
+    let limit = job.queue_timeout.or(default)?;
+    let waited = job.enqueued.elapsed();
+    (waited > limit).then_some(waited.as_millis() as u64)
+}
+
+fn worker_loop(core: Arc<ServeCore>, shared: Arc<QueueShared>) {
+    // Engine counters from this thread aggregate into the core's bank.
+    let _rec = qc_obs::install(Arc::new(CounterSink(Arc::clone(core.counters()))));
+    let queue_default = core.cfg.queue_timeout;
+    loop {
+        let (job, depth) = {
+            let mut jobs = shared.jobs();
+            loop {
+                if !shared.paused.load(Ordering::SeqCst) {
+                    if let Some(j) = jobs.pop_front() {
+                        let depth = jobs.len();
+                        drop(jobs);
+                        // Wake blocked submit_wait callers: there is room.
+                        shared.cond.notify_all();
+                        break (j, depth);
+                    }
+                    if shared.draining.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                // Timed wait so a missed notify can never hang a drain.
+                let (guard, _) = shared
+                    .cond
+                    .wait_timeout(jobs, Duration::from_millis(50))
+                    .unwrap_or_else(|e| {
+                        let (g, t) = e.into_inner();
+                        (g, t)
+                    });
+                jobs = guard;
+            }
+        };
+        let reply = match waited_too_long(&job, queue_default) {
+            Some(waited_ms) => Err(ServiceError::Timeout { waited_ms }),
+            None => run_supervised(&core, &job.req, depth),
+        };
+        // A dropped ticket just discards the answer; never an error.
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Runs one request with panic isolation: a panicking run is retried once
+/// on the (logically restarted) worker; a second panic isolates the
+/// request as poisoned with [`ServiceError::WorkerLost`] instead of
+/// retrying forever — deterministic panics would otherwise wedge the
+/// service on one request.
+fn run_supervised(core: &ServeCore, req: &Request, depth: usize) -> Result<Response, ServiceError> {
+    match catch_unwind(AssertUnwindSafe(|| core.handle(req, depth))) {
+        Ok(r) => r,
+        Err(_) => {
+            core.counters().add(Counter::ServeWorkerRestarts, 1);
+            match catch_unwind(AssertUnwindSafe(|| core.handle(req, depth))) {
+                Ok(r) => r,
+                Err(p) => Err(ServiceError::WorkerLost(panic_message(p.as_ref()))),
+            }
+        }
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_datalog::parse_program;
+    use qc_guard::FaultKind;
+    use qc_mediator::schema::example1_sources;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+
+    fn q1_prog() -> Program {
+        parse_program(
+            "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
+        )
+        .unwrap()
+    }
+
+    fn q2_prog() -> Program {
+        parse_program(
+            "q2(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).",
+        )
+        .unwrap()
+    }
+
+    fn contained_request() -> Request {
+        Request::new(q1_prog(), sym("q1"), q2_prog(), sym("q2"))
+    }
+
+    /// Comparison-free setting where the MiniCon tier applies: one view
+    /// exposes edges, q_far needs a 2-hop path, q_near a 1-hop one.
+    fn chain_setting() -> (LavSetting, Request) {
+        let views = LavSetting::parse(&["v(X, Y) :- e(X, Y)."]).unwrap();
+        let far = parse_program("qf(X, Z) :- e(X, Y), e(Y, Z).").unwrap();
+        let near = parse_program("qn(X, Z) :- e(X, Z).").unwrap();
+        (views, Request::new(far, sym("qf"), near, sym("qn")))
+    }
+
+    #[test]
+    fn capacity_grant_divides_and_floors() {
+        let cap = CapacityModel::new(1000, 10);
+        assert_eq!(cap.grant(0), 1000);
+        assert_eq!(cap.grant(3), 250);
+        assert_eq!(cap.grant(999), 10, "floored at min_budget");
+        cap.settle(600);
+        assert_eq!(cap.remaining(), 400);
+        cap.settle(1_000_000);
+        assert_eq!(cap.remaining(), 0, "saturates at zero");
+        assert_eq!(cap.grant(0), 10, "exhausted pool still grants the floor");
+    }
+
+    #[test]
+    fn core_decides_contained_at_full_tier() {
+        let core = ServeCore::new(example1_sources(), ServeConfig::default());
+        let resp = core.handle(&contained_request(), 0).unwrap();
+        assert_eq!(resp.verdict, Verdict::Contained);
+        assert_eq!(resp.tier, Tier::Full);
+        assert!(!resp.resumed);
+        assert!(resp.checkpoint.is_none());
+        assert!(resp.consumed > 0);
+        let stats = core.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.health, Health::Healthy);
+    }
+
+    #[test]
+    fn tiny_budget_yields_checkpoint_and_resume_finishes() {
+        let core = ServeCore::new(example1_sources(), ServeConfig::default());
+        // Find a budget that lands between the disjunct checks so the
+        // checkpoint carries partial progress.
+        let mut cp = None;
+        for budget in 1..5_000 {
+            let mut req = contained_request();
+            req.budget = Some(budget);
+            let resp = core.handle(&req, 0).unwrap();
+            if let Verdict::Unknown(p) = &resp.verdict {
+                if !p.disjuncts_proven.is_empty() {
+                    cp = resp.checkpoint.clone();
+                    break;
+                }
+            }
+        }
+        let cp = cp.expect("some budget trips mid-plan");
+        assert!(!cp.proven.is_empty());
+
+        let mut retry = contained_request();
+        retry.checkpoint = Some(cp);
+        let resp = core.handle(&retry, 0).unwrap();
+        assert!(resp.resumed);
+        assert_eq!(
+            resp.verdict,
+            Verdict::Contained,
+            "resumed run reaches the one-shot verdict"
+        );
+        assert!(core.stats().resumed >= 1);
+    }
+
+    #[test]
+    fn foreign_checkpoint_is_ignored() {
+        let core = ServeCore::new(example1_sources(), ServeConfig::default());
+        let mut req = contained_request();
+        req.checkpoint = Some(Checkpoint {
+            fingerprint: 12345, // wrong on purpose
+            disjuncts_total: 2,
+            proven: vec![0, 1],
+            memo_resident: 0,
+        });
+        let resp = core.handle(&req, 0).unwrap();
+        assert!(!resp.resumed, "fingerprint mismatch must not resume");
+        assert_eq!(resp.verdict, Verdict::Contained);
+    }
+
+    #[test]
+    fn ladder_steps_down_on_trips_and_reports_tier() {
+        let cfg = ServeConfig {
+            trip_threshold: 1,
+            recover_threshold: 2,
+            ..ServeConfig::default()
+        };
+        let core = ServeCore::new(example1_sources(), cfg);
+        let mut starved = contained_request();
+        starved.budget = Some(1);
+        let r1 = core.handle(&starved, 0).unwrap();
+        assert_eq!(r1.tier, Tier::Full);
+        assert!(matches!(r1.verdict, Verdict::Unknown(_)));
+        assert_eq!(core.tier(), Tier::Bounded);
+        let r2 = core.handle(&starved, 0).unwrap();
+        assert_eq!(r2.tier, Tier::Bounded);
+        assert_eq!(core.tier(), Tier::MiniconOnly);
+        let stats = core.stats();
+        assert_eq!(stats.tier_downgrades, 2);
+        assert_eq!(stats.degraded_runs, 1);
+        assert_eq!(stats.health, Health::Degraded);
+
+        // Definite answers at the degraded tier climb back up.
+        let ok = contained_request();
+        for _ in 0..4 {
+            core.handle(&ok, 0).unwrap();
+        }
+        assert_eq!(core.tier(), Tier::Full);
+        assert!(core.stats().tier_upgrades >= 2);
+    }
+
+    #[test]
+    fn minicon_tier_is_sound_never_contained() {
+        let cfg = ServeConfig {
+            trip_threshold: 1,
+            ..ServeConfig::default()
+        };
+        let (views, not_contained_req) = chain_setting();
+        let core = ServeCore::new(views, cfg);
+        // Drive the ladder to the bottom.
+        let mut starved = not_contained_req.clone();
+        starved.budget = Some(1);
+        core.handle(&starved, 0).unwrap();
+        core.handle(&starved, 0).unwrap();
+        assert_eq!(core.tier(), Tier::MiniconOnly);
+
+        // A true refutation is definite even at the bottom tier: the far
+        // query's sound plan (two view hops) expands outside the one-hop
+        // query.
+        let resp = core.handle(&not_contained_req, 0).unwrap();
+        assert_eq!(resp.tier, Tier::MiniconOnly);
+        assert_eq!(resp.verdict, Verdict::NotContained);
+
+        // A true containment is *not* claimed by the under-approximation:
+        // it answers Unknown with serve-stage provenance. (Reset the
+        // ladder first — the definite answer above started recovery.)
+        let (views, _) = chain_setting();
+        let core = ServeCore::new(
+            views,
+            ServeConfig {
+                trip_threshold: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let same = parse_program("qs(X, Y) :- e(X, Y).").unwrap();
+        let same2 = parse_program("qt(X, Y) :- e(X, Y).").unwrap();
+        let mut starved = Request::new(same.clone(), sym("qs"), same2.clone(), sym("qt"));
+        starved.budget = Some(1);
+        core.handle(&starved, 0).unwrap();
+        core.handle(&starved, 0).unwrap();
+        assert_eq!(core.tier(), Tier::MiniconOnly);
+        let resp = core
+            .handle(&Request::new(same, sym("qs"), same2, sym("qt")), 0)
+            .unwrap();
+        match resp.verdict {
+            Verdict::Unknown(p) => {
+                assert_eq!(p.resource.stage, STAGE);
+                assert!(p.partial_plan.is_some(), "sound rewritings are reported");
+                assert!(
+                    resp.checkpoint.is_none(),
+                    "minicon progress is not a checkpoint"
+                );
+            }
+            other => panic!("under-approximation must not decide {other:?}"),
+        }
+    }
+
+    #[test]
+    fn service_sheds_deterministically_when_paused() {
+        let cfg = ServeConfig {
+            workers: 2,
+            queue_capacity: 2,
+            start_paused: true,
+            ..ServeConfig::default()
+        };
+        let svc = Service::start(example1_sources(), cfg);
+        let mut tickets = Vec::new();
+        let mut shed = 0;
+        for _ in 0..5 {
+            match svc.submit(contained_request()) {
+                Ok(t) => tickets.push(t),
+                Err(ServiceError::ShedUnderLoad { queue_len }) => {
+                    assert_eq!(queue_len, 2);
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(tickets.len(), 2);
+        assert_eq!(shed, 3);
+        assert_eq!(svc.stats().shed, 3);
+        svc.unpause();
+        for t in tickets {
+            let resp = t.wait().expect("admitted requests complete");
+            assert_eq!(resp.verdict, Verdict::Contained);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.completed, 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn draining_rejects_but_finishes_queued_work() {
+        let cfg = ServeConfig {
+            workers: 1,
+            start_paused: true,
+            ..ServeConfig::default()
+        };
+        let svc = Service::start(example1_sources(), cfg);
+        let t = svc.submit(contained_request()).unwrap();
+        svc.begin_drain();
+        match svc.submit(contained_request()) {
+            Err(ServiceError::Rejected(_)) => {}
+            other => panic!("draining must reject, got {other:?}"),
+        }
+        assert_eq!(svc.health(), Health::Draining);
+        // begin_drain unpauses; the queued request still gets its answer.
+        let resp = t.wait().unwrap();
+        assert_eq!(resp.verdict, Verdict::Contained);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn injected_panic_is_supervised_and_answered() {
+        let cfg = ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        };
+        let svc = Service::start(example1_sources(), cfg);
+        let mut req = contained_request();
+        req.fault = Some(FaultPlan {
+            stage: qc_guard::stage::HOM_SEARCH,
+            at_tick: 1,
+            kind: FaultKind::Panic,
+        });
+        let reply = svc.submit(req).unwrap().wait();
+        // The guard (and its armed fault) is rebuilt per attempt, so a
+        // deterministic injected panic fires on the retry too and the
+        // request is isolated as poisoned — but *answered*, with restarts
+        // counted. A healthy request afterwards still succeeds.
+        match reply {
+            Err(ServiceError::WorkerLost(_)) => {}
+            other => panic!("expected WorkerLost, got {other:?}"),
+        }
+        assert!(svc.stats().worker_restarts >= 1);
+        let resp = svc.submit(contained_request()).unwrap().wait().unwrap();
+        assert_eq!(resp.verdict, Verdict::Contained);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn queue_timeout_answers_instead_of_running() {
+        let cfg = ServeConfig {
+            workers: 1,
+            start_paused: true,
+            queue_timeout: Some(Duration::from_millis(1)),
+            ..ServeConfig::default()
+        };
+        let svc = Service::start(example1_sources(), cfg);
+        let t = svc.submit(contained_request()).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        svc.unpause();
+        match t.wait() {
+            Err(ServiceError::Timeout { waited_ms }) => assert!(waited_ms >= 1),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn run_batch_preserves_order_without_shedding() {
+        let cfg = ServeConfig {
+            workers: 2,
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        };
+        let svc = Service::start(example1_sources(), cfg);
+        let reqs: Vec<Request> = (0..6).map(|_| contained_request()).collect();
+        let replies = svc.run_batch(reqs);
+        assert_eq!(replies.len(), 6);
+        for r in replies {
+            assert_eq!(r.unwrap().verdict, Verdict::Contained);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.shed, 0, "batch admission waits instead of shedding");
+        assert_eq!(stats.completed, 6);
+        svc.shutdown();
+    }
+}

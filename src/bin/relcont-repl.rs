@@ -28,7 +28,7 @@ use relcont::mediator::binding::reachable_certain_answers;
 use relcont::mediator::certain::{certain_answer_support, certain_answers};
 use relcont::mediator::relative::{
     explain_containment, max_contained_ucq_plan, relatively_contained_bp,
-    relatively_contained_verdict, relatively_contained_witness, Verdict,
+    relatively_contained_witness, Verdict,
 };
 use relcont::mediator::schema::{LavSetting, SourceDescription};
 
@@ -55,6 +55,9 @@ commands:
   :limit budget <units>   work-unit budget for subsequent commands
   :limit timeout <ms>     wall-clock deadline for subsequent commands
   :limit off              remove all resource limits
+  :serve-stats            service health, ladder tier, shed/resume counters
+                          (limited `check`s run through the qc-serve core;
+                          unknown verdicts are checkpointed and resumed)
   reset                   clear everything
   help                    this text
   quit                    exit";
@@ -66,6 +69,10 @@ struct Session {
     recorder: std::sync::Arc<qc_obs::PipelineRecorder>,
     limit_budget: Option<u64>,
     limit_timeout_ms: Option<u64>,
+    /// Embedded serve core for limited checks; rebuilt when views change.
+    serve: Option<relcont::serve::ServeCore>,
+    /// Resume tokens from `Unknown` verdicts, keyed by query-name pair.
+    serve_checkpoints: BTreeMap<(String, String), relcont::serve::Checkpoint>,
 }
 
 impl Session {
@@ -77,7 +84,28 @@ impl Session {
             recorder,
             limit_budget: None,
             limit_timeout_ms: None,
+            serve: None,
+            serve_checkpoints: BTreeMap::new(),
         }
+    }
+
+    /// The embedded serve core, rebuilt (with fresh ladder/counters and a
+    /// cleared checkpoint cache) whenever the views changed under it.
+    fn serve_core(&mut self) -> &relcont::serve::ServeCore {
+        if self
+            .serve
+            .as_ref()
+            .is_some_and(|c| c.views() != &self.views)
+        {
+            self.serve = None;
+            self.serve_checkpoints.clear();
+        }
+        self.serve.get_or_insert_with(|| {
+            relcont::serve::ServeCore::new(
+                self.views.clone(),
+                relcont::serve::ServeConfig::default(),
+            )
+        })
     }
 
     fn limited(&self) -> bool {
@@ -207,17 +235,43 @@ impl Session {
                         if holds { "\u{2291}" } else { "\u{22e2}" }
                     )))
                 } else if self.limited() {
-                    // Anytime path: report partial progress when a limit
-                    // stops the decision instead of a bare error.
-                    let verdict = relatively_contained_verdict(q1, &a1, q2, &a2, &self.views)
+                    // Anytime path, routed through the embedded serve
+                    // core: the session's `:limit` values become the
+                    // request's budget/timeout, unknown verdicts leave a
+                    // checkpoint behind, and a retry of the same pair
+                    // resumes from it instead of restarting.
+                    let (q1, q2) = (q1.clone(), q2.clone());
+                    let key = (n1.to_string(), n2.to_string());
+                    let mut req = relcont::serve::Request::new(q1, a1, q2, a2);
+                    req.budget = self.limit_budget;
+                    req.timeout = self.limit_timeout_ms.map(std::time::Duration::from_millis);
+                    req.checkpoint = self.serve_checkpoints.get(&key).cloned();
+                    let resp = self
+                        .serve_core()
+                        .handle(&req, 0)
                         .map_err(|e| e.to_string())?;
-                    let mut out = format!("{n1} vs {n2}: {verdict}");
-                    if let Verdict::Unknown(partial) = &verdict {
+                    let mut out = format!("{n1} vs {n2}: {}", resp.verdict);
+                    out.push_str(&format!(
+                        " [tier={}{}]",
+                        resp.tier,
+                        if resp.resumed { ", resumed" } else { "" }
+                    ));
+                    if let Verdict::Unknown(partial) = &resp.verdict {
                         if let Some(plan) = &partial.partial_plan {
                             out.push_str("\npartial plan proven contained so far:");
                             for d in &plan.disjuncts {
                                 out.push_str(&format!("\n{}", d.tidy_names().to_rule()));
                             }
+                        }
+                    }
+                    match (&resp.verdict, resp.checkpoint) {
+                        (Verdict::Unknown(_), Some(cp)) => {
+                            out.push_str("\ncheckpoint saved; rerun to resume");
+                            self.serve_checkpoints.insert(key, cp);
+                        }
+                        (Verdict::Unknown(_), None) => {}
+                        _ => {
+                            self.serve_checkpoints.remove(&key);
                         }
                     }
                     Ok(Some(out))
@@ -403,6 +457,16 @@ impl Session {
                     _ => Err("usage: :limit [budget <units> | timeout <ms> | off]".into()),
                 }
             }
+            ":serve-stats" | "serve-stats" => match &self.serve {
+                None => Ok(Some(
+                    "no serve activity yet (limited `check`s run through the serve core)".into(),
+                )),
+                Some(core) => Ok(Some(format!(
+                    "{}\ncheckpoints cached: {}",
+                    core.stats(),
+                    self.serve_checkpoints.len()
+                ))),
+            },
             ":stats" | "stats" => {
                 if rest == "reset" {
                     self.recorder.reset();

@@ -5,6 +5,7 @@
 //! relcont plan    --views FILE --query FILE [--ans P]
 //! relcont certain --views FILE --query FILE [--ans P] --instance FILE [--bp]
 //! relcont eval    --program FILE --data FILE --ans P
+//! relcont serve   --views FILE --queries FILE --jobs FILE [--workers N] ...
 //! ```
 //!
 //! Files hold datalog rules in the library's surface syntax. View files
@@ -88,6 +89,11 @@ usage:
                   (--instance FILE and/or --csv pred=file[,pred=file...]) [--bp]
   relcont eval    --program FILE --data FILE --ans P
   relcont validate --views FILE [--query FILE]
+  relcont serve   --views FILE --queries FILE --jobs FILE
+                  [--workers N] [--queue N] [--pool UNITS]
+                  (jobs file: one `ANS1 ANS2` pair per line; --budget and
+                   --timeout become per-request limits; exit 0 = all
+                   contained, 1 = some refuted, 3 = any undecided)
 observability (any command):
   --trace              print the per-stage pipeline tree to stderr
   --metrics-json PATH  write the pipeline report (spans + counters) as JSON
@@ -120,6 +126,7 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 "certain" => cmd_certain(&opts),
                 "eval" => cmd_eval(&opts),
                 "validate" => cmd_validate(&opts),
+                "serve" => cmd_serve(&opts),
                 other => Err(format!("unknown command {other:?}")),
             }) {
                 Ok(r) => r,
@@ -440,6 +447,140 @@ fn cmd_validate(flags: &Flags) -> Result<Outcome, String> {
         println!("query {ans}: safe and consistent with the schema");
     }
     Ok(Outcome::True)
+}
+
+/// Batch/daemon serving: runs a jobs file of containment questions
+/// through the supervised `qc-serve` service. All jobs share one query
+/// file (each `ANS1 ANS2` pair selects answer predicates from it) and the
+/// `--views` setting; `--budget`/`--timeout` become per-request limits
+/// instead of a process guard, and admission/capacity are governed by
+/// `--workers`, `--queue`, and `--pool`.
+fn cmd_serve(flags: &Flags) -> Result<Outcome, String> {
+    let views = load_views(flags.required("views")?)?;
+    let qpath = flags.required("queries")?;
+    let qtext = std::fs::read_to_string(qpath).map_err(|e| format!("{qpath}: {e}"))?;
+    let program = parse_program(&qtext).map_err(|e| format!("{qpath}: {e}"))?;
+    let jpath = flags.required("jobs")?;
+    let jtext = std::fs::read_to_string(jpath).map_err(|e| format!("{jpath}: {e}"))?;
+
+    let mut cfg = relcont::serve::ServeConfig::default();
+    if let Some(w) = flags.optional("workers") {
+        cfg.workers = w
+            .parse()
+            .map_err(|_| format!("--workers expects a count, got {w:?}"))?;
+    }
+    if let Some(q) = flags.optional("queue") {
+        cfg.queue_capacity = q
+            .parse()
+            .map_err(|_| format!("--queue expects a capacity, got {q:?}"))?;
+    }
+    if let Some(p) = flags.optional("pool") {
+        cfg.pool = p
+            .parse()
+            .map_err(|_| format!("--pool expects a unit count, got {p:?}"))?;
+    }
+    let budget: Option<u64> = match flags.optional("budget") {
+        Some(b) => Some(
+            b.parse()
+                .map_err(|_| format!("--budget expects a unit count, got {b:?}"))?,
+        ),
+        None => None,
+    };
+    let timeout = match flags.optional("timeout") {
+        Some(ms) => Some(std::time::Duration::from_millis(
+            ms.parse()
+                .map_err(|_| format!("--timeout expects milliseconds, got {ms:?}"))?,
+        )),
+        None => None,
+    };
+
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for (lineno, line) in jtext.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match (it.next(), it.next(), it.next()) {
+            (Some(a), Some(b), None) => pairs.push((a.to_string(), b.to_string())),
+            _ => return Err(format!("{jpath}:{}: expected `ANS1 ANS2`", lineno + 1)),
+        }
+    }
+    if pairs.is_empty() {
+        return Err(format!("{jpath}: no jobs"));
+    }
+    for (a, b) in &pairs {
+        for name in [a, b] {
+            if !program.rules().iter().any(|r| r.head.pred.as_str() == name) {
+                return Err(format!("{jpath}: no rules for query {name} in {qpath}"));
+            }
+        }
+    }
+
+    let svc = relcont::serve::Service::start(views, cfg);
+    let reqs: Vec<relcont::serve::Request> = pairs
+        .iter()
+        .map(|(a, b)| {
+            let mut req = relcont::serve::Request::new(
+                program.clone(),
+                Symbol::new(a),
+                program.clone(),
+                Symbol::new(b),
+            );
+            req.budget = budget;
+            req.timeout = timeout;
+            req
+        })
+        .collect();
+    let replies = svc.run_batch(reqs);
+
+    let (mut undecided, mut refuted) = (0usize, 0usize);
+    for ((a, b), reply) in pairs.iter().zip(replies) {
+        match reply {
+            Ok(resp) => {
+                let mut note = format!("tier={}", resp.tier);
+                if resp.resumed {
+                    note.push_str(", resumed");
+                }
+                println!("{a} vs {b}: {} [{note}]", resp.verdict);
+                match resp.verdict {
+                    Verdict::Contained => {}
+                    Verdict::NotContained => refuted += 1,
+                    Verdict::Unknown(_) => undecided += 1,
+                }
+            }
+            Err(e) => {
+                println!("{a} vs {b}: error: {e}");
+                undecided += 1;
+            }
+        }
+    }
+    let stats = svc.stats();
+    eprintln!(
+        "serve: {} job(s); health {}; tier {}; {} completed, {} shed, {} resumed, {} worker restart(s)",
+        pairs.len(),
+        stats.health,
+        stats.tier,
+        stats.completed,
+        stats.shed,
+        stats.resumed,
+        stats.worker_restarts
+    );
+    // Fold the service's aggregated counters into the thread recorder so
+    // --trace / --metrics-json report them like any other command.
+    for (name, n) in svc.core().counters().nonzero() {
+        if let Some(c) = qc_obs::Counter::from_name(&name) {
+            qc_obs::count(c, n);
+        }
+    }
+    svc.shutdown();
+    Ok(if undecided > 0 {
+        Outcome::Unknown(format!("{undecided} job(s) undecided"))
+    } else if refuted > 0 {
+        Outcome::False
+    } else {
+        Outcome::True
+    })
 }
 
 /// Loads `--csv pred=file[,pred=file…]` specs into a database.

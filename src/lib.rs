@@ -7,7 +7,9 @@
 //! * [`constraints`] — dense-order comparison constraint solver;
 //! * [`containment`] — classical query containment procedures;
 //! * [`mediator`] — LAV data integration and relative containment (the
-//!   paper's contribution).
+//!   paper's contribution);
+//! * [`serve`] — supervised containment service: admission control,
+//!   degradation ladder, resumable verdicts.
 //!
 //! The headline API is re-exported at the top level:
 //!
@@ -28,6 +30,8 @@ pub use qc_containment as containment;
 pub use qc_datalog as datalog;
 pub use qc_guard as guard;
 pub use qc_mediator as mediator;
+pub use qc_obs as obs;
+pub use qc_serve as serve;
 
 // Ergonomic top-level re-exports of the headline API.
 pub use qc_containment::{cq_contained, ucq_contained};

@@ -394,3 +394,110 @@ quit
     assert!(stdout.contains("unused: W"), "{stdout}");
     assert!(stdout.contains("no witness exists"), "{stdout}");
 }
+
+#[test]
+fn cli_serve_batch_exit_codes_and_stats() {
+    let dir = tmpdir("serve");
+    let views = write_tmp(
+        &dir,
+        "views.dl",
+        "RedCars(CarNo, Model, Year) :- CarDesc(CarNo, Model, red, Year).
+         AntiqueCars(CarNo, Model, Year) :- CarDesc(CarNo, Model, Color, Year), Year < 1970.
+         CarAndDriver(Model, Review) :- Review(Model, Review, 10).",
+    );
+    let queries = write_tmp(
+        &dir,
+        "queries.dl",
+        "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).
+         q2(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).
+         q3(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10), Y < 1970.",
+    );
+    let bin = env!("CARGO_BIN_EXE_relcont");
+
+    // All pairs contained: exit 0, every line tagged with the tier, and
+    // the stderr summary accounts for every job (none lost, none shed).
+    let jobs = write_tmp(&dir, "ok.txt", "% contained pairs\nq1 q2\nq2 q1\n");
+    let out = Command::new(bin)
+        .args(["serve", "--views"])
+        .arg(&views)
+        .args(["--queries"])
+        .arg(&queries)
+        .args(["--jobs"])
+        .arg(&jobs)
+        .output()
+        .expect("run relcont serve");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("q1 vs q2: contained [tier=full]"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("q2 vs q1: contained [tier=full]"),
+        "{stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("serve: 2 job(s)"), "{stderr}");
+    assert!(stderr.contains("2 completed, 0 shed"), "{stderr}");
+
+    // A refuted pair (and no undecided ones): exit 1.
+    let jobs = write_tmp(&dir, "refuted.txt", "q1 q2\nq2 q3\n");
+    let out = Command::new(bin)
+        .args(["serve", "--views"])
+        .arg(&views)
+        .args(["--queries"])
+        .arg(&queries)
+        .args(["--jobs"])
+        .arg(&jobs)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("q2 vs q3: not contained"),
+        "{out:?}"
+    );
+
+    // A starved per-request budget leaves jobs undecided: exit 3, with
+    // resource provenance in the verdict line.
+    let jobs = write_tmp(&dir, "starved.txt", "q1 q2\n");
+    let out = Command::new(bin)
+        .args(["serve", "--views"])
+        .arg(&views)
+        .args(["--queries"])
+        .arg(&queries)
+        .args(["--jobs"])
+        .arg(&jobs)
+        .args(["--budget", "1", "--workers", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("budget exhausted"),
+        "{out:?}"
+    );
+
+    // Usage errors: missing --jobs, and a job naming an unknown query.
+    let out = Command::new(bin)
+        .args(["serve", "--views"])
+        .arg(&views)
+        .args(["--queries"])
+        .arg(&queries)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let jobs = write_tmp(&dir, "unknown.txt", "q1 nosuch\n");
+    let out = Command::new(bin)
+        .args(["serve", "--views"])
+        .arg(&views)
+        .args(["--queries"])
+        .arg(&queries)
+        .args(["--jobs"])
+        .arg(&jobs)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no rules for query nosuch"),
+        "{out:?}"
+    );
+}

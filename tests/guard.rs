@@ -259,16 +259,25 @@ fn verdict_budget_sweep_is_anytime_and_sound() {
                 saw_unknown = true;
                 assert_eq!(p.resource.kind, ResourceKind::Budget);
                 assert!(
-                    p.disjuncts_contained >= best_partial,
+                    p.disjuncts_contained() >= best_partial,
                     "more budget cannot prove less: {} < {best_partial}",
-                    p.disjuncts_contained
+                    p.disjuncts_contained()
                 );
-                best_partial = p.disjuncts_contained;
-                if p.disjuncts_contained > 0 {
+                best_partial = p.disjuncts_contained();
+                assert!(
+                    p.disjuncts_proven.windows(2).all(|w| w[0] < w[1]),
+                    "proven indices must be strictly ascending: {:?}",
+                    p.disjuncts_proven
+                );
+                assert!(p.disjuncts_proven.iter().all(|&i| i < p.disjuncts_total));
+                if p.disjuncts_contained() > 0 {
                     saw_partial_progress = true;
-                    assert!(p.disjuncts_total >= p.disjuncts_contained);
-                    let plan = p.partial_plan.expect("proven disjuncts form a plan");
-                    assert_eq!(plan.disjuncts.len(), p.disjuncts_contained);
+                    assert!(p.disjuncts_total >= p.disjuncts_contained());
+                    let plan = p
+                        .partial_plan
+                        .as_ref()
+                        .expect("proven disjuncts form a plan");
+                    assert_eq!(plan.disjuncts.len(), p.disjuncts_contained());
                 }
             }
         }
