@@ -11,13 +11,23 @@
 //! # Regenerate the committed snapshot.
 //! cargo run --release -p qc-bench --bin bench_snapshot -- --out BENCH_PR2.json
 //! # CI smoke: recompute counters and fail on >2x regressions vs the
-//! # committed snapshot (counters only — wall-clock is not compared).
+//! # committed snapshot, and remeasure wall-clock medians, failing on
+//! # >4x (configurable via --time-factor) against the committed ones.
 //! cargo run --release -p qc-bench --bin bench_snapshot -- --check BENCH_PR2.json
+//! # Negative self-test for CI: multiply the measured medians by 10 and
+//! # demand that the gate trips.
+//! cargo run --release -p qc-bench --bin bench_snapshot -- \
+//!     --check BENCH_PR2.json --inject-slowdown 10
 //! ```
 //!
 //! Work counters are deterministic for a sequential engine, which is what
 //! makes the check mode meaningful on shared CI hardware: a >2× counter
-//! increase is an algorithmic regression, not scheduler noise.
+//! increase is an algorithmic regression, not scheduler noise. The
+//! wall-clock gate is deliberately looser (default 4× on a
+//! median-of-[`TIMED_ITERS`], with a [`TIME_NOISE_FLOOR_NS`] floor) so it
+//! only trips on order-of-magnitude slowdowns — the class of regression a
+//! counter gate cannot see, such as an accidentally quadratic allocation
+//! pattern with unchanged work counts.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -43,6 +53,15 @@ const TIMED_ITERS: usize = 5;
 /// max(committed, NOISE_FLOOR)` fails.
 const REGRESSION_FACTOR: u64 = 2;
 const NOISE_FLOOR: u64 = 64;
+
+/// Wall-clock regression tolerance for `--check`: a freshly measured
+/// median > `TIME_FACTOR × max(committed, TIME_NOISE_FLOOR_NS)` fails.
+/// Looser than the counter gate because shared hardware jitters; override
+/// with `--time-factor`.
+const TIME_FACTOR: u64 = 4;
+/// Medians below this are timer noise on any hardware; committed values
+/// are clamped up to it before the ratio test.
+const TIME_NOISE_FLOOR_NS: u64 = 50_000;
 
 /// One engine configuration under measurement.
 struct Cfg {
@@ -289,7 +308,19 @@ fn snapshot() -> Value {
         rows.push(Value::Object(row));
     }
     Value::Object(vec![
-        ("schema".to_string(), Value::Str("bench_pr2/v1".to_string())),
+        ("schema".to_string(), Value::Str("bench_pr2/v2".to_string())),
+        (
+            "wall_clock_gate".to_string(),
+            Value::Object(vec![
+                ("reps".to_string(), Value::UInt(TIMED_ITERS as u64)),
+                ("stat".to_string(), Value::Str("median".to_string())),
+                ("default_factor".to_string(), Value::UInt(TIME_FACTOR)),
+                (
+                    "noise_floor_ns".to_string(),
+                    Value::UInt(TIME_NOISE_FLOOR_NS),
+                ),
+            ]),
+        ),
         (
             "regenerate".to_string(),
             Value::Str(
@@ -309,10 +340,21 @@ fn as_u64(v: &Value) -> Option<u64> {
     }
 }
 
+/// True when a freshly measured wall-clock median regresses past the
+/// gate: `current > factor × max(committed, TIME_NOISE_FLOOR_NS)`. Pure
+/// so the arithmetic is unit-testable; saturating so a `u64::MAX` clamp
+/// can never wrap the limit to something small.
+fn time_gate_trips(current_ns: u64, committed_ns: u64, factor: u64) -> bool {
+    current_ns > factor.saturating_mul(committed_ns.max(TIME_NOISE_FLOOR_NS))
+}
+
 /// Recomputes the optimized-engine counters and fails on any counter that
 /// regressed more than [`REGRESSION_FACTOR`]× against the committed
-/// snapshot. Wall-clock is deliberately not compared.
-fn check(path: &str) -> ExitCode {
+/// snapshot, then remeasures wall-clock medians and fails on any scenario
+/// slower than `time_factor ×` the committed median (after the noise
+/// floor). `inject_slowdown` multiplies the measured medians — a CI
+/// self-test hook proving the gate actually trips.
+fn check(path: &str, time_factor: u64, inject_slowdown: u64) -> ExitCode {
     let committed = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -345,7 +387,8 @@ fn check(path: &str) -> ExitCode {
             continue;
         };
         let current = counters_of(&s, &cfg);
-        let want = row.get_field("optimized").get_field("counters");
+        let opt = row.get_field("optimized");
+        let want = opt.get_field("counters");
         let Value::Object(want) = want else {
             eprintln!("SKIP {}: malformed counters", s.name);
             continue;
@@ -384,12 +427,31 @@ fn check(path: &str) -> ExitCode {
             );
             failures += 1;
         }
+        // Wall-clock gate: remeasure (median of TIMED_ITERS cold runs)
+        // and compare against the committed median.
+        if let Some(committed_ns) = as_u64(opt.get_field("median_ns")) {
+            let measured = median_ns(&s, &cfg).saturating_mul(inject_slowdown);
+            if time_gate_trips(measured, committed_ns, time_factor) {
+                eprintln!(
+                    "WALL-CLOCK REGRESSION {}: median {} ns (committed {} ns, limit {}x)",
+                    s.name, measured, committed_ns, time_factor
+                );
+                failures += 1;
+            } else {
+                eprintln!(
+                    "ok {:<44} {:<28} {:>12} (committed {})",
+                    s.name, "wall_clock_median_ns", measured, committed_ns
+                );
+            }
+        } else {
+            eprintln!("SKIP {}: no committed median_ns", s.name);
+        }
     }
     if failures > 0 {
-        eprintln!("{failures} counter regression(s)");
+        eprintln!("{failures} regression(s)");
         ExitCode::from(1)
     } else {
-        eprintln!("all work counters within bounds");
+        eprintln!("all work counters and wall-clock medians within bounds");
         ExitCode::SUCCESS
     }
 }
@@ -397,19 +459,38 @@ fn check(path: &str) -> ExitCode {
 fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut time_factor = TIME_FACTOR;
+    let mut inject_slowdown = 1u64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out = args.next(),
             "--check" => check_path = args.next(),
+            "--time-factor" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(n)) if n >= 1 => time_factor = n,
+                _ => {
+                    eprintln!("--time-factor expects an integer >= 1");
+                    return ExitCode::from(2);
+                }
+            },
+            "--inject-slowdown" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(n)) if n >= 1 => inject_slowdown = n,
+                _ => {
+                    eprintln!("--inject-slowdown expects an integer >= 1");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
-                eprintln!("unknown flag {other} (expected --out PATH or --check PATH)");
+                eprintln!(
+                    "unknown flag {other} (expected --out PATH, --check PATH, \
+                     --time-factor N, or --inject-slowdown N)"
+                );
                 return ExitCode::from(2);
             }
         }
     }
     if let Some(path) = check_path {
-        return check(&path);
+        return check(&path, time_factor, inject_slowdown);
     }
     let path = out.unwrap_or_else(|| "BENCH_PR2.json".to_string());
     let value = snapshot();
@@ -426,5 +507,35 @@ fn main() -> ExitCode {
             eprintln!("serialization failed: {e}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_gate_respects_noise_floor() {
+        // Committed medians below the floor are clamped up to 50µs, so
+        // the 4× limit is 200µs regardless of how fast the committed run
+        // was: 150µs passes, 250µs trips.
+        assert!(!time_gate_trips(150_000, 10_000, 4));
+        assert!(time_gate_trips(250_000, 10_000, 4));
+    }
+
+    #[test]
+    fn time_gate_trips_past_factor() {
+        let committed = 1_000_000;
+        assert!(!time_gate_trips(committed, committed, 4));
+        assert!(!time_gate_trips(4 * committed, committed, 4));
+        assert!(time_gate_trips(4 * committed + 1, committed, 4));
+        assert!(time_gate_trips(10 * committed, committed, 4));
+    }
+
+    #[test]
+    fn time_gate_saturates_instead_of_wrapping() {
+        // A u64::MAX committed median (the elapsed-cast clamp) must not
+        // overflow the limit into something tiny.
+        assert!(!time_gate_trips(u64::MAX, u64::MAX, 4));
     }
 }

@@ -259,7 +259,7 @@ fn check_supervision(trial: usize, case: &Case, rng: &mut StdRng, tally: &mut Ta
                     }
                 }
             },
-            Err(ServiceError::WorkerLost(_)) => tally.answered += 1,
+            Err(ServiceError::WorkerLost { .. }) => tally.answered += 1,
             Err(e) => tally.fail(trial, &format!("service job {i} failed: {e}")),
         }
     }

@@ -280,6 +280,7 @@ impl Closure {
     #[allow(clippy::needless_range_loop)] // parallel index arrays read better
     fn build(set: &ConstraintSet, extra_nodes: &[Node]) -> Option<Closure> {
         qc_obs::count(qc_obs::Counter::ConstraintClosureOps, 1);
+        let _t = qc_obs::time(qc_obs::Hist::ClosureNs);
         let mut nodes = set.nodes();
         for n in extra_nodes {
             if !nodes.contains(n) {

@@ -76,6 +76,7 @@ pub fn for_each_containment_mapping(
     to: &ConjunctiveQuery,
     mut visit: impl FnMut(&Mapping) -> ControlFlow<()>,
 ) -> bool {
+    let _t = qc_obs::time(qc_obs::Hist::HomSearchNs);
     if from.head.arity() != to.head.arity() {
         return true; // no mappings possible
     }

@@ -175,6 +175,7 @@ struct Inner {
     consumed: AtomicU64,
     cancelled: AtomicBool,
     fault: Option<Fault>,
+    trace: Option<u64>,
 }
 
 /// How many work units elapse between wall-clock polls on the [`tick`]
@@ -211,6 +212,7 @@ impl Guard {
                 consumed: AtomicU64::new(0),
                 cancelled: AtomicBool::new(false),
                 fault: None,
+                trace: None,
             }),
         }
     }
@@ -227,6 +229,7 @@ impl Guard {
                 ticks: AtomicU64::new(f.ticks.load(Ordering::Relaxed)),
                 fired: AtomicBool::new(f.fired.load(Ordering::Relaxed)),
             }),
+            trace: self.inner.trace,
         };
         f(&mut inner);
         Guard {
@@ -283,6 +286,19 @@ impl Guard {
                 fired: AtomicBool::new(false),
             })
         })
+    }
+
+    /// This guard tagged with a request trace ID. Trip events surfaced
+    /// from this guard (budget/deadline/cancel) can then be correlated to
+    /// the request's flight-recorder timeline by the layer that owns the
+    /// guard.
+    pub fn with_trace(self, trace: u64) -> Guard {
+        self.rebuild(|i| i.trace = Some(trace))
+    }
+
+    /// The request trace ID this guard is tagged with, if any.
+    pub fn trace(&self) -> Option<u64> {
+        self.inner.trace
     }
 
     /// Work units consumed so far (across all clones of this guard).

@@ -61,6 +61,7 @@ struct Mcd {
 /// assert_eq!(plan.disjuncts[0].subgoals[0].pred, "V");
 /// ```
 pub fn minicon_rewritings(query: &ConjunctiveQuery, views: &LavSetting) -> Ucq {
+    let _t = qc_obs::time(qc_obs::Hist::MiniconNs);
     let mut gen = VarGen::new();
     let mut mcds: Vec<Mcd> = Vec::new();
     for (i, _) in query.subgoals.iter().enumerate() {

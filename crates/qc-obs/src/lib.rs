@@ -40,6 +40,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+pub mod hist;
+
+pub use hist::{prometheus_text, Hist, Histogram, HistogramSnapshot, Histograms};
+
 // ---------------------------------------------------------------------------
 // Counter vocabulary
 // ---------------------------------------------------------------------------
@@ -238,6 +242,14 @@ pub trait Recorder: Send + Sync {
 
     /// The most recently opened stage closed.
     fn span_exit(&self, _name: &'static str) {}
+
+    /// A latency sample of `ns` nanoseconds for histogram `h`.
+    fn record_hist(&self, _h: Hist, _ns: u64) {}
+
+    /// Merges a whole histogram bank into this sink (no-op for sinks that
+    /// keep no distributions). Used to fold a subsystem's private bank —
+    /// e.g. the serve core's — into the session recorder.
+    fn absorb_hists(&self, _other: &Histograms) {}
 }
 
 /// The do-nothing sink. Installing it is equivalent to (but slightly more
@@ -280,6 +292,14 @@ pub fn is_active() -> bool {
     RECORDER.with(|r| r.borrow().is_some())
 }
 
+/// A handle to this thread's installed recorder, if any.
+///
+/// Lets wrapper sinks (e.g. a per-request recorder) chain events to the
+/// recorder that was active before they were installed.
+pub fn current() -> Option<Arc<dyn Recorder>> {
+    RECORDER.with(|r| r.borrow().clone())
+}
+
 /// Records `n` occurrences of `c` on the installed recorder, if any.
 ///
 /// Without a recorder this is a thread-local read and a branch.
@@ -309,6 +329,50 @@ pub fn span(name: &'static str) -> SpanGuard {
         name,
         active,
         _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Records one latency sample into histogram `h` on the installed
+/// recorder, if any.
+///
+/// Without a recorder this is a thread-local read and a branch.
+#[inline]
+pub fn record_hist(h: Hist, ns: u64) {
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow().as_ref() {
+            rec.record_hist(h, ns);
+        }
+    });
+}
+
+/// Starts timing a stage for histogram `h`; the elapsed nanoseconds are
+/// recorded when the guard drops.
+///
+/// Without a recorder installed no clock is read at all — the guard is
+/// inert, so leaving `time` calls in hot paths costs a thread-local read
+/// and a branch, same as [`count`].
+#[must_use = "the sample is recorded when the guard drops"]
+pub fn time(h: Hist) -> HistTimer {
+    HistTimer {
+        h,
+        started: is_active().then(Instant::now),
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// RAII guard for [`time`]: records the elapsed time on drop.
+pub struct HistTimer {
+    h: Hist,
+    started: Option<Instant>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        if let Some(started) = self.started {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            record_hist(self.h, ns);
+        }
     }
 }
 
@@ -344,6 +408,7 @@ impl Drop for SpanGuard {
 #[derive(Debug)]
 pub struct PipelineRecorder {
     counters: Counters,
+    hists: Histograms,
     state: Mutex<TreeState>,
 }
 
@@ -372,6 +437,7 @@ impl PipelineRecorder {
     pub fn new() -> PipelineRecorder {
         PipelineRecorder {
             counters: Counters::new(),
+            hists: Histograms::new(),
             state: Mutex::new(TreeState {
                 started: Instant::now(),
                 stack: Vec::new(),
@@ -385,6 +451,12 @@ impl PipelineRecorder {
         &self.counters
     }
 
+    /// Direct access to the histogram bank. Stage histograms fill in from
+    /// span durations ([`Hist::from_stage`]) and explicit [`time`] guards.
+    pub fn histograms(&self) -> &Histograms {
+        &self.hists
+    }
+
     /// Assembles the report collected so far under a root named `name`.
     ///
     /// The root's duration is the recorder's lifetime, its counters are the
@@ -394,25 +466,34 @@ impl PipelineRecorder {
         let state = self.state.lock().expect("qc-obs recorder poisoned");
         PipelineReport {
             name: name.into(),
-            duration_ns: state.started.elapsed().as_nanos() as u64,
+            duration_ns: u64::try_from(state.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
             counters: self.counters.nonzero(),
             children: state.roots.clone(),
         }
     }
 
-    /// Clears the span tree and zeroes every counter.
+    /// Clears the span tree and zeroes every counter and histogram.
     pub fn reset(&self) {
         let mut state = self.state.lock().expect("qc-obs recorder poisoned");
         state.started = Instant::now();
         state.stack.clear();
         state.roots.clear();
         self.counters.reset();
+        self.hists.reset();
     }
 }
 
 impl Recorder for PipelineRecorder {
     fn count(&self, c: Counter, n: u64) {
         self.counters.add(c, n);
+    }
+
+    fn record_hist(&self, h: Hist, ns: u64) {
+        self.hists.record(h, ns);
+    }
+
+    fn absorb_hists(&self, other: &Histograms) {
+        self.hists.merge_from(other);
     }
 
     fn span_enter(&self, name: &'static str) {
@@ -443,9 +524,13 @@ impl Recorder for PipelineRecorder {
                 counters.insert(c.name().to_string(), delta);
             }
         }
+        let duration_ns = u64::try_from(frame.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(h) = Hist::from_stage(name) {
+            self.hists.record(h, duration_ns);
+        }
         let report = PipelineReport {
             name: frame.name.to_string(),
-            duration_ns: frame.started.elapsed().as_nanos() as u64,
+            duration_ns,
             counters,
             children: frame.children,
         };

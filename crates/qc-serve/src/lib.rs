@@ -27,6 +27,7 @@
 //! gets a [`Response`] or a typed [`ServiceError`] — never silence.
 
 pub mod checkpoint;
+pub mod flight;
 pub mod ladder;
 
 use std::collections::VecDeque;
@@ -43,10 +44,23 @@ use qc_mediator::expansion::expand_cq;
 use qc_mediator::minicon::minicon_rewritings;
 use qc_mediator::relative::{relatively_contained_verdict_resume, Partial, RelativeError, Verdict};
 use qc_mediator::schema::LavSetting;
-use qc_obs::{Counter, Counters};
+use qc_obs::{Counter, Counters, Hist, Histograms};
 
 pub use checkpoint::Checkpoint;
+pub use flight::{FlightRecorder, StageTime, Timeline};
 pub use ladder::{DegradationController, Tier};
+
+/// A per-request trace ID: allocated at admission (or at [`ServeCore::handle`]
+/// for direct callers), carried by every [`Response`] and [`ServiceError`],
+/// and resolvable against the [`FlightRecorder`] dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t-{:08x}", self.0)
+    }
+}
 
 /// Guard stage name for limits imposed by the service itself (synthetic
 /// resource provenance on under-approximated answers).
@@ -63,33 +77,60 @@ pub const STAGE: &str = "serve";
 pub enum ServiceError {
     /// Refused before running: the service is draining, or the input is
     /// outside the decidable classes (the payload says which).
-    Rejected(String),
+    Rejected {
+        /// The request's trace ID.
+        trace: TraceId,
+        /// Why it was refused.
+        why: String,
+    },
     /// The admission queue was full; the request was never admitted.
     ShedUnderLoad {
+        /// The request's trace ID.
+        trace: TraceId,
         /// Queue length observed at the shed.
         queue_len: usize,
     },
     /// The request waited in the queue longer than its queue timeout.
     Timeout {
+        /// The request's trace ID.
+        trace: TraceId,
         /// How long it waited before being abandoned.
         waited_ms: u64,
     },
     /// The worker running the request panicked, and so did the one retry;
     /// the request is isolated as poisoned rather than retried forever.
-    WorkerLost(String),
+    WorkerLost {
+        /// The request's trace ID.
+        trace: TraceId,
+        /// The panic message.
+        why: String,
+    },
+}
+
+impl ServiceError {
+    /// The trace ID of the request this error answered — every error
+    /// carries one, resolvable in the flight-recorder dump.
+    pub fn trace(&self) -> TraceId {
+        match self {
+            ServiceError::Rejected { trace, .. }
+            | ServiceError::ShedUnderLoad { trace, .. }
+            | ServiceError::Timeout { trace, .. }
+            | ServiceError::WorkerLost { trace, .. } => *trace,
+        }
+    }
 }
 
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServiceError::Rejected(why) => write!(f, "rejected: {why}"),
-            ServiceError::ShedUnderLoad { queue_len } => {
-                write!(f, "shed under load (queue length {queue_len})")
+            ServiceError::Rejected { trace, why } => write!(f, "rejected [{trace}]: {why}"),
+            ServiceError::ShedUnderLoad { trace, queue_len } => {
+                write!(f, "shed under load [{trace}] (queue length {queue_len})")
             }
-            ServiceError::Timeout { waited_ms } => {
-                write!(f, "timed out in queue after {waited_ms} ms")
+            ServiceError::Timeout { trace, waited_ms } => {
+                write!(f, "timed out in queue [{trace}] after {waited_ms} ms")
             }
-            ServiceError::WorkerLost(why) => write!(f, "worker lost: {why}"),
+            ServiceError::WorkerLost { trace, why } => write!(f, "worker lost [{trace}]: {why}"),
         }
     }
 }
@@ -168,6 +209,11 @@ pub struct Response {
     /// Resume token, present when the verdict is `Unknown` and the run
     /// got far enough to have per-disjunct progress worth keeping.
     pub checkpoint: Option<Checkpoint>,
+    /// The request's trace ID, resolvable in the flight-recorder dump.
+    pub trace: TraceId,
+    /// Time the request waited in the admission queue before a worker
+    /// picked it up (0 for direct [`ServeCore::handle`] calls).
+    pub queue_wait_ns: u64,
 }
 
 /// Coarse service health, derived from the ladder and queue state.
@@ -281,6 +327,8 @@ pub struct ServeConfig {
     pub recover_threshold: u32,
     /// Start with workers paused (deterministic queue tests).
     pub start_paused: bool,
+    /// How many request timelines the flight recorder retains.
+    pub flight_capacity: usize,
     /// Engine configuration for [`Tier::Full`] runs. Defaults to the
     /// sequential optimized engine: service-level parallelism comes from
     /// workers, and sequential runs keep verdicts (and checkpoints)
@@ -301,6 +349,7 @@ impl Default for ServeConfig {
             trip_threshold: 3,
             recover_threshold: 3,
             start_paused: false,
+            flight_capacity: 256,
             engine: EngineOptions::sequential(),
         }
     }
@@ -319,6 +368,119 @@ pub struct CounterSink(pub Arc<Counters>);
 impl qc_obs::Recorder for CounterSink {
     fn count(&self, c: Counter, n: u64) {
         self.0.add(c, n);
+    }
+}
+
+/// The per-request recorder [`ServeCore::handle_traced`] installs for the
+/// duration of one decision: it chains counters and spans to whatever
+/// recorder the thread already had (the worker's [`CounterSink`], the
+/// REPL's pipeline recorder, …) so existing flows are unchanged, records
+/// latency samples into the core's histogram bank, and aggregates
+/// per-stage wall time for the request's flight-recorder timeline.
+struct RequestRecorder {
+    inner: Option<Arc<dyn qc_obs::Recorder>>,
+    hists: Arc<Histograms>,
+    state: Mutex<RequestSpans>,
+}
+
+#[derive(Default)]
+struct RequestSpans {
+    stack: Vec<(&'static str, Instant)>,
+    agg: Vec<StageTime>,
+}
+
+impl RequestRecorder {
+    fn new(inner: Option<Arc<dyn qc_obs::Recorder>>, hists: Arc<Histograms>) -> RequestRecorder {
+        RequestRecorder {
+            inner,
+            hists,
+            state: Mutex::new(RequestSpans::default()),
+        }
+    }
+
+    fn state(&self) -> MutexGuard<'_, RequestSpans> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The aggregated per-stage timings, consuming them.
+    fn take_stages(&self) -> Vec<StageTime> {
+        std::mem::take(&mut self.state().agg)
+    }
+}
+
+impl qc_obs::Recorder for RequestRecorder {
+    fn count(&self, c: Counter, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.count(c, n);
+        }
+    }
+
+    fn span_enter(&self, name: &'static str) {
+        self.state().stack.push((name, Instant::now()));
+        if let Some(inner) = &self.inner {
+            inner.span_enter(name);
+        }
+    }
+
+    fn span_exit(&self, name: &'static str) {
+        let mut st = self.state();
+        if let Some((_, started)) = st.stack.pop() {
+            let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if let Some(h) = Hist::from_stage(name) {
+                self.hists.record(h, ns);
+            }
+            match st.agg.iter_mut().find(|s| s.stage == name) {
+                Some(s) => {
+                    s.calls += 1;
+                    s.total_ns = s.total_ns.saturating_add(ns);
+                }
+                None => st.agg.push(StageTime {
+                    stage: name.to_string(),
+                    calls: 1,
+                    total_ns: ns,
+                }),
+            }
+        }
+        drop(st);
+        if let Some(inner) = &self.inner {
+            inner.span_exit(name);
+        }
+    }
+
+    fn record_hist(&self, h: Hist, ns: u64) {
+        self.hists.record(h, ns);
+        if let Some(inner) = &self.inner {
+            inner.record_hist(h, ns);
+        }
+    }
+}
+
+/// The queue-wait histogram for runs at `tier`.
+fn queue_wait_hist(tier: Tier) -> Hist {
+    match tier {
+        Tier::Full => Hist::ServeQueueWaitFullNs,
+        Tier::Bounded => Hist::ServeQueueWaitBoundedNs,
+        Tier::MiniconOnly => Hist::ServeQueueWaitMiniconNs,
+    }
+}
+
+/// The execute-latency histogram for runs at `tier`.
+fn execute_hist(tier: Tier) -> Hist {
+    match tier {
+        Tier::Full => Hist::ServeExecuteFullNs,
+        Tier::Bounded => Hist::ServeExecuteBoundedNs,
+        Tier::MiniconOnly => Hist::ServeExecuteMiniconNs,
+    }
+}
+
+/// The end-to-end-latency histogram for runs at `tier`.
+fn e2e_hist(tier: Tier) -> Hist {
+    match tier {
+        Tier::Full => Hist::ServeE2eFullNs,
+        Tier::Bounded => Hist::ServeE2eBoundedNs,
+        Tier::MiniconOnly => Hist::ServeE2eMiniconNs,
     }
 }
 
@@ -353,6 +515,53 @@ pub struct ServeStats {
     pub tier_downgrades: u64,
     /// Ladder steps up.
     pub tier_upgrades: u64,
+    /// Queue-wait latency distribution (all tiers merged).
+    pub queue_wait: LatencySummary,
+    /// Execute latency distribution (all tiers merged).
+    pub execute: LatencySummary,
+    /// End-to-end latency distribution (all tiers merged).
+    pub e2e: LatencySummary,
+}
+
+/// Quantile summary of one latency histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median upper bound, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th-percentile upper bound, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile upper bound, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile upper bound, nanoseconds.
+    pub p999_ns: u64,
+}
+
+impl LatencySummary {
+    fn of(h: &qc_obs::Histogram) -> LatencySummary {
+        LatencySummary {
+            count: h.count(),
+            p50_ns: h.quantile(0.50),
+            p90_ns: h.quantile(0.90),
+            p99_ns: h.quantile(0.99),
+            p999_ns: h.quantile(0.999),
+        }
+    }
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} p50={} p90={} p99={} p999={}",
+            self.count,
+            flight::fmt_ns(self.p50_ns),
+            flight::fmt_ns(self.p90_ns),
+            flight::fmt_ns(self.p99_ns),
+            flight::fmt_ns(self.p999_ns),
+        )
+    }
 }
 
 impl std::fmt::Display for ServeStats {
@@ -366,11 +575,14 @@ impl std::fmt::Display for ServeStats {
             "requests: {} admitted, {} shed, {} completed, {} resumed",
             self.admitted, self.shed, self.completed, self.resumed
         )?;
-        write!(
+        writeln!(
             f,
             "ladder: {} degraded runs, {} down / {} up; {} worker restarts",
             self.degraded_runs, self.tier_downgrades, self.tier_upgrades, self.worker_restarts
-        )
+        )?;
+        writeln!(f, "queue-wait: {}", self.queue_wait)?;
+        writeln!(f, "execute: {}", self.execute)?;
+        write!(f, "end-to-end: {}", self.e2e)
     }
 }
 
@@ -384,6 +596,9 @@ pub struct ServeCore {
     capacity: CapacityModel,
     ladder: Mutex<DegradationController>,
     counters: Arc<Counters>,
+    hists: Arc<Histograms>,
+    flight: FlightRecorder,
+    next_trace: AtomicU64,
 }
 
 impl ServeCore {
@@ -394,12 +609,16 @@ impl ServeCore {
             cfg.trip_threshold,
             cfg.recover_threshold,
         ));
+        let flight = FlightRecorder::new(cfg.flight_capacity);
         ServeCore {
             views,
             cfg,
             capacity,
             ladder,
             counters: Arc::new(Counters::new()),
+            hists: Arc::new(Histograms::new()),
+            flight,
+            next_trace: AtomicU64::new(1),
         }
     }
 
@@ -413,6 +632,23 @@ impl ServeCore {
     /// installed, as [`Service`] workers do).
     pub fn counters(&self) -> &Arc<Counters> {
         &self.counters
+    }
+
+    /// The shared histogram bank: per-stage latencies and the per-tier
+    /// request-lifecycle distributions.
+    pub fn histograms(&self) -> &Arc<Histograms> {
+        &self.hists
+    }
+
+    /// The flight recorder holding the last N request timelines.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Allocates the next trace ID. [`Service`] calls this at admission;
+    /// direct [`ServeCore::handle`] callers get one implicitly.
+    pub fn next_trace(&self) -> TraceId {
+        TraceId(self.next_trace.fetch_add(1, Ordering::Relaxed))
     }
 
     /// The active ladder tier.
@@ -441,6 +677,21 @@ impl ServeCore {
             worker_restarts: c(Counter::ServeWorkerRestarts),
             tier_downgrades: c(Counter::ServeTierDowngrades),
             tier_upgrades: c(Counter::ServeTierUpgrades),
+            queue_wait: LatencySummary::of(&self.hists.merged(&[
+                Hist::ServeQueueWaitFullNs,
+                Hist::ServeQueueWaitBoundedNs,
+                Hist::ServeQueueWaitMiniconNs,
+            ])),
+            execute: LatencySummary::of(&self.hists.merged(&[
+                Hist::ServeExecuteFullNs,
+                Hist::ServeExecuteBoundedNs,
+                Hist::ServeExecuteMiniconNs,
+            ])),
+            e2e: LatencySummary::of(&self.hists.merged(&[
+                Hist::ServeE2eFullNs,
+                Hist::ServeE2eBoundedNs,
+                Hist::ServeE2eMiniconNs,
+            ])),
         }
     }
 
@@ -478,7 +729,25 @@ impl ServeCore {
     /// capacity grant. `Err` is only [`ServiceError::Rejected`] here —
     /// queue-level errors belong to [`Service`], and panics propagate to
     /// the caller's supervision.
+    ///
+    /// A fresh trace ID is allocated; [`Service`] workers instead call
+    /// [`ServeCore::handle_traced`] with the ID minted at admission.
     pub fn handle(&self, req: &Request, depth: usize) -> Result<Response, ServiceError> {
+        self.handle_traced(req, depth, self.next_trace(), Duration::ZERO)
+    }
+
+    /// [`ServeCore::handle`] with an explicit trace ID and the time the
+    /// request already spent in the admission queue. Records the request's
+    /// lifecycle into the per-tier latency histograms and pushes its
+    /// timeline into the flight recorder.
+    pub fn handle_traced(
+        &self,
+        req: &Request,
+        depth: usize,
+        trace: TraceId,
+        queue_wait: Duration,
+    ) -> Result<Response, ServiceError> {
+        let started = Instant::now();
         let fingerprint = req.fingerprint(&self.views);
         let mut proven_before: Vec<usize> = Vec::new();
         let mut resumed = false;
@@ -504,13 +773,23 @@ impl ServeCore {
                 }
             }
         };
-        let mut guard = Guard::unlimited().with_budget(grant);
+        let mut guard = Guard::unlimited().with_budget(grant).with_trace(trace.0);
         if let Some(t) = req.timeout.or(self.cfg.default_timeout) {
             guard = guard.with_timeout(t);
         }
         if let Some(f) = req.fault {
             guard = guard.with_fault(f);
         }
+
+        // Per-request telemetry: stage latencies into the core histogram
+        // bank and a per-stage breakdown for the flight recorder, chaining
+        // to the recorder the thread already had (worker CounterSink, REPL
+        // pipeline recorder, …) so counter flows are unchanged.
+        let request_rec = Arc::new(RequestRecorder::new(
+            qc_obs::current(),
+            Arc::clone(&self.hists),
+        ));
+        let _rec_guard = qc_obs::install(request_rec.clone() as Arc<dyn qc_obs::Recorder>);
 
         let outcome = if tier == Tier::MiniconOnly && self.minicon_supported(req) {
             engine::with_options(EngineOptions::sequential(), || {
@@ -537,10 +816,33 @@ impl ServeCore {
         };
         self.capacity.settle(guard.consumed());
 
+        let execute_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let queue_wait_ns = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
+        let total_ns = queue_wait_ns.saturating_add(execute_ns);
+        let stages = request_rec.take_stages();
+
         let verdict = match outcome {
             Ok(v) => v,
-            Err(e) => return Err(ServiceError::Rejected(e.to_string())),
+            Err(e) => {
+                let why = e.to_string();
+                self.flight.push(Timeline {
+                    trace,
+                    outcome: "rejected".into(),
+                    tier: Some(tier),
+                    resumed,
+                    queue_wait_ns,
+                    execute_ns,
+                    total_ns,
+                    consumed: guard.consumed(),
+                    trip: Some(why.clone()),
+                    stages,
+                });
+                return Err(ServiceError::Rejected { trace, why });
+            }
         };
+        self.hists.record(queue_wait_hist(tier), queue_wait_ns);
+        self.hists.record(execute_hist(tier), execute_ns);
+        self.hists.record(e2e_hist(tier), total_ns);
         self.counters.add(Counter::ServeCompleted, 1);
         if tier.degraded() {
             self.counters.add(Counter::ServeDegradedRuns, 1);
@@ -571,12 +873,31 @@ impl ServeCore {
             }),
             _ => None,
         };
+        let (outcome_name, trip) = match &verdict {
+            Verdict::Contained => ("contained", None),
+            Verdict::NotContained => ("not_contained", None),
+            Verdict::Unknown(p) => ("unknown", Some(p.resource.to_string())),
+        };
+        self.flight.push(Timeline {
+            trace,
+            outcome: outcome_name.into(),
+            tier: Some(tier),
+            resumed,
+            queue_wait_ns,
+            execute_ns,
+            total_ns,
+            consumed: guard.consumed(),
+            trip,
+            stages,
+        });
         Ok(Response {
             verdict,
             tier,
             resumed,
             consumed: guard.consumed(),
             checkpoint,
+            trace,
+            queue_wait_ns,
         })
     }
 
@@ -645,6 +966,7 @@ impl ServeCore {
 
 struct Job {
     req: Request,
+    trace: TraceId,
     enqueued: Instant,
     queue_timeout: Option<Duration>,
     reply: mpsc::Sender<Result<Response, ServiceError>>,
@@ -670,16 +992,25 @@ impl QueueShared {
 #[derive(Debug)]
 pub struct Ticket {
     rx: mpsc::Receiver<Result<Response, ServiceError>>,
+    trace: TraceId,
 }
 
 impl Ticket {
+    /// The admitted request's trace ID (known before the answer is).
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+
     /// Blocks for the verdict. A closed channel (the service was torn
     /// down so hard even drain replies were lost) maps to
     /// [`ServiceError::WorkerLost`] — the caller always gets *something*.
     pub fn wait(self) -> Result<Response, ServiceError> {
-        self.rx
-            .recv()
-            .unwrap_or_else(|_| Err(ServiceError::WorkerLost("reply channel closed".into())))
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(ServiceError::WorkerLost {
+                trace: self.trace,
+                why: "reply channel closed".into(),
+            })
+        })
     }
 }
 
@@ -743,14 +1074,30 @@ impl Service {
         let mut jobs = self.shared.jobs();
         loop {
             if self.shared.draining.load(Ordering::SeqCst) {
-                return Err(ServiceError::Rejected("service is draining".into()));
+                let trace = self.core.next_trace();
+                self.core.flight().push(Timeline::admission(
+                    trace,
+                    "rejected",
+                    Some("service is draining".into()),
+                ));
+                return Err(ServiceError::Rejected {
+                    trace,
+                    why: "service is draining".into(),
+                });
             }
             if jobs.len() < self.shared.capacity {
                 break;
             }
             if !wait_for_room {
                 counters.add(Counter::ServeShed, 1);
+                let trace = self.core.next_trace();
+                self.core.flight().push(Timeline::admission(
+                    trace,
+                    "shed",
+                    Some(format!("queue full at {}", jobs.len())),
+                ));
                 return Err(ServiceError::ShedUnderLoad {
+                    trace,
                     queue_len: jobs.len(),
                 });
             }
@@ -765,8 +1112,10 @@ impl Service {
             jobs = guard;
         }
         let (tx, rx) = mpsc::channel();
+        let trace = self.core.next_trace();
         jobs.push_back(Job {
             req,
+            trace,
             enqueued: Instant::now(),
             queue_timeout: None,
             reply: tx,
@@ -774,7 +1123,7 @@ impl Service {
         counters.add(Counter::ServeAdmitted, 1);
         drop(jobs);
         self.shared.cond.notify_all();
-        Ok(Ticket { rx })
+        Ok(Ticket { rx, trace })
     }
 
     /// Submits every request (blocking for queue room) and waits for all
@@ -885,9 +1234,21 @@ fn worker_loop(core: Arc<ServeCore>, shared: Arc<QueueShared>) {
                 jobs = guard;
             }
         };
+        let waited = job.enqueued.elapsed();
         let reply = match waited_too_long(&job, queue_default) {
-            Some(waited_ms) => Err(ServiceError::Timeout { waited_ms }),
-            None => run_supervised(&core, &job.req, depth),
+            Some(waited_ms) => {
+                core.flight().push(Timeline::event(
+                    job.trace,
+                    "queue_timeout",
+                    u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX),
+                    Some(format!("waited {waited_ms} ms")),
+                ));
+                Err(ServiceError::Timeout {
+                    trace: job.trace,
+                    waited_ms,
+                })
+            }
+            None => run_supervised(&core, &job.req, depth, job.trace, waited),
         };
         // A dropped ticket just discards the answer; never an error.
         let _ = job.reply.send(reply);
@@ -899,14 +1260,40 @@ fn worker_loop(core: Arc<ServeCore>, shared: Arc<QueueShared>) {
 /// request as poisoned with [`ServiceError::WorkerLost`] instead of
 /// retrying forever — deterministic panics would otherwise wedge the
 /// service on one request.
-fn run_supervised(core: &ServeCore, req: &Request, depth: usize) -> Result<Response, ServiceError> {
-    match catch_unwind(AssertUnwindSafe(|| core.handle(req, depth))) {
+fn run_supervised(
+    core: &ServeCore,
+    req: &Request,
+    depth: usize,
+    trace: TraceId,
+    queue_wait: Duration,
+) -> Result<Response, ServiceError> {
+    let queue_wait_ns = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
+    match catch_unwind(AssertUnwindSafe(|| {
+        core.handle_traced(req, depth, trace, queue_wait)
+    })) {
         Ok(r) => r,
-        Err(_) => {
+        Err(p) => {
             core.counters().add(Counter::ServeWorkerRestarts, 1);
-            match catch_unwind(AssertUnwindSafe(|| core.handle(req, depth))) {
+            core.flight().push(Timeline::event(
+                trace,
+                "panic_retry",
+                queue_wait_ns,
+                Some(panic_message(p.as_ref())),
+            ));
+            match catch_unwind(AssertUnwindSafe(|| {
+                core.handle_traced(req, depth, trace, queue_wait)
+            })) {
                 Ok(r) => r,
-                Err(p) => Err(ServiceError::WorkerLost(panic_message(p.as_ref()))),
+                Err(p) => {
+                    let why = panic_message(p.as_ref());
+                    core.flight().push(Timeline::event(
+                        trace,
+                        "worker_lost",
+                        queue_wait_ns,
+                        Some(why.clone()),
+                    ));
+                    Err(ServiceError::WorkerLost { trace, why })
+                }
             }
         }
     }
@@ -1135,8 +1522,9 @@ mod tests {
         for _ in 0..5 {
             match svc.submit(contained_request()) {
                 Ok(t) => tickets.push(t),
-                Err(ServiceError::ShedUnderLoad { queue_len }) => {
+                Err(e @ ServiceError::ShedUnderLoad { queue_len, .. }) => {
                     assert_eq!(queue_len, 2);
+                    assert!(svc.core().flight().find(e.trace()).is_some());
                     shed += 1;
                 }
                 Err(other) => panic!("unexpected {other:?}"),
@@ -1167,7 +1555,7 @@ mod tests {
         let t = svc.submit(contained_request()).unwrap();
         svc.begin_drain();
         match svc.submit(contained_request()) {
-            Err(ServiceError::Rejected(_)) => {}
+            Err(ServiceError::Rejected { .. }) => {}
             other => panic!("draining must reject, got {other:?}"),
         }
         assert_eq!(svc.health(), Health::Draining);
@@ -1196,7 +1584,7 @@ mod tests {
         // request is isolated as poisoned — but *answered*, with restarts
         // counted. A healthy request afterwards still succeeds.
         match reply {
-            Err(ServiceError::WorkerLost(_)) => {}
+            Err(ServiceError::WorkerLost { .. }) => {}
             other => panic!("expected WorkerLost, got {other:?}"),
         }
         assert!(svc.stats().worker_restarts >= 1);
@@ -1218,7 +1606,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         svc.unpause();
         match t.wait() {
-            Err(ServiceError::Timeout { waited_ms }) => assert!(waited_ms >= 1),
+            Err(ServiceError::Timeout { waited_ms, .. }) => assert!(waited_ms >= 1),
             other => panic!("expected Timeout, got {other:?}"),
         }
         svc.shutdown();

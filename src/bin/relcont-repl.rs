@@ -55,9 +55,12 @@ commands:
   :limit budget <units>   work-unit budget for subsequent commands
   :limit timeout <ms>     wall-clock deadline for subsequent commands
   :limit off              remove all resource limits
-  :serve-stats            service health, ladder tier, shed/resume counters
-                          (limited `check`s run through the qc-serve core;
-                          unknown verdicts are checkpointed and resumed)
+  :serve-stats            service health, ladder tier, shed/resume counters,
+                          and latency quantiles (limited `check`s run through
+                          the qc-serve core; unknown verdicts are
+                          checkpointed and resumed)
+  :flight                 per-request flight recorder: one timeline per
+                          serve-core request (trace, tier, stage times)
   reset                   clear everything
   help                    this text
   quit                    exit";
@@ -252,8 +255,9 @@ impl Session {
                         .map_err(|e| e.to_string())?;
                     let mut out = format!("{n1} vs {n2}: {}", resp.verdict);
                     out.push_str(&format!(
-                        " [tier={}{}]",
+                        " [tier={}, trace={}{}]",
                         resp.tier,
+                        resp.trace,
                         if resp.resumed { ", resumed" } else { "" }
                     ));
                     if let Verdict::Unknown(partial) = &resp.verdict {
@@ -466,6 +470,15 @@ impl Session {
                     core.stats(),
                     self.serve_checkpoints.len()
                 ))),
+            },
+            ":flight" | "flight" => match &self.serve {
+                None => Ok(Some(
+                    "no serve activity yet (limited `check`s run through the serve core)".into(),
+                )),
+                Some(core) if core.flight().is_empty() => {
+                    Ok(Some("flight recorder is empty".into()))
+                }
+                Some(core) => Ok(Some(core.flight().render().trim_end().to_string())),
             },
             ":stats" | "stats" => {
                 if rest == "reset" {

@@ -25,10 +25,17 @@
 //!
 //! ```text
 //! --trace              print the per-stage pipeline tree to stderr
-//! --metrics-json PATH  write the pipeline report (spans + counters) as JSON
+//! --metrics-json PATH  write the pipeline report (spans + counters +
+//!                      latency histograms) as JSON
+//! --prom PATH          write counters + histograms in Prometheus text
+//!                      exposition format
 //! --timeout MS         wall-clock deadline for the decision procedures
 //! --budget UNITS       work-unit budget (deterministic; counter-aligned)
 //! ```
+//!
+//! `serve` additionally accepts `--flight-recorder PATH`, dumping the
+//! last N per-request timelines (trace ID, tier, stage breakdown, guard
+//! trips) as JSON.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -96,7 +103,10 @@ usage:
                    contained, 1 = some refuted, 3 = any undecided)
 observability (any command):
   --trace              print the per-stage pipeline tree to stderr
-  --metrics-json PATH  write the pipeline report (spans + counters) as JSON
+  --metrics-json PATH  write the pipeline report (spans + counters +
+                       latency histograms) as JSON
+  --prom PATH          write counters + histograms as Prometheus text
+  --flight-recorder PATH  (serve) dump per-request timelines as JSON
 resource limits (any command; exit 3 when one stops the decision):
   --timeout MS         wall-clock deadline in milliseconds
   --budget UNITS       deterministic work-unit budget";
@@ -107,7 +117,8 @@ fn run(args: &[String]) -> Result<Outcome, String> {
     };
     let opts = parse_flags(rest)?;
     let metrics_path = opts.optional("metrics-json").map(str::to_string);
-    let recorder = if opts.trace || metrics_path.is_some() {
+    let prom_path = opts.optional("prom").map(str::to_string);
+    let recorder = if opts.trace || metrics_path.is_some() || prom_path.is_some() {
         Some(std::sync::Arc::new(qc_obs::PipelineRecorder::new()))
     } else {
         None
@@ -146,14 +157,22 @@ fn run(args: &[String]) -> Result<Outcome, String> {
         if let Some(path) = metrics_path {
             let json = serde_json::to_string_pretty(&report)
                 .map_err(|e| format!("metrics serialization: {e}"))?;
+            let hists = serde_json::to_string_pretty(&rec.histograms().to_json())
+                .map_err(|e| format!("metrics serialization: {e}"))?;
             let verdict = match &result {
                 Ok(Outcome::True) => "contained",
                 Ok(Outcome::False) => "not_contained",
                 Ok(Outcome::Unknown(_)) => "unknown",
                 Err(_) => "error",
             };
-            let wrapped = format!("{{\n  \"verdict\": \"{verdict}\",\n  \"report\": {json}\n}}");
+            let wrapped = format!(
+                "{{\n  \"verdict\": \"{verdict}\",\n  \"report\": {json},\n  \"histograms\": {hists}\n}}"
+            );
             std::fs::write(&path, wrapped).map_err(|e| format!("{path}: {e}"))?;
+        }
+        if let Some(path) = prom_path {
+            let text = qc_obs::prometheus_text(rec.counters(), rec.histograms());
+            std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
         }
     }
     result
@@ -538,7 +557,7 @@ fn cmd_serve(flags: &Flags) -> Result<Outcome, String> {
     for ((a, b), reply) in pairs.iter().zip(replies) {
         match reply {
             Ok(resp) => {
-                let mut note = format!("tier={}", resp.tier);
+                let mut note = format!("tier={}, trace={}", resp.tier, resp.trace);
                 if resp.resumed {
                     note.push_str(", resumed");
                 }
@@ -566,12 +585,25 @@ fn cmd_serve(flags: &Flags) -> Result<Outcome, String> {
         stats.resumed,
         stats.worker_restarts
     );
-    // Fold the service's aggregated counters into the thread recorder so
-    // --trace / --metrics-json report them like any other command.
+    eprintln!(
+        "serve latency: queue-wait {}; execute {}; end-to-end {}",
+        stats.queue_wait, stats.execute, stats.e2e
+    );
+    if let Some(path) = flags.optional("flight-recorder") {
+        let json = serde_json::to_string_pretty(&svc.core().flight().to_json())
+            .map_err(|e| format!("flight recorder serialization: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    }
+    // Fold the service's aggregated counters and histograms into the
+    // thread recorder so --trace / --metrics-json / --prom report them
+    // like any other command.
     for (name, n) in svc.core().counters().nonzero() {
         if let Some(c) = qc_obs::Counter::from_name(&name) {
             qc_obs::count(c, n);
         }
+    }
+    if let Some(rec) = qc_obs::current() {
+        rec.absorb_hists(svc.core().histograms());
     }
     svc.shutdown();
     Ok(if undecided > 0 {

@@ -414,9 +414,12 @@ fn cli_serve_batch_exit_codes_and_stats() {
     );
     let bin = env!("CARGO_BIN_EXE_relcont");
 
-    // All pairs contained: exit 0, every line tagged with the tier, and
-    // the stderr summary accounts for every job (none lost, none shed).
+    // All pairs contained: exit 0, every line tagged with the tier and a
+    // trace ID, and the stderr summary accounts for every job (none lost,
+    // none shed) with a latency digest. The flight-recorder dump keeps a
+    // timeline per request.
     let jobs = write_tmp(&dir, "ok.txt", "% contained pairs\nq1 q2\nq2 q1\n");
+    let flight = dir.join("flight.json");
     let out = Command::new(bin)
         .args(["serve", "--views"])
         .arg(&views)
@@ -424,21 +427,27 @@ fn cli_serve_batch_exit_codes_and_stats() {
         .arg(&queries)
         .args(["--jobs"])
         .arg(&jobs)
+        .args(["--flight-recorder"])
+        .arg(&flight)
         .output()
         .expect("run relcont serve");
     assert_eq!(out.status.code(), Some(0), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains("q1 vs q2: contained [tier=full]"),
+        stdout.contains("q1 vs q2: contained [tier=full, trace=t-"),
         "{stdout}"
     );
     assert!(
-        stdout.contains("q2 vs q1: contained [tier=full]"),
+        stdout.contains("q2 vs q1: contained [tier=full, trace=t-"),
         "{stdout}"
     );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("serve: 2 job(s)"), "{stderr}");
     assert!(stderr.contains("2 completed, 0 shed"), "{stderr}");
+    assert!(stderr.contains("serve latency: queue-wait"), "{stderr}");
+    let dump = std::fs::read_to_string(&flight).expect("flight dump written");
+    assert!(dump.matches("\"trace\"").count() >= 2, "{dump}");
+    assert!(dump.contains("\"outcome\": \"contained\""), "{dump}");
 
     // A refuted pair (and no undecided ones): exit 1.
     let jobs = write_tmp(&dir, "refuted.txt", "q1 q2\nq2 q3\n");

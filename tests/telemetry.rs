@@ -1,0 +1,223 @@
+//! Telemetry v2 integration tests: every answer (and every error) the
+//! service hands out carries a trace ID that resolves in the flight
+//! recorder, the per-tier latency histograms populate as requests run,
+//! the flight ring honours its configured capacity, and supervision
+//! events (worker panics) leave resolvable timelines behind.
+
+use std::time::Duration;
+
+use relcont::datalog::{parse_program, Program, Symbol};
+use relcont::guard::{FaultKind, FaultPlan};
+use relcont::mediator::relative::Verdict;
+use relcont::mediator::schema::example1_sources;
+use relcont::obs::{Hist, Histograms};
+use relcont::serve::{Request, ServeConfig, ServeCore, Service, ServiceError, Tier, TraceId};
+
+fn sym(s: &str) -> Symbol {
+    Symbol::new(s)
+}
+
+fn q1_prog() -> Program {
+    parse_program(
+        "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
+    )
+    .unwrap()
+}
+
+fn q2_prog() -> Program {
+    parse_program("q2(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).")
+        .unwrap()
+}
+
+fn contained_request() -> Request {
+    Request::new(q1_prog(), sym("q1"), q2_prog(), sym("q2"))
+}
+
+/// Every response resolves in the flight recorder: same trace, matching
+/// outcome/tier/timings — and distinct requests get distinct traces.
+#[test]
+fn service_responses_resolve_in_the_flight_recorder() {
+    let svc = Service::start(example1_sources(), ServeConfig::default());
+    let mut traces: Vec<TraceId> = Vec::new();
+    for _ in 0..4 {
+        let resp = svc.submit(contained_request()).unwrap().wait().unwrap();
+        assert_eq!(resp.verdict, Verdict::Contained);
+        let t = svc
+            .core()
+            .flight()
+            .find(resp.trace)
+            .expect("response trace resolves");
+        assert_eq!(t.outcome, "contained");
+        assert_eq!(t.tier, Some(Tier::Full));
+        assert_eq!(t.queue_wait_ns, resp.queue_wait_ns);
+        assert!(t.execute_ns > 0, "execution took measurable time");
+        assert_eq!(t.total_ns, t.queue_wait_ns + t.execute_ns);
+        assert!(
+            t.stages.iter().any(|s| s.calls > 0),
+            "per-stage breakdown recorded: {:?}",
+            t.stages
+        );
+        traces.push(resp.trace);
+    }
+    traces.sort_by_key(|t| t.0);
+    traces.dedup();
+    assert_eq!(traces.len(), 4, "traces are unique");
+    svc.shutdown();
+}
+
+/// Shed submissions are errors, but they still get a trace — and the
+/// trace resolves to a `shed` timeline naming the queue length.
+#[test]
+fn shed_errors_carry_resolvable_traces() {
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        start_paused: true,
+        ..ServeConfig::default()
+    };
+    let svc = Service::start(example1_sources(), cfg);
+    let ticket = svc.submit(contained_request()).unwrap();
+    let shed = match svc.submit(contained_request()) {
+        Err(e @ ServiceError::ShedUnderLoad { .. }) => e,
+        other => panic!("expected shed, got {other:?}"),
+    };
+    let t = svc
+        .core()
+        .flight()
+        .find(shed.trace())
+        .expect("shed trace resolves");
+    assert_eq!(t.outcome, "shed");
+    assert!(t.trip.as_deref().unwrap_or("").contains("queue full"));
+    assert_ne!(shed.trace(), ticket.trace(), "shed and admitted differ");
+    svc.unpause();
+    ticket.wait().unwrap();
+    svc.shutdown();
+}
+
+/// Direct core runs populate the per-tier latency histograms, the
+/// response surfaces its queue wait, and the stats digest carries
+/// non-empty quantile summaries.
+#[test]
+fn latency_histograms_populate_per_tier() {
+    let core = ServeCore::new(example1_sources(), ServeConfig::default());
+    let n = 3;
+    for _ in 0..n {
+        let resp = core.handle(&contained_request(), 0).unwrap();
+        assert_eq!(resp.queue_wait_ns, 0, "direct handle never queues");
+    }
+    let hists: &Histograms = core.histograms();
+    for h in [
+        Hist::ServeQueueWaitFullNs,
+        Hist::ServeExecuteFullNs,
+        Hist::ServeE2eFullNs,
+    ] {
+        assert_eq!(hists.get(h).count(), n, "{h} sample count");
+    }
+    assert!(hists.get(Hist::ServeExecuteFullNs).sum() > 0);
+    assert!(
+        hists.get(Hist::ServeE2eFullNs).sum() >= hists.get(Hist::ServeExecuteFullNs).sum(),
+        "end-to-end dominates execute"
+    );
+    // Degraded tiers have their own slots, untouched so far.
+    assert!(hists.get(Hist::ServeExecuteMiniconNs).is_empty());
+
+    let stats = core.stats();
+    assert_eq!(stats.execute.count, n);
+    assert_eq!(stats.e2e.count, n);
+    assert!(stats.e2e.p50_ns >= stats.execute.p50_ns / 2, "sane medians");
+    let digest = stats.to_string();
+    assert!(digest.contains("queue-wait:"), "{digest}");
+    assert!(digest.contains("end-to-end:"), "{digest}");
+
+    // The same bank drives the Prometheus exposition.
+    let text = qc_obs::prometheus_text(core.counters(), hists);
+    assert!(text.contains("# TYPE relcont_serve_execute_full_ns histogram"));
+    assert!(text.contains("relcont_serve_execute_full_ns_count 3"));
+    assert!(text.contains("_bucket{le=\"+Inf\"} 3"));
+}
+
+/// The flight ring never outgrows its configured capacity; the newest
+/// timelines survive, the oldest are evicted.
+#[test]
+fn flight_ring_is_bounded_by_flight_capacity() {
+    let cfg = ServeConfig {
+        flight_capacity: 4,
+        ..ServeConfig::default()
+    };
+    let core = ServeCore::new(example1_sources(), cfg);
+    let mut traces = Vec::new();
+    for _ in 0..10 {
+        traces.push(core.handle(&contained_request(), 0).unwrap().trace);
+    }
+    assert_eq!(core.flight().len(), 4);
+    assert_eq!(core.flight().capacity(), 4);
+    for old in &traces[..6] {
+        assert!(core.flight().find(*old).is_none(), "{old} evicted");
+    }
+    for recent in &traces[6..] {
+        assert!(core.flight().find(*recent).is_some(), "{recent} retained");
+    }
+}
+
+/// A twice-panicking request is answered with `WorkerLost`; its trace
+/// resolves to a terminal `worker_lost` timeline, preceded by a
+/// `panic_retry` supervision event on the same trace.
+#[test]
+fn worker_panics_leave_supervision_timelines() {
+    let cfg = ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let svc = Service::start(example1_sources(), cfg);
+    let mut req = contained_request();
+    req.fault = Some(FaultPlan {
+        stage: relcont::guard::stage::HOM_SEARCH,
+        at_tick: 1,
+        kind: FaultKind::Panic,
+    });
+    let err = match svc.submit(req).unwrap().wait() {
+        Err(e @ ServiceError::WorkerLost { .. }) => e,
+        other => panic!("expected WorkerLost, got {other:?}"),
+    };
+    let timelines = svc.core().flight().snapshot();
+    let terminal = svc
+        .core()
+        .flight()
+        .find(err.trace())
+        .expect("worker_lost trace resolves");
+    assert_eq!(terminal.outcome, "worker_lost");
+    assert!(
+        timelines
+            .iter()
+            .any(|t| t.trace == err.trace() && t.outcome == "panic_retry"),
+        "supervision retry recorded: {timelines:?}"
+    );
+    svc.shutdown();
+}
+
+/// Queue timeouts are answered without running — and still traced.
+#[test]
+fn queue_timeouts_are_traced() {
+    let cfg = ServeConfig {
+        workers: 1,
+        start_paused: true,
+        queue_timeout: Some(Duration::from_millis(1)),
+        ..ServeConfig::default()
+    };
+    let svc = Service::start(example1_sources(), cfg);
+    let ticket = svc.submit(contained_request()).unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    svc.unpause();
+    let err = match ticket.wait() {
+        Err(e @ ServiceError::Timeout { .. }) => e,
+        other => panic!("expected queue timeout, got {other:?}"),
+    };
+    let t = svc
+        .core()
+        .flight()
+        .find(err.trace())
+        .expect("timeout trace resolves");
+    assert_eq!(t.outcome, "queue_timeout");
+    assert!(t.queue_wait_ns > 0, "the wait itself is recorded");
+    svc.shutdown();
+}
