@@ -1,0 +1,124 @@
+//! `interner_microbench` — throughput of the global symbol and value
+//! interners, plus their end-of-run statistics.
+//!
+//! The interned-id term representation rests on two global tables: the
+//! string interner behind [`qc_datalog::Symbol`] and the hash-consed
+//! ground-value table in [`qc_datalog::value`]. Every hot path — parsing,
+//! relation storage, join probes, homomorphism buckets — goes through
+//! them, so their per-operation cost is worth a dedicated number. This bin
+//! measures, in nanoseconds per operation:
+//!
+//! * `symbol_intern_fresh_ns` — interning a never-seen string (write-lock
+//!   slow path: leak, index insert);
+//! * `symbol_intern_hit_ns` — re-interning a known string (read-lock fast
+//!   path);
+//! * `symbol_resolve_ns` — `Symbol::as_str` (thread-local cache hit after
+//!   the first resolution; lock-free steady state);
+//! * `value_intern_fresh_ns` / `value_intern_hit_ns` / `value_resolve_ns`
+//!   — the same three shapes for ground [`Term`] values.
+//!
+//! ```sh
+//! cargo run --release -p qc-bench --bin interner_microbench
+//! ```
+//!
+//! Output is a JSON object on stdout with the throughput numbers and both
+//! interners' statistics (size, bytes, lookups, hit rate, resizes) as
+//! reported by [`qc_datalog::interner_stats`] and
+//! [`qc_datalog::value::value_stats`] — the same figures `relcont
+//! --metrics-json` surfaces.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use qc_datalog::value;
+use qc_datalog::{interner_stats, InternerStats, Symbol, Term};
+use serde_json::Value;
+
+/// Operations per measured batch.
+const OPS: u64 = 100_000;
+/// Distinct keys in the hit-path batches (cycled).
+const HOT_SET: u64 = 512;
+
+/// Runs `f(i)` for `i in 0..OPS` and returns whole nanoseconds per op.
+fn ns_per_op(mut f: impl FnMut(u64)) -> u64 {
+    let t0 = Instant::now();
+    for i in 0..OPS {
+        f(i);
+    }
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX) / OPS
+}
+
+fn stats_json(s: &InternerStats) -> Value {
+    Value::Object(vec![
+        ("symbols".to_string(), Value::UInt(s.symbols)),
+        ("bytes".to_string(), Value::UInt(s.bytes)),
+        ("lookups".to_string(), Value::UInt(s.lookups)),
+        ("hits".to_string(), Value::UInt(s.hits)),
+        ("resizes".to_string(), Value::UInt(s.resizes)),
+    ])
+}
+
+fn main() {
+    // Fresh-path batches use a distinct prefix so re-runs inside one
+    // process (tests) still hit the slow path.
+    let run = std::process::id();
+
+    let symbol_fresh = ns_per_op(|i| {
+        black_box(Symbol::new(format!("imb_{run}_s{i}")));
+    });
+    // Warm the hot set, then measure the hit path without the formatting
+    // cost dominating: pre-render the keys once.
+    let hot: Vec<String> = (0..HOT_SET).map(|i| format!("imb_{run}_s{i}")).collect();
+    let symbol_hit = ns_per_op(|i| {
+        black_box(Symbol::new(&hot[(i % HOT_SET) as usize]));
+    });
+    let syms: Vec<Symbol> = hot.iter().map(Symbol::new).collect();
+    let symbol_resolve = ns_per_op(|i| {
+        black_box(syms[(i % HOT_SET) as usize].as_str());
+    });
+
+    let value_fresh = ns_per_op(|i| {
+        black_box(value::intern(&Term::sym(format!("imb_{run}_v{i}"))));
+    });
+    let hot_terms: Vec<Term> = (0..HOT_SET)
+        .map(|i| Term::sym(format!("imb_{run}_v{i}")))
+        .collect();
+    let value_hit = ns_per_op(|i| {
+        black_box(value::intern(&hot_terms[(i % HOT_SET) as usize]));
+    });
+    let ids: Vec<u32> = hot_terms.iter().map(value::intern).collect();
+    let value_resolve = ns_per_op(|i| {
+        black_box(value::resolve(ids[(i % HOT_SET) as usize]));
+    });
+
+    let report = Value::Object(vec![
+        (
+            "schema".to_string(),
+            Value::Str("interner_microbench/v1".to_string()),
+        ),
+        ("ops_per_batch".to_string(), Value::UInt(OPS)),
+        (
+            "ns_per_op".to_string(),
+            Value::Object(vec![
+                ("symbol_intern_fresh".to_string(), Value::UInt(symbol_fresh)),
+                ("symbol_intern_hit".to_string(), Value::UInt(symbol_hit)),
+                ("symbol_resolve".to_string(), Value::UInt(symbol_resolve)),
+                ("value_intern_fresh".to_string(), Value::UInt(value_fresh)),
+                ("value_intern_hit".to_string(), Value::UInt(value_hit)),
+                ("value_resolve".to_string(), Value::UInt(value_resolve)),
+            ]),
+        ),
+        ("symbol_interner".to_string(), stats_json(&interner_stats())),
+        (
+            "value_interner".to_string(),
+            stats_json(&value::value_stats()),
+        ),
+    ]);
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => println!("{json}"),
+        Err(e) => {
+            eprintln!("serialization failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}

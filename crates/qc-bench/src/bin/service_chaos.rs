@@ -82,7 +82,7 @@ fn random_case(rng: &mut StdRng) -> Option<Case> {
     };
     Some(Case {
         views,
-        req: Request::new(p1, q.clone(), p2, q),
+        req: Request::new(p1, q, p2, q),
         oracle,
     })
 }

@@ -13,6 +13,7 @@
 //! interpretation, §5), because any strict-cycle-free weak order over
 //! finitely many nodes embeds into the rationals.
 
+use qc_obs::fx::FxHashMap;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -268,7 +269,9 @@ impl fmt::Display for ConstraintSet {
 #[derive(Debug)]
 pub(crate) struct Closure {
     pub(crate) nodes: Vec<Node>,
-    index: HashMap<Node, usize>,
+    /// Interned comparison endpoints make [`Node`] a small `Copy` key, so
+    /// the index map uses the engine's fast non-cryptographic hasher.
+    index: FxHashMap<Node, usize>,
     /// `rel[i][j]`: known relation from node `i` to node `j`.
     rel: Vec<Vec<Edge>>,
     /// `ne[i][j]`: `i != j` asserted (symmetric).
@@ -287,7 +290,8 @@ impl Closure {
                 nodes.push(*n);
             }
         }
-        let index: HashMap<Node, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let index: FxHashMap<Node, usize> =
+            nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
         let n = nodes.len();
         let mut rel = vec![vec![Edge::None; n]; n];
         let mut ne = vec![vec![false; n]; n];

@@ -48,12 +48,12 @@ pub fn freeze(q: &ConjunctiveQuery) -> Frozen {
 fn freeze_term_rec(t: &Term, frozen_of: &mut HashMap<Var, Term>) -> Term {
     match t {
         Term::Var(v) => frozen_of
-            .entry(v.clone())
+            .entry(*v)
             .or_insert_with(|| Term::sym(format!("@{}", v.name())))
             .clone(),
         Term::Const(_) => t.clone(),
         Term::App(f, args) => Term::App(
-            f.clone(),
+            *f,
             args.iter().map(|a| freeze_term_rec(a, frozen_of)).collect(),
         ),
     }

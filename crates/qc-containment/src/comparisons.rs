@@ -60,7 +60,7 @@ impl NodeMap {
                 }
                 let id = VarId(self.next);
                 self.next += 1;
-                self.vars.insert(v.clone(), id);
+                self.vars.insert(*v, id);
                 Node::Var(id)
             }
             Term::Const(Const::Num(r)) => Node::Const(*r),
@@ -207,7 +207,7 @@ fn linearization_covered(
         let rep = &rep_of_block[&b];
         if let Term::Var(v) = t {
             if rep != t {
-                sigma.bind(v.clone(), rep.clone());
+                sigma.bind(*v, rep.clone());
             }
         }
         // Non-variable terms equated with a different representative can

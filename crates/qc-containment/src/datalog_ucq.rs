@@ -154,7 +154,7 @@ fn pattern_of(args: &[Term]) -> Pattern {
                     PatTerm::Var((seen.len() - 1) as u8)
                 }
             }
-            Term::Const(c) => PatTerm::C(c.clone()),
+            Term::Const(c) => PatTerm::C(*c),
             Term::App(..) => unreachable!("validated function-free"),
         })
         .collect()
@@ -168,7 +168,7 @@ fn pattern_template(pat: &Pattern, gen: &mut VarGen) -> Vec<Term> {
                 .entry(*i)
                 .or_insert_with(|| Term::Var(gen.fresh()))
                 .clone(),
-            PatTerm::C(c) => Term::Const(c.clone()),
+            PatTerm::C(c) => Term::Const(*c),
         })
         .collect()
 }
@@ -222,7 +222,7 @@ fn pin_options(cargs: &[Term], v: &Term) -> Vec<Pin> {
         .map(|(l, _)| Pin::Pos(l as u8))
         .collect();
     if let Term::Const(c) = v {
-        out.push(Pin::C(c.clone()));
+        out.push(Pin::C(*c));
     }
     out
 }
@@ -384,7 +384,7 @@ fn enumerate_placements(
             // vocabulary (constants can occur arbitrarily deep).
             let mut cands: Vec<Term> = st.children[cs[0]].0.to_vec();
             for k in &st.ctx.consts {
-                let t = Term::Const(k.clone());
+                let t = Term::Const(*k);
                 if !cands.contains(&t) {
                     cands.push(t);
                 }
@@ -563,7 +563,7 @@ fn compose(
                             }
                         }
                         if let Term::Const(c) = v {
-                            opts.push(Some(Pin::C(c.clone())));
+                            opts.push(Some(Pin::C(*c)));
                         }
                     }
                     per_var.push((x, opts));
@@ -814,7 +814,7 @@ pub fn datalog_contained_in_ucq(
         let note = |t: &Term, var_idx: &mut HashMap<Var, u8>| {
             if let Term::Var(v) = t {
                 let next = var_idx.len() as u8;
-                var_idx.entry(v.clone()).or_insert(next);
+                var_idx.entry(*v).or_insert(next);
             }
         };
         for a in &d.subgoals {
@@ -865,7 +865,7 @@ pub fn datalog_contained_in_ucq(
     let mut types: HashMap<(Symbol, Pattern), Vec<TypeSet>> = HashMap::new();
     let mut demands = DemandSet::default();
     for rule in p.rules() {
-        demands.demand(rule.head.pred.clone(), pattern_of(&rule.head.args));
+        demands.demand(rule.head.pred, pattern_of(&rule.head.args));
     }
     let mut gen = VarGen::new();
     let mut iterations = 0usize;
@@ -906,13 +906,13 @@ pub fn datalog_contained_in_ucq(
                         let cache_key = (rule_idx, delta.clone(), combo.clone());
                         if let Some((pred, pat, ty)) = compose_cache.get(&cache_key) {
                             qc_obs::count(qc_obs::Counter::FixpointComposeCacheHits, 1);
-                            pending.push((pred.clone(), pat.clone(), ty.clone()));
+                            pending.push((*pred, pat.clone(), ty.clone()));
                             return Ok(());
                         }
                         let ty = compose(&ctx, spec, children, &spec.head.args)?;
-                        let pred = spec.head.pred.clone();
+                        let pred = spec.head.pred;
                         let pat = pattern_of(&spec.head.args);
-                        compose_cache.insert(cache_key, (pred.clone(), pat.clone(), ty.clone()));
+                        compose_cache.insert(cache_key, (pred, pat.clone(), ty.clone()));
                         pending.push((pred, pat, ty));
                         Ok(())
                     },
@@ -1034,7 +1034,7 @@ fn for_each_specialization(
                         .collect::<Vec<_>>(),
                 );
                 if &final_shape != pat {
-                    demands.demand(idb_atoms[i].pred.clone(), final_shape);
+                    demands.demand(idb_atoms[i].pred, final_shape);
                     let _ = call_args;
                     return Ok(());
                 }

@@ -17,6 +17,22 @@ use std::cell::Cell;
 /// containment memo (see [`crate::memo`]).
 pub const DEFAULT_MEMO_CAPACITY: usize = 4096;
 
+/// Default [`EngineOptions::tier_hom_product`]: homomorphism instances
+/// whose `|from subgoals| × |to subgoals|` is at or below this run the
+/// direct linear-scan kernel — bucket construction and goal ordering cost
+/// more than they save on such instances.
+pub const DEFAULT_TIER_HOM_PRODUCT: usize = 4096;
+
+/// Default [`EngineOptions::tier_memo_size`]: containment questions whose
+/// combined subgoal count is below this bypass the canonical memo —
+/// canonicalizing and hashing the key costs more than re-deciding.
+pub const DEFAULT_TIER_MEMO_SIZE: usize = 16;
+
+/// Default [`EngineOptions::tier_parallel_min`]: batches smaller than this
+/// stay on the calling thread — spawning scoped workers costs more than
+/// the items.
+pub const DEFAULT_TIER_PARALLEL_MIN: usize = 8;
+
 /// Tuning knobs for the containment engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineOptions {
@@ -30,6 +46,21 @@ pub struct EngineOptions {
     pub hom_buckets: bool,
     /// Capacity of the canonical containment memo; `0` disables it.
     pub memo_capacity: usize,
+    /// Adaptive tiering: size-estimate each instance and skip the
+    /// optimized machinery (bucketing, memoization, parallel fan-out) when
+    /// the instance is too small to amortize its setup cost. `false` runs
+    /// the configured machinery unconditionally (the pre-tiering
+    /// behavior); [`EngineOptions::naive`] never has machinery to skip.
+    pub adaptive: bool,
+    /// Adaptive threshold: route the homomorphism search to the direct
+    /// kernel when `|from subgoals| × |to subgoals|` is at or below this.
+    pub tier_hom_product: usize,
+    /// Adaptive threshold: bypass the containment memo when the combined
+    /// subgoal count of the two queries is below this.
+    pub tier_memo_size: usize,
+    /// Adaptive threshold: keep [`parallel_map`] batches smaller than this
+    /// on the calling thread.
+    pub tier_parallel_min: usize,
 }
 
 impl Default for EngineOptions {
@@ -38,18 +69,26 @@ impl Default for EngineOptions {
             parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
             hom_buckets: true,
             memo_capacity: DEFAULT_MEMO_CAPACITY,
+            adaptive: true,
+            tier_hom_product: DEFAULT_TIER_HOM_PRODUCT,
+            tier_memo_size: DEFAULT_TIER_MEMO_SIZE,
+            tier_parallel_min: DEFAULT_TIER_PARALLEL_MIN,
         }
     }
 }
 
 impl EngineOptions {
     /// The order-naïve reference configuration: sequential, linear-scan
-    /// homomorphism search, no memo.
+    /// homomorphism search, no memo, no tiering.
     pub fn naive() -> EngineOptions {
         EngineOptions {
             parallelism: 1,
             hom_buckets: false,
             memo_capacity: 0,
+            adaptive: false,
+            tier_hom_product: 0,
+            tier_memo_size: 0,
+            tier_parallel_min: 0,
         }
     }
 
@@ -67,6 +106,12 @@ impl EngineOptions {
             parallelism: parallelism.max(1),
             ..self
         }
+    }
+
+    /// This configuration with adaptive tiering forced on or off (the
+    /// optimized machinery runs unconditionally when off).
+    pub fn with_adaptive(self, adaptive: bool) -> EngineOptions {
+        EngineOptions { adaptive, ..self }
     }
 }
 
@@ -127,7 +172,9 @@ where
 {
     let opts = current();
     let workers = opts.parallelism.max(1).min(items.len());
-    if workers <= 1 {
+    // Adaptive tier gate: a scoped-thread fan-out costs tens of
+    // microseconds before any item runs; tiny batches never win it back.
+    if workers <= 1 || (opts.adaptive && items.len() < opts.tier_parallel_min) {
         return items.iter().map(f).collect();
     }
     let worker_opts = opts.with_parallelism(1);
@@ -207,12 +254,18 @@ mod tests {
         assert!(d.hom_buckets);
         assert!(d.parallelism >= 1);
         assert_eq!(d.memo_capacity, DEFAULT_MEMO_CAPACITY);
+        assert!(d.adaptive);
+        assert_eq!(d.tier_hom_product, DEFAULT_TIER_HOM_PRODUCT);
+        assert_eq!(d.tier_memo_size, DEFAULT_TIER_MEMO_SIZE);
+        assert_eq!(d.tier_parallel_min, DEFAULT_TIER_PARALLEL_MIN);
         let n = EngineOptions::naive();
         assert!(!n.hom_buckets);
         assert_eq!(n.parallelism, 1);
         assert_eq!(n.memo_capacity, 0);
+        assert!(!n.adaptive);
         assert_eq!(EngineOptions::sequential().parallelism, 1);
         assert_eq!(n.with_parallelism(0).parallelism, 1);
+        assert!(!EngineOptions::sequential().with_adaptive(false).adaptive);
     }
 
     #[test]
@@ -240,10 +293,33 @@ mod tests {
             items.len() as u64
         );
         // Workers run with parallelism pinned to 1 (no nested fan-out).
-        let nested = with_options(EngineOptions::sequential().with_parallelism(2), || {
+        // Tiering off: a 2-item batch would otherwise stay on the caller.
+        let nested_opts = EngineOptions::sequential()
+            .with_parallelism(2)
+            .with_adaptive(false);
+        let nested = with_options(nested_opts, || {
             parallel_map(&[0u8, 1], |_| current().parallelism)
         });
         assert_eq!(nested, vec![1, 1]);
+    }
+
+    #[test]
+    fn adaptive_tier_keeps_small_batches_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        // Below the threshold: the closure observes the caller's thread.
+        let small: Vec<bool> =
+            with_options(EngineOptions::sequential().with_parallelism(4), || {
+                parallel_map(&[1u8, 2], |_| std::thread::current().id() == caller)
+            });
+        assert_eq!(small, vec![true, true]);
+        // Same batch with tiering off: it fans out to workers.
+        let forced: Vec<bool> = with_options(
+            EngineOptions::sequential()
+                .with_parallelism(4)
+                .with_adaptive(false),
+            || parallel_map(&[1u8, 2], |_| std::thread::current().id() == caller),
+        );
+        assert_eq!(forced, vec![false, false]);
     }
 
     #[test]

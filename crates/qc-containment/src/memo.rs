@@ -17,7 +17,9 @@
 //! hits, so the resident set stays within `2 × capacity` with O(1)
 //! operations. Capacity comes from
 //! [`crate::engine::EngineOptions::memo_capacity`]; `0` bypasses the cache
-//! entirely (the naïve reference path).
+//! entirely (the naïve reference path), and under adaptive tiering
+//! near-trivial questions skip it too
+//! ([`crate::engine::EngineOptions::tier_memo_size`]).
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -88,8 +90,14 @@ pub fn cq_contained_memo(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
     // One work unit per containment question asked through the memo (hits
     // and misses both — the canonicalization alone is real work).
     qc_guard::trip(qc_guard::stage::MEMO, 1);
-    let capacity = engine::current().memo_capacity;
+    let opts = engine::current();
+    let capacity = opts.memo_capacity;
     if capacity == 0 {
+        return cq_contained(q1, q2);
+    }
+    // Adaptive tier gate: canonicalizing both sides and hashing the key
+    // costs more than re-deciding a near-trivial containment question.
+    if opts.adaptive && q1.subgoals.len() + q2.subgoals.len() < opts.tier_memo_size {
         return cq_contained(q1, q2);
     }
     let key = (canonical_key(q1), canonical_key(q2));
@@ -143,13 +151,14 @@ mod tests {
         ];
         for (a, b) in pairs {
             let (qa, qb) = (q(a), q(b));
+            // Tiering off so these 1-atom pairs actually go through the
+            // cache (the adaptive tier would decide them directly).
+            let opts = EngineOptions::sequential().with_adaptive(false);
             let direct = cq_contained(&qa, &qb);
-            let memoized =
-                engine::with_options(EngineOptions::sequential(), || cq_contained_memo(&qa, &qb));
+            let memoized = engine::with_options(opts, || cq_contained_memo(&qa, &qb));
             assert_eq!(direct, memoized, "{a} ⊆ {b}");
             // Second ask hits the cache and still agrees.
-            let again =
-                engine::with_options(EngineOptions::sequential(), || cq_contained_memo(&qa, &qb));
+            let again = engine::with_options(opts, || cq_contained_memo(&qa, &qb));
             assert_eq!(direct, again, "{a} ⊆ {b} (cached)");
         }
     }
@@ -158,7 +167,7 @@ mod tests {
     fn alpha_equivalent_pairs_share_an_entry() {
         clear();
         let rec = Arc::new(qc_obs::PipelineRecorder::new());
-        engine::with_options(EngineOptions::sequential(), || {
+        engine::with_options(EngineOptions::sequential().with_adaptive(false), || {
             let _g = qc_obs::install(rec.clone());
             assert!(cq_contained_memo(
                 &q("q(X) :- e(X, Y), e(Y, Z)."),
@@ -192,11 +201,31 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_tier_bypasses_memo_for_tiny_questions() {
+        clear();
+        let rec = Arc::new(qc_obs::PipelineRecorder::new());
+        engine::with_options(EngineOptions::sequential(), || {
+            let _g = qc_obs::install(rec.clone());
+            // 1 + 1 subgoals < DEFAULT_TIER_MEMO_SIZE: decided directly.
+            assert!(cq_contained_memo(
+                &q("q(X) :- r(X, X)."),
+                &q("q(A) :- r(A, B).")
+            ));
+        });
+        assert_eq!(rec.counters().get(qc_obs::Counter::MemoHits), 0);
+        assert_eq!(rec.counters().get(qc_obs::Counter::MemoMisses), 0);
+        assert_eq!(resident(), 0);
+        clear();
+    }
+
+    #[test]
     fn capacity_bound_holds() {
         clear();
+        // Tiering off: the 1-atom probe pairs below would otherwise bypass
+        // the memo entirely.
         let opts = EngineOptions {
             memo_capacity: 8,
-            ..EngineOptions::sequential()
+            ..EngineOptions::sequential().with_adaptive(false)
         };
         engine::with_options(opts, || {
             for i in 0..100 {

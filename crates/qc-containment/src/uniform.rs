@@ -49,11 +49,11 @@ pub fn uniformly_contained(
         let arity = arities_q.get(pred).or_else(|| arities_p.get(pred)).copied();
         let Some(arity) = arity else { continue };
         let seeded = Symbol::new(format!("{}__seed", pred));
-        seed_name.insert(pred.clone(), seeded.clone());
+        seed_name.insert(*pred, seeded);
         let args: Vec<Term> = (0..arity).map(|i| Term::var(format!("X{i}"))).collect();
         q_seeded.push(Rule::new(
             Atom {
-                pred: pred.clone(),
+                pred: *pred,
                 args: args.clone(),
             },
             vec![Atom { pred: seeded, args }.into()],
@@ -70,7 +70,7 @@ pub fn uniformly_contained(
         let mut freeze = |t: &Term| freeze_term(t, &mut frozen_of);
         let mut db = Database::new();
         for atom in rule.body_atoms() {
-            let pred = seed_name.get(&atom.pred).unwrap_or(&atom.pred).clone();
+            let pred = *seed_name.get(&atom.pred).unwrap_or(&atom.pred);
             let tuple = atom.args.iter().map(&mut freeze).collect();
             db.insert(pred.as_str(), tuple);
         }
@@ -86,14 +86,13 @@ pub fn uniformly_contained(
 fn freeze_term(t: &Term, frozen_of: &mut HashMap<Var, Term>) -> Term {
     match t {
         Term::Var(v) => frozen_of
-            .entry(v.clone())
+            .entry(*v)
             .or_insert_with(|| Term::sym(format!("@{}", v.name())))
             .clone(),
         Term::Const(_) => t.clone(),
-        Term::App(f, args) => Term::App(
-            f.clone(),
-            args.iter().map(|a| freeze_term(a, frozen_of)).collect(),
-        ),
+        Term::App(f, args) => {
+            Term::App(*f, args.iter().map(|a| freeze_term(a, frozen_of)).collect())
+        }
     }
 }
 

@@ -153,7 +153,7 @@ mod tests {
         ];
         for (psrc, qsrcs) in cases {
             let p = parse_program(psrc).unwrap();
-            let ans = p.rules()[0].head.pred.clone();
+            let ans = p.rules()[0].head.pred;
             let q = Ucq::new(qsrcs.iter().map(|s| parse_query(s).unwrap()).collect()).unwrap();
             let decided =
                 datalog_contained_in_ucq(&p, &ans, &q, &FixpointBudget::default()).unwrap();

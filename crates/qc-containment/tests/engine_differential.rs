@@ -47,7 +47,7 @@ fn random_cq(rng: &mut StdRng, head_arity: usize) -> ConjunctiveQuery {
     let body_vars: Vec<_> = subgoals.iter().flat_map(|a| a.vars()).collect();
     let head_args: Vec<Term> = (0..head_arity)
         .map(|_| match body_vars.first() {
-            Some(_) => Term::Var(body_vars[rng.gen_range(0..body_vars.len())].clone()),
+            Some(_) => Term::Var(body_vars[rng.gen_range(0..body_vars.len())]),
             None => Term::int(0),
         })
         .collect();
@@ -118,6 +118,35 @@ proptest! {
             prop_assert_eq!(oracle, memo1, "{} (memo): q1: {} q2: {}", name, q1, q2);
             prop_assert_eq!(oracle, memo2, "{} (cached): q1: {} q2: {}", name, q1, q2);
         }
+    }
+
+    #[test]
+    fn direct_tier_counters_match_naive_oracle(seed in any::<u64>()) {
+        // The adaptive direct tier is a drop-in replacement for the naïve
+        // kernel: below the tier threshold it must do exactly the same
+        // work, counter for counter, not just reach the same verdict.
+        // (The bucketed tier above the threshold legitimately explores
+        // fewer nodes; this pins the small-instance path to zero drift.)
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q1 = random_cq(&mut rng, 1);
+        let q2 = random_cq(&mut rng, 1);
+        let observe = |opts: EngineOptions| {
+            let rec = std::sync::Arc::new(qc_obs::PipelineRecorder::new());
+            let verdict = {
+                let _g = qc_obs::install(rec.clone());
+                engine::with_options(opts, || cq_contained(&q1, &q2))
+            };
+            let c = rec.counters();
+            (
+                verdict,
+                c.get(qc_obs::Counter::HomSearchNodes),
+                c.get(qc_obs::Counter::HomMappingsFound),
+                c.get(qc_obs::Counter::HomCandidatesPruned),
+            )
+        };
+        let naive = observe(EngineOptions::naive());
+        let direct = observe(EngineOptions::sequential());
+        prop_assert_eq!(naive, direct, "q1: {} q2: {}", q1, q2);
     }
 
     #[test]

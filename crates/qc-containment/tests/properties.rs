@@ -29,7 +29,7 @@ fn random_cq(rng: &mut StdRng, head_arity: usize) -> ConjunctiveQuery {
     let body_vars: Vec<_> = subgoals.iter().flat_map(|a| a.vars()).collect();
     let head_args: Vec<Term> = (0..head_arity)
         .map(|_| match body_vars.first() {
-            Some(_) => Term::Var(body_vars[rng.gen_range(0..body_vars.len())].clone()),
+            Some(_) => Term::Var(body_vars[rng.gen_range(0..body_vars.len())]),
             None => Term::int(0),
         })
         .collect();
@@ -107,7 +107,7 @@ proptest! {
             let a1 = answers(&Program::new(vec![q1.to_rule()]), &db, &Symbol::new("q"), &EvalOptions::default()).unwrap();
             let a2 = answers(&Program::new(vec![q2.to_rule()]), &db, &Symbol::new("q"), &EvalOptions::default()).unwrap();
             for t in a1.tuples() {
-                prop_assert!(a2.contains(t), "containment violated on {t:?}\nq1: {}\nq2: {}", q1, q2);
+                prop_assert!(a2.contains(&t), "containment violated on {t:?}\nq1: {}\nq2: {}", q1, q2);
             }
         }
     }

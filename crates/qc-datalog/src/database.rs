@@ -1,26 +1,48 @@
-//! In-memory databases: ground relations with per-position indexes.
+//! In-memory databases: flat interned-id relations with per-position
+//! indexes.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::BuildHasher;
 
-use crate::{Atom, ParseError, Symbol, Term};
+use crate::fx::{FxBuildHasher, FxHashMap};
+use crate::{value, Atom, ParseError, Symbol, Term};
 
 /// A ground tuple. Values are ground [`Term`]s: constants, or function
 /// terms (the labelled nulls produced by inverse-rule plans).
 pub type Tuple = Vec<Term>;
 
 /// A relation instance: a duplicate-free, insertion-ordered set of ground
-/// tuples with hash indexes on every position.
+/// tuples stored as a flat `Vec<u32>` of interned value ids.
 ///
-/// The per-position indexes keep join lookups in the evaluation engine
-/// constant-time per candidate; they are maintained incrementally on
-/// insert (relations are append-only during evaluation).
+/// Row `r` of an arity-`a` relation occupies `flat[r*a .. (r+1)*a]`. Three
+/// index structures ride on top of the flat array, all maintained
+/// incrementally on insert (relations are append-only during evaluation):
+///
+/// * a dedup table mapping row hashes to row-id chains (tuple set
+///   membership without storing a second copy of any row);
+/// * per-position hash indexes `index[i]: value id → ascending row ids`,
+///   which keep join lookups constant-time per candidate;
+/// * per-position sorted distinct-value columns `sorted[i]`, kept ordered
+///   by value id for ordered scans and merge-style set operations.
 #[derive(Debug, Clone, Default)]
 pub struct Relation {
-    tuples: Vec<Tuple>,
-    set: HashMap<Tuple, usize>,
-    /// `index[i][v]` = row ids whose position `i` equals `v`.
-    index: Vec<HashMap<Term, Vec<u32>>>,
+    /// Row-major value ids; `rows * arity` entries.
+    flat: Vec<u32>,
+    /// Number of rows (tracked explicitly so zero-arity relations work).
+    rows: usize,
+    /// Arity, fixed by the first insert.
+    arity: Option<usize>,
+    /// Row hash → row ids with that hash (almost always a single entry).
+    dedup: FxHashMap<u64, Vec<u32>>,
+    /// `index[i][v]` = ascending row ids whose position `i` equals `v`.
+    index: Vec<FxHashMap<u32, Vec<u32>>>,
+    /// `sorted[i]` = distinct value ids at position `i`, ascending.
+    sorted: Vec<Vec<u32>>,
+}
+
+fn row_hash(row: &[u32]) -> u64 {
+    FxBuildHasher::default().hash_one(row)
 }
 
 impl Relation {
@@ -31,22 +53,64 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.rows
     }
 
     /// Whether the relation is empty.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.rows == 0
     }
 
-    /// The tuples, in insertion order.
-    pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+    /// The arity fixed by the first insert, or `None` if empty.
+    pub fn arity(&self) -> Option<usize> {
+        self.arity
+    }
+
+    /// The tuples, materialized from the flat id array, in insertion
+    /// order.
+    pub fn tuples(&self) -> Vec<Tuple> {
+        (0..self.rows as u32).map(|id| self.row(id)).collect()
+    }
+
+    /// The value ids of row `id`.
+    pub fn row_ids(&self, id: u32) -> &[u32] {
+        let a = self.arity.unwrap_or(0);
+        let start = id as usize * a;
+        &self.flat[start..start + a]
+    }
+
+    /// The tuple at a row id, materialized.
+    pub fn row(&self, id: u32) -> Tuple {
+        self.row_ids(id)
+            .iter()
+            .map(|&v| value::resolve(v).clone())
+            .collect()
+    }
+
+    fn find_row(&self, row: &[u32]) -> Option<u32> {
+        let ids = self.dedup.get(&row_hash(row))?;
+        ids.iter().copied().find(|&id| self.row_ids(id) == row)
     }
 
     /// Whether the relation contains a tuple.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.set.contains_key(t)
+        if self.arity != Some(t.len()) {
+            return false;
+        }
+        let mut row = Vec::with_capacity(t.len());
+        for term in t {
+            // A value no database has ever seen cannot be stored here.
+            match value::lookup(term) {
+                Some(v) => row.push(v),
+                None => return false,
+            }
+        }
+        self.contains_ids(&row)
+    }
+
+    /// Whether the relation contains a row of value ids.
+    pub fn contains_ids(&self, row: &[u32]) -> bool {
+        self.arity == Some(row.len()) && self.find_row(row).is_some()
     }
 
     /// Inserts a ground tuple; returns `true` if it was new.
@@ -56,59 +120,81 @@ impl Relation {
     /// disagrees with previously inserted tuples.
     pub fn insert(&mut self, t: Tuple) -> bool {
         debug_assert!(t.iter().all(Term::is_ground), "non-ground tuple {t:?}");
-        let id = self.tuples.len();
-        // Single entry-based path: the tuple is hashed exactly once —
-        // duplicates are rejected by the same probe that claims the slot
-        // for new tuples (no separate `contains` + re-hash on insert).
-        match self.set.entry(t) {
-            std::collections::hash_map::Entry::Occupied(_) => false,
-            std::collections::hash_map::Entry::Vacant(e) => {
-                let t = e.key().clone();
-                e.insert(id);
-                if self.index.len() < t.len() {
-                    self.index.resize_with(t.len(), HashMap::new);
-                }
-                debug_assert!(
-                    self.tuples.is_empty() || self.tuples[0].len() == t.len(),
-                    "arity mismatch inserting {t:?}"
-                );
-                for (i, v) in t.iter().enumerate() {
-                    self.index[i].entry(v.clone()).or_default().push(id as u32);
-                }
-                self.tuples.push(t);
-                true
+        let row: Vec<u32> = t.iter().map(value::intern).collect();
+        self.insert_ids(&row)
+    }
+
+    /// Inserts a row of value ids; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if the arity disagrees with previously
+    /// inserted rows.
+    pub fn insert_ids(&mut self, row: &[u32]) -> bool {
+        debug_assert!(
+            self.arity.is_none() || self.arity == Some(row.len()),
+            "arity mismatch inserting {row:?}"
+        );
+        let hash = row_hash(row);
+        if let Some(ids) = self.dedup.get(&hash) {
+            if ids.iter().any(|&id| self.row_ids(id) == row) {
+                return false;
             }
         }
+        let id = self.rows as u32;
+        if self.arity.is_none() {
+            self.arity = Some(row.len());
+            self.index.resize_with(row.len(), FxHashMap::default);
+            self.sorted.resize_with(row.len(), Vec::new);
+        }
+        self.flat.extend_from_slice(row);
+        self.rows += 1;
+        self.dedup.entry(hash).or_default().push(id);
+        for (i, &v) in row.iter().enumerate() {
+            self.index[i].entry(v).or_default().push(id);
+            if let Err(at) = self.sorted[i].binary_search(&v) {
+                self.sorted[i].insert(at, v);
+            }
+        }
+        true
     }
 
     /// Row ids whose position `pos` holds `value`.
     pub fn rows_with(&self, pos: usize, value: &Term) -> &[u32] {
+        match value::lookup(value) {
+            Some(v) => self.rows_with_id(pos, v),
+            None => &[],
+        }
+    }
+
+    /// Row ids whose position `pos` holds the value id `v`.
+    pub fn rows_with_id(&self, pos: usize, v: u32) -> &[u32] {
         self.index
             .get(pos)
-            .and_then(|m| m.get(value))
+            .and_then(|m| m.get(&v))
             .map_or(&[], Vec::as_slice)
     }
 
-    /// The tuple at a row id.
-    pub fn row(&self, id: u32) -> &Tuple {
-        &self.tuples[id as usize]
+    /// The distinct value ids at position `pos`, ascending by id — the
+    /// sorted-column index.
+    pub fn sorted_values(&self, pos: usize) -> &[u32] {
+        self.sorted.get(pos).map_or(&[], Vec::as_slice)
     }
 
     /// Iterates over candidate rows for a partially-ground pattern: if some
     /// pattern position is ground, uses the most selective index; otherwise
-    /// scans. `pattern` positions that are `None` are unconstrained.
+    /// scans. Rows are materialized to tuples.
     pub fn candidates<'a>(
         &'a self,
         bound: &[(usize, Term)],
-    ) -> Box<dyn Iterator<Item = &'a Tuple> + 'a> {
+    ) -> Box<dyn Iterator<Item = Tuple> + 'a> {
         if let Some((pos, val)) = bound
             .iter()
             .min_by_key(|(pos, val)| self.rows_with(*pos, val).len())
         {
-            let rows = self.rows_with(*pos, val);
-            Box::new(rows.iter().map(move |&id| self.row(id)))
+            let rows = self.rows_with(*pos, val).to_vec();
+            Box::new(rows.into_iter().map(move |id| self.row(id)))
         } else {
-            Box::new(self.tuples.iter())
+            Box::new((0..self.rows as u32).map(move |id| self.row(id)))
         }
     }
 }
@@ -126,7 +212,7 @@ impl FromIterator<Tuple> for Relation {
 /// A database: a map from predicate names to relation instances.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    relations: HashMap<Symbol, Relation>,
+    relations: FxHashMap<Symbol, Relation>,
 }
 
 impl Database {
@@ -163,6 +249,11 @@ impl Database {
             .insert(tuple)
     }
 
+    /// Inserts a row of value ids for a predicate; returns `true` if new.
+    pub fn insert_ids(&mut self, pred: Symbol, row: &[u32]) -> bool {
+        self.relations.entry(pred).or_default().insert_ids(row)
+    }
+
     /// Inserts a ground atom as a fact.
     ///
     /// # Panics
@@ -185,10 +276,9 @@ impl Database {
             .relations
             .iter()
             .flat_map(|(p, r)| {
-                r.tuples().iter().map(move |t| Atom {
-                    pred: p.clone(),
-                    args: t.clone(),
-                })
+                r.tuples()
+                    .into_iter()
+                    .map(move |t| Atom { pred: *p, args: t })
             })
             .collect();
         out.sort();
@@ -198,9 +288,9 @@ impl Database {
     /// Merges another database into this one.
     pub fn merge(&mut self, other: &Database) {
         for (p, r) in &other.relations {
-            let dst = self.relations.entry(p.clone()).or_default();
-            for t in r.tuples() {
-                dst.insert(t.clone());
+            let dst = self.relations.entry(*p).or_default();
+            for id in 0..r.len() as u32 {
+                dst.insert_ids(r.row_ids(id));
             }
         }
     }
@@ -279,13 +369,13 @@ impl Database {
     }
 
     /// The set of constants (and ground function terms) appearing in the
-    /// database.
+    /// database, read off the sorted-column indexes.
     pub fn active_domain(&self) -> BTreeSet<Term> {
         let mut out = BTreeSet::new();
         for r in self.relations.values() {
-            for t in r.tuples() {
-                for v in t {
-                    out.insert(v.clone());
+            for pos in 0..r.arity().unwrap_or(0) {
+                for &v in r.sorted_values(pos) {
+                    out.insert(value::resolve(v).clone());
                 }
             }
         }
@@ -320,8 +410,8 @@ mod tests {
 
     #[test]
     fn duplicate_inserts_leave_relation_consistent() {
-        // The entry-based insert must reject duplicates without touching
-        // tuples, set, or any per-position index.
+        // The hash-chain dedup must reject duplicates without touching
+        // the flat array or any per-position index.
         let mut r = Relation::new();
         let t = vec![Term::int(7), Term::sym("a")];
         assert!(r.insert(t.clone()));
@@ -340,7 +430,7 @@ mod tests {
         assert!(!r.insert(u.clone()));
         assert_eq!(r.len(), 2);
         assert_eq!(r.rows_with(0, &Term::int(7)), &[0, 1]);
-        assert_eq!(r.row(1), &u);
+        assert_eq!(r.row(1), u);
     }
 
     #[test]
@@ -354,6 +444,30 @@ mod tests {
         assert_eq!(cands.len(), 1);
         let unbound: Vec<(usize, Term)> = vec![];
         assert_eq!(r.candidates(&unbound).count(), 10);
+    }
+
+    #[test]
+    fn sorted_column_is_ascending_and_distinct() {
+        let mut r = Relation::new();
+        for i in [5, 1, 9, 1, 5, 3] {
+            r.insert(vec![Term::int(i)]);
+        }
+        let col = r.sorted_values(0);
+        assert_eq!(col.len(), 4, "distinct values only");
+        assert!(col.windows(2).all(|w| w[0] < w[1]), "ascending ids");
+        let terms: BTreeSet<Term> = col.iter().map(|&v| value::resolve(v).clone()).collect();
+        let expect: BTreeSet<Term> = [1, 3, 5, 9].into_iter().map(Term::int).collect();
+        assert_eq!(terms, expect);
+    }
+
+    #[test]
+    fn zero_arity_relation() {
+        let mut r = Relation::new();
+        assert!(r.insert(vec![]));
+        assert!(!r.insert(vec![]));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&vec![]));
+        assert_eq!(r.arity(), Some(0));
     }
 
     #[test]

@@ -10,11 +10,20 @@
 //!   ill-founded programs terminate with an error instead of diverging;
 //! * **semi-naive** delta iteration with per-position hash indexes, plus a
 //!   naive strategy kept as the ablation baseline (experiment E10).
+//!
+//! The join kernel runs entirely over interned value ids: rule bodies are
+//! compiled to slot-indexed patterns, the environment is a dense `u32`
+//! slot array, and candidate rows are flat id slices — no term is
+//! materialized unless a function-term pattern needs destructuring, a
+//! comparison needs evaluating, or provenance is being traced.
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
-use crate::{Atom, Comparison, Database, Literal, Program, Relation, Rule, Symbol, Term, Tuple};
+use crate::fx::FxHashMap;
+use crate::{
+    value, Atom, Comparison, Database, Literal, Program, Relation, Rule, Symbol, Term, Tuple, Var,
+};
 
 /// Evaluation strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -166,7 +175,7 @@ impl Trace {
     /// Deduplicated, in first-encounter order.
     pub fn support(&self, pred: &Symbol, tuple: &Tuple) -> Vec<(Symbol, Tuple)> {
         let mut out: Vec<(Symbol, Tuple)> = Vec::new();
-        let mut stack = vec![(pred.clone(), tuple.clone())];
+        let mut stack = vec![(*pred, tuple.clone())];
         let mut seen: std::collections::HashSet<(Symbol, Tuple)> = std::collections::HashSet::new();
         while let Some(fact) = stack.pop() {
             if !seen.insert(fact.clone()) {
@@ -265,15 +274,18 @@ impl<'a> RelView<'a> {
         self.limit - self.offset
     }
 
-    fn for_each_candidate(&self, bound: &[(usize, Term)], mut f: impl FnMut(&'a Tuple)) {
+    /// Calls `f` with the flat id row of every candidate. `bound` holds
+    /// (position, value id) constraints; the most selective index among
+    /// them is probed, otherwise the window is scanned.
+    fn for_each_candidate(&self, bound: &[(usize, u32)], mut f: impl FnMut(&'a [u32])) {
         if self.limit == self.offset {
             return;
         }
         if bound.is_empty() {
             // Full-scan probes: every visible tuple is touched.
             qc_obs::count(qc_obs::Counter::EvalFullScans, self.len() as u64);
-            for t in &self.rel.tuples()[self.offset..self.limit] {
-                f(t);
+            for id in self.offset..self.limit {
+                f(self.rel.row_ids(id as u32));
             }
             return;
         }
@@ -281,14 +293,14 @@ impl<'a> RelView<'a> {
         // ascending, so a window restriction is a range check).
         let (pos, val) = bound
             .iter()
-            .min_by_key(|(pos, val)| self.rel.rows_with(*pos, val).len())
+            .min_by_key(|(pos, val)| self.rel.rows_with_id(*pos, *val).len())
             .expect("nonempty bound");
-        let rows = self.rel.rows_with(*pos, val);
+        let rows = self.rel.rows_with_id(*pos, *val);
         qc_obs::count(qc_obs::Counter::EvalIndexProbes, rows.len() as u64);
         for &id in rows {
-            let id = id as usize;
-            if id >= self.offset && id < self.limit {
-                f(&self.rel.tuples()[id]);
+            let i = id as usize;
+            if i >= self.offset && i < self.limit {
+                f(self.rel.row_ids(id));
             }
         }
     }
@@ -362,14 +374,14 @@ fn reorder_atoms(
     occ_source: &dyn Fn(usize) -> Source,
     snaps: &Snapshots<'_>,
 ) {
-    fn term_bound(t: &Term, bound: &BTreeSet<crate::Var>) -> bool {
+    fn term_bound(t: &Term, bound: &BTreeSet<Var>) -> bool {
         match t {
             Term::Var(v) => bound.contains(v),
             Term::Const(_) => true,
             Term::App(_, args) => args.iter().all(|a| term_bound(a, bound)),
         }
     }
-    let mut bound: BTreeSet<crate::Var> = BTreeSet::new();
+    let mut bound: BTreeSet<Var> = BTreeSet::new();
     for k in 0..atoms.len() {
         let best = (k..atoms.len())
             .min_by_key(|&i| {
@@ -389,9 +401,113 @@ fn reorder_atoms(
     }
 }
 
+/// A compiled argument pattern: what to do with one position of a body
+/// atom when a candidate row arrives.
+enum Pat<'r> {
+    /// A plain variable, identified by its dense slot.
+    Slot(usize),
+    /// A ground term, pre-interned to its value id.
+    Val(u32),
+    /// A non-ground function term: destructure the resolved value.
+    Tree(&'r Term),
+}
+
+/// Slot assignment for the variables of one rule: dense indexes in
+/// first-compile order.
+#[derive(Default)]
+struct Slots {
+    of: FxHashMap<Var, usize>,
+}
+
+impl Slots {
+    fn slot(&mut self, v: Var) -> usize {
+        let next = self.of.len();
+        *self.of.entry(v).or_insert(next)
+    }
+}
+
+fn compile_pat<'r>(t: &'r Term, slots: &mut Slots) -> Pat<'r> {
+    match t {
+        Term::Var(v) => Pat::Slot(slots.slot(*v)),
+        Term::Const(_) => Pat::Val(value::intern(t)),
+        Term::App(..) => {
+            if t.is_ground() {
+                Pat::Val(value::intern(t))
+            } else {
+                // Register the tree's variables now so slot numbering is
+                // independent of which candidate row first matches.
+                let mut vars = BTreeSet::new();
+                t.collect_vars(&mut vars);
+                for v in vars {
+                    slots.slot(v);
+                }
+                Pat::Tree(t)
+            }
+        }
+    }
+}
+
+/// The dense environment: slot → bound value id.
+type Env = Vec<Option<u32>>;
+
+/// Grounds a term under the environment, materializing from value ids.
+fn ground(t: &Term, env: &Env, slots: &Slots) -> Option<Term> {
+    match t {
+        Term::Var(v) => {
+            let slot = slots.of.get(v)?;
+            env[*slot].map(|id| value::resolve(id).clone())
+        }
+        Term::Const(_) => Some(t.clone()),
+        Term::App(f, args) => {
+            let mut out = Vec::with_capacity(args.len());
+            for a in args {
+                out.push(ground(a, env, slots)?);
+            }
+            Some(Term::App(*f, out))
+        }
+    }
+}
+
+/// Matches a non-ground function-term pattern against a resolved ground
+/// value, binding pattern variables to the value ids of the matched
+/// subterms; records added slots in `added`.
+fn match_tree(
+    pat: &Term,
+    val: &Term,
+    env: &mut Env,
+    slots: &Slots,
+    added: &mut Vec<usize>,
+) -> bool {
+    match pat {
+        Term::Var(v) => {
+            let slot = slots.of[v];
+            match env[slot] {
+                Some(bound) => value::resolve(bound) == val,
+                None => {
+                    env[slot] = Some(value::intern(val));
+                    added.push(slot);
+                    true
+                }
+            }
+        }
+        Term::Const(_) => pat == val,
+        Term::App(f, args) => match val {
+            Term::App(g, vargs) => {
+                f == g
+                    && args.len() == vargs.len()
+                    && args
+                        .iter()
+                        .zip(vargs)
+                        .all(|(p, v)| match_tree(p, v, env, slots, added))
+            }
+            _ => false,
+        },
+    }
+}
+
 /// Evaluates one rule with a per-occurrence source assignment, emitting
-/// derived head tuples.
-type EmitFn<'a> = dyn FnMut(Tuple, Option<Vec<(Symbol, Tuple)>>) -> Result<(), EvalError> + 'a;
+/// derived head rows (as value ids).
+type EmitFn<'a> = dyn FnMut(Vec<u32>, Option<Vec<(Symbol, Tuple)>>) -> Result<(), EvalError> + 'a;
 
 fn eval_rule(
     rule: &Rule,
@@ -418,34 +534,45 @@ fn eval_rule(
         reorder_atoms(&mut atoms, occ_source, snaps);
     }
 
-    // Bindings are kept as a ground environment: var -> ground term.
-    let mut env: HashMap<crate::Var, Term> = HashMap::new();
-
-    fn ground(t: &Term, env: &HashMap<crate::Var, Term>) -> Option<Term> {
-        match t {
-            Term::Var(v) => env.get(v).cloned(),
-            Term::Const(_) => Some(t.clone()),
-            Term::App(f, args) => {
-                let mut out = Vec::with_capacity(args.len());
-                for a in args {
-                    out.push(ground(a, env)?);
-                }
-                Some(Term::App(f.clone(), out))
+    // Compile every body atom to slot-indexed patterns (slots numbered by
+    // first occurrence in join order), then the head and comparison
+    // variables so grounding can find them.
+    let mut slots = Slots::default();
+    let pats: Vec<Vec<Pat<'_>>> = atoms
+        .iter()
+        .map(|(_, a)| a.args.iter().map(|t| compile_pat(t, &mut slots)).collect())
+        .collect();
+    for t in &rule.head.args {
+        let mut vars = BTreeSet::new();
+        t.collect_vars(&mut vars);
+        for v in vars {
+            slots.slot(v);
+        }
+    }
+    for c in &comparisons {
+        for t in [&c.lhs, &c.rhs] {
+            let mut vars = BTreeSet::new();
+            t.collect_vars(&mut vars);
+            for v in vars {
+                slots.slot(v);
             }
         }
     }
+    let mut env: Env = vec![None; slots.of.len()];
 
     fn check_comparisons(
         comps: &[&Comparison],
         done: &mut BTreeSet<usize>,
-        env: &HashMap<crate::Var, Term>,
+        env: &Env,
+        slots: &Slots,
     ) -> Option<bool> {
         // Some(false) = a ground comparison failed; Some(true) = fine.
         for (i, c) in comps.iter().enumerate() {
             if done.contains(&i) {
                 continue;
             }
-            let (Some(l), Some(r)) = (ground(&c.lhs, env), ground(&c.rhs, env)) else {
+            let (Some(l), Some(r)) = (ground(&c.lhs, env, slots), ground(&c.rhs, env, slots))
+            else {
                 continue;
             };
             done.insert(i);
@@ -459,64 +586,37 @@ fn eval_rule(
         Some(true)
     }
 
-    /// Matches a (possibly function-term-bearing) pattern against a ground
-    /// value, extending `env`; records added bindings in `added`.
-    fn match_pattern(
-        pat: &Term,
-        val: &Term,
-        env: &mut HashMap<crate::Var, Term>,
-        added: &mut Vec<crate::Var>,
-    ) -> bool {
-        match pat {
-            Term::Var(v) => {
-                if let Some(bound) = env.get(v) {
-                    bound == val
-                } else {
-                    env.insert(v.clone(), val.clone());
-                    added.push(v.clone());
-                    true
-                }
-            }
-            Term::Const(_) => pat == val,
-            Term::App(f, args) => match val {
-                Term::App(g, vargs) => {
-                    f == g
-                        && args.len() == vargs.len()
-                        && args
-                            .iter()
-                            .zip(vargs)
-                            .all(|(p, v)| match_pattern(p, v, env, added))
-                }
-                _ => false,
-            },
-        }
+    struct Ctx<'c> {
+        atoms: &'c [(usize, &'c Atom)],
+        pats: &'c [Vec<Pat<'c>>],
+        comparisons: &'c [&'c Comparison],
+        slots: &'c Slots,
+        rule: &'c Rule,
+        occ_source: &'c dyn Fn(usize) -> Source,
+        snaps: &'c Snapshots<'c>,
+        opts: &'c EvalOptions,
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn search(
         k: usize,
-        atoms: &[(usize, &Atom)],
-        comparisons: &[&Comparison],
+        ctx: &Ctx<'_>,
         comps_done: &BTreeSet<usize>,
-        env: &mut HashMap<crate::Var, Term>,
-        rule: &Rule,
-        occ_source: &dyn Fn(usize) -> Source,
-        snaps: &Snapshots<'_>,
-        opts: &EvalOptions,
+        env: &mut Env,
         emit: &mut EmitFn<'_>,
     ) -> Result<(), EvalError> {
         // Evaluate any newly-ground comparisons first (cheap pruning).
         let mut done = comps_done.clone();
-        if let Some(false) = check_comparisons(comparisons, &mut done, env) {
+        if let Some(false) = check_comparisons(ctx.comparisons, &mut done, env, ctx.slots) {
             return Ok(());
         }
 
-        if k == atoms.len() {
+        if k == ctx.atoms.len() {
             // One work unit per rule firing — the same granularity as the
             // `EvalRuleFirings` counter, so guard budgets are reproducible.
             qc_guard::tick(qc_guard::stage::EVAL, 1)?;
-            if done.len() != comparisons.len() {
-                let c = comparisons
+            if done.len() != ctx.comparisons.len() {
+                let c = ctx
+                    .comparisons
                     .iter()
                     .enumerate()
                     .find(|(i, _)| !done.contains(i))
@@ -524,28 +624,37 @@ fn eval_rule(
                     .unwrap_or_default();
                 return Err(EvalError::UnboundComparison(c));
             }
-            // Emit the head.
-            let mut head = Vec::with_capacity(rule.head.args.len());
-            for t in &rule.head.args {
-                match ground(t, env) {
-                    Some(g) => {
-                        if g.depth() > opts.max_term_depth {
-                            return Err(EvalError::TermDepthLimit(opts.max_term_depth));
+            // Emit the head, as value ids.
+            let mut head = Vec::with_capacity(ctx.rule.head.args.len());
+            for t in &ctx.rule.head.args {
+                let id = match t {
+                    Term::Var(v) => ctx.slots.of.get(v).and_then(|&s| env[s]),
+                    _ if t.is_ground() => Some(value::intern(t)),
+                    _ => ground(t, env, ctx.slots).map(|g| value::intern(&g)),
+                };
+                match id {
+                    Some(id) => {
+                        if value::depth(id) > ctx.opts.max_term_depth {
+                            return Err(EvalError::TermDepthLimit(ctx.opts.max_term_depth));
                         }
-                        head.push(g);
+                        head.push(id);
                     }
-                    None => return Err(EvalError::NonGroundHead(rule.to_string())),
+                    None => return Err(EvalError::NonGroundHead(ctx.rule.to_string())),
                 }
             }
-            let support = if opts.trace {
+            let support = if ctx.opts.trace {
                 // Atoms may have been reordered for the join; restore
                 // textual body order via the occurrence index.
-                let mut facts: Vec<Option<(Symbol, Tuple)>> = vec![None; atoms.len()];
-                for (occ, atom) in atoms {
-                    let tuple: Option<Tuple> = atom.args.iter().map(|a| ground(a, env)).collect();
+                let mut facts: Vec<Option<(Symbol, Tuple)>> = vec![None; ctx.atoms.len()];
+                for (occ, atom) in ctx.atoms {
+                    let tuple: Option<Tuple> = atom
+                        .args
+                        .iter()
+                        .map(|a| ground(a, env, ctx.slots))
+                        .collect();
                     match tuple {
-                        Some(t) => facts[*occ] = Some((atom.pred.clone(), t)),
-                        None => return Err(EvalError::NonGroundHead(rule.to_string())),
+                        Some(t) => facts[*occ] = Some((atom.pred, t)),
+                        None => return Err(EvalError::NonGroundHead(ctx.rule.to_string())),
                     }
                 }
                 Some(
@@ -560,63 +669,79 @@ fn eval_rule(
             return emit(head, support);
         }
 
-        let (occ, atom) = atoms[k];
-        let view = snaps.view(&atom.pred, occ_source(occ));
-        // Bound positions under the current environment.
-        let mut bound: Vec<(usize, Term)> = Vec::new();
-        for (i, arg) in atom.args.iter().enumerate() {
-            if let Some(g) = ground(arg, env) {
-                bound.push((i, g));
+        let (occ, atom) = ctx.atoms[k];
+        let view = ctx.snaps.view(&atom.pred, (ctx.occ_source)(occ));
+        // Bound positions under the current environment, as value ids. A
+        // tree pattern whose variables are all bound but whose value was
+        // never interned can match nothing: bail out of this subtree (the
+        // index probe would visit zero rows).
+        let mut bound: Vec<(usize, u32)> = Vec::new();
+        for (i, pat) in ctx.pats[k].iter().enumerate() {
+            match pat {
+                Pat::Slot(s) => {
+                    if let Some(id) = env[*s] {
+                        bound.push((i, id));
+                    }
+                }
+                Pat::Val(id) => bound.push((i, *id)),
+                Pat::Tree(t) => {
+                    if let Some(g) = ground(t, env, ctx.slots) {
+                        match value::lookup(&g) {
+                            Some(id) => bound.push((i, id)),
+                            None => return Ok(()),
+                        }
+                    }
+                }
             }
         }
         let mut result = Ok(());
-        view.for_each_candidate(&bound, |tuple| {
+        view.for_each_candidate(&bound, |row| {
             if result.is_err() {
                 return;
             }
-            if tuple.len() != atom.args.len() {
+            if row.len() != atom.args.len() {
                 return;
             }
-            let mut added = Vec::new();
-            let ok = atom
-                .args
-                .iter()
-                .zip(tuple)
-                .all(|(p, v)| match_pattern(p, v, env, &mut added));
+            let mut added: Vec<usize> = Vec::new();
+            let ok = ctx.pats[k].iter().zip(row).all(|(p, &val)| match p {
+                Pat::Slot(s) => match env[*s] {
+                    Some(bound) => bound == val,
+                    None => {
+                        env[*s] = Some(val);
+                        added.push(*s);
+                        true
+                    }
+                },
+                Pat::Val(id) => *id == val,
+                Pat::Tree(t) => match_tree(t, value::resolve(val), env, ctx.slots, &mut added),
+            });
             if ok {
-                result = search(
-                    k + 1,
-                    atoms,
-                    comparisons,
-                    &done,
-                    env,
-                    rule,
-                    occ_source,
-                    snaps,
-                    opts,
-                    emit,
-                );
+                result = search(k + 1, ctx, &done, env, emit);
             }
-            for v in added {
-                env.remove(&v);
+            for s in added {
+                env[s] = None;
             }
         });
         result
     }
 
-    let done = BTreeSet::new();
-    search(
-        0,
-        &atoms,
-        &comparisons,
-        &done,
-        &mut env,
+    let ctx = Ctx {
+        atoms: &atoms,
+        pats: &pats,
+        comparisons: &comparisons,
+        slots: &slots,
         rule,
         occ_source,
         snaps,
         opts,
-        emit,
-    )
+    };
+    let done = BTreeSet::new();
+    search(0, &ctx, &done, &mut env, emit)
+}
+
+/// Materializes an id row into a term tuple (for provenance recording).
+fn materialize(row: &[u32]) -> Tuple {
+    row.iter().map(|&v| value::resolve(v).clone()).collect()
 }
 
 fn naive_inner(
@@ -638,10 +763,10 @@ fn naive_inner(
             .preds()
             .map(|p| {
                 let n = idb.len_of(p);
-                (p.clone(), (n, n))
+                (*p, (n, n))
             })
             .collect();
-        let mut fresh: Vec<(Symbol, Tuple, Option<Derivation>)> = Vec::new();
+        let mut fresh: Vec<(Symbol, Vec<u32>, Option<Derivation>)> = Vec::new();
         {
             let snaps = Snapshots {
                 edb,
@@ -650,13 +775,13 @@ fn naive_inner(
                 empty: Relation::new(),
             };
             for rule in program.rules() {
-                let pred = rule.head.pred.clone();
+                let pred = rule.head.pred;
                 eval_rule(rule, &|_| Source::Full, &snaps, opts, &mut |t, support| {
                     let d = support.map(|body| Derivation {
                         rule: rule.clone(),
                         body,
                     });
-                    fresh.push((pred.clone(), t, d));
+                    fresh.push((pred, t, d));
                     Ok(())
                 })?;
             }
@@ -664,12 +789,12 @@ fn naive_inner(
         qc_obs::count(qc_obs::Counter::EvalRuleFirings, fresh.len() as u64);
         let mut changed = false;
         let mut inserted = 0u64;
-        for (pred, t, d) in fresh {
-            if idb.insert(pred.as_str(), t.clone()) {
+        for (pred, row, d) in fresh {
+            if idb.insert_ids(pred, &row) {
                 changed = true;
                 inserted += 1;
                 if let (Some(trace), Some(d)) = (trace.as_deref_mut(), d) {
-                    trace.record(pred, t, d);
+                    trace.record(pred, materialize(&row), d);
                 }
             }
         }
@@ -696,7 +821,7 @@ fn seminaive_inner(
 
     // Round 0: every rule against the (empty) IDB — seeds facts and rules
     // with EDB-only bodies.
-    let mut fresh: Vec<(Symbol, Tuple, Option<Derivation>)> = Vec::new();
+    let mut fresh: Vec<(Symbol, Vec<u32>, Option<Derivation>)> = Vec::new();
     {
         let snaps = Snapshots {
             edb,
@@ -705,30 +830,30 @@ fn seminaive_inner(
             empty: Relation::new(),
         };
         for rule in program.rules() {
-            let pred = rule.head.pred.clone();
+            let pred = rule.head.pred;
             eval_rule(rule, &|_| Source::Full, &snaps, opts, &mut |t, support| {
                 let d = support.map(|body| Derivation {
                     rule: rule.clone(),
                     body,
                 });
-                fresh.push((pred.clone(), t, d));
+                fresh.push((pred, t, d));
                 Ok(())
             })?;
         }
     }
     qc_obs::count(qc_obs::Counter::EvalRuleFirings, fresh.len() as u64);
     let mut seeded = 0u64;
-    for (pred, t, d) in fresh.drain(..) {
-        if idb.insert(pred.as_str(), t.clone()) {
+    for (pred, row, d) in fresh.drain(..) {
+        if idb.insert_ids(pred, &row) {
             seeded += 1;
             if let (Some(trace), Some(d)) = (trace.as_deref_mut(), d) {
-                trace.record(pred, t, d);
+                trace.record(pred, materialize(&row), d);
             }
         }
     }
     qc_obs::count(qc_obs::Counter::EvalDerivedFacts, seeded);
     for p in &idb_preds {
-        marks.insert(p.clone(), (0, idb.len_of(p)));
+        marks.insert(*p, (0, idb.len_of(p)));
     }
 
     let mut iterations = 0usize;
@@ -748,7 +873,7 @@ fn seminaive_inner(
             qc_obs::Counter::EvalDeltaTuples,
             marks.values().map(|(old, full)| (full - old) as u64).sum(),
         );
-        let mut fresh: Vec<(Symbol, Tuple, Option<Derivation>)> = Vec::new();
+        let mut fresh: Vec<(Symbol, Vec<u32>, Option<Derivation>)> = Vec::new();
         {
             let snaps = Snapshots {
                 edb,
@@ -757,7 +882,7 @@ fn seminaive_inner(
                 empty: Relation::new(),
             };
             for rule in program.rules() {
-                let pred = rule.head.pred.clone();
+                let pred = rule.head.pred;
                 // Occurrence indexes of IDB atoms in this rule's body.
                 let idb_occs: Vec<usize> = rule
                     .body_atoms()
@@ -788,7 +913,7 @@ fn seminaive_inner(
                             rule: rule.clone(),
                             body,
                         });
-                        fresh.push((pred.clone(), t, d));
+                        fresh.push((pred, t, d));
                         Ok(())
                     })?;
                 }
@@ -797,22 +922,22 @@ fn seminaive_inner(
         // Advance marks: previous full becomes old; inserts extend full.
         for p in &idb_preds {
             let full = idb.len_of(p);
-            marks.insert(p.clone(), (full, full));
+            marks.insert(*p, (full, full));
         }
         qc_obs::count(qc_obs::Counter::EvalRuleFirings, fresh.len() as u64);
         let mut inserted = 0u64;
-        for (pred, t, d) in fresh {
-            if idb.insert(pred.as_str(), t.clone()) {
+        for (pred, row, d) in fresh {
+            if idb.insert_ids(pred, &row) {
                 inserted += 1;
                 if let (Some(trace), Some(d)) = (trace.as_deref_mut(), d) {
-                    trace.record(pred, t, d);
+                    trace.record(pred, materialize(&row), d);
                 }
             }
         }
         qc_obs::count(qc_obs::Counter::EvalDerivedFacts, inserted);
         for p in &idb_preds {
             let (old, _) = marks[p];
-            marks.insert(p.clone(), (old, idb.len_of(p)));
+            marks.insert(*p, (old, idb.len_of(p)));
         }
         if idb.total_len() > opts.max_derived {
             return Err(EvalError::DerivationLimit(opts.max_derived));
@@ -887,7 +1012,8 @@ mod tests {
         );
         let rel = idb.relation(&Symbol::new("CarDesc")).unwrap();
         assert_eq!(rel.len(), 1);
-        let t = &rel.tuples()[0];
+        let tuples = rel.tuples();
+        let t = &tuples[0];
         assert_eq!(
             t[2],
             Term::app(

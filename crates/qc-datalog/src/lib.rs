@@ -39,6 +39,7 @@
 mod atom;
 mod database;
 pub mod eval;
+pub use qc_obs::fx;
 mod parser;
 mod program;
 mod query;
@@ -47,6 +48,7 @@ mod subst;
 mod symbol;
 mod term;
 mod validate;
+pub mod value;
 
 pub use atom::{Atom, Comparison, Literal};
 pub use database::{Database, Relation, Tuple};
@@ -55,7 +57,7 @@ pub use program::{DependencyGraph, Program, UnfoldError};
 pub use query::{ConjunctiveQuery, Ucq, UcqError};
 pub use rule::Rule;
 pub use subst::{unify_atoms, unify_terms, unify_terms_with, Subst, VarGen};
-pub use symbol::Symbol;
+pub use symbol::{interner_stats, InternerStats, Symbol};
 pub use term::{Const, Term, Var};
 pub use validate::{validate_program, validate_rule, ValidationError};
 

@@ -44,7 +44,7 @@ impl Program {
 
     /// IDB predicates: those appearing in a rule head.
     pub fn idb_preds(&self) -> BTreeSet<Symbol> {
-        self.rules.iter().map(|r| r.head.pred.clone()).collect()
+        self.rules.iter().map(|r| r.head.pred).collect()
     }
 
     /// EDB predicates: mentioned in a body but never in a head.
@@ -54,7 +54,7 @@ impl Program {
         for r in &self.rules {
             for a in r.body_atoms() {
                 if !idb.contains(&a.pred) {
-                    edb.insert(a.pred.clone());
+                    edb.insert(a.pred);
                 }
             }
         }
@@ -111,11 +111,11 @@ impl Program {
                     bad: &mut BTreeSet<Symbol>| {
             match arity.get(pred) {
                 Some(&m) if m != n => {
-                    bad.insert(pred.clone());
+                    bad.insert(*pred);
                 }
                 Some(_) => {}
                 None => {
-                    arity.insert(pred.clone(), n);
+                    arity.insert(*pred, n);
                 }
             }
         };
@@ -140,13 +140,13 @@ impl Program {
     pub fn unfold(&self, answer: &Symbol) -> Result<Ucq, UnfoldError> {
         let graph = self.dependency_graph();
         if graph.pred_in_cycle_reachable_from(answer) {
-            return Err(UnfoldError::Recursive(answer.clone()));
+            return Err(UnfoldError::Recursive(*answer));
         }
         let arity = self
             .rules_for(answer)
             .next()
             .map(|r| r.head.arity())
-            .ok_or_else(|| UnfoldError::UndefinedAnswer(answer.clone()))?;
+            .ok_or(UnfoldError::UndefinedAnswer(*answer))?;
 
         let idb = self.idb_preds();
         let mut gen = VarGen::new();
@@ -246,9 +246,9 @@ impl DependencyGraph {
     fn build(program: &Program) -> DependencyGraph {
         let mut edges: HashMap<Symbol, BTreeSet<Symbol>> = HashMap::new();
         for r in program.rules() {
-            let entry = edges.entry(r.head.pred.clone()).or_default();
+            let entry = edges.entry(r.head.pred).or_default();
             for a in r.body_atoms() {
-                entry.insert(a.pred.clone());
+                entry.insert(a.pred);
             }
         }
         DependencyGraph {
@@ -265,11 +265,11 @@ impl DependencyGraph {
     /// All predicates reachable from `start` (including itself).
     pub fn reachable(&self, start: &Symbol) -> BTreeSet<Symbol> {
         let mut seen = BTreeSet::new();
-        let mut stack = vec![start.clone()];
+        let mut stack = vec![*start];
         while let Some(p) = stack.pop() {
-            if seen.insert(p.clone()) {
+            if seen.insert(p) {
                 for q in self.successors(&p) {
-                    stack.push(q.clone());
+                    stack.push(*q);
                 }
             }
         }
@@ -289,9 +289,9 @@ impl DependencyGraph {
             if &q == p {
                 return true;
             }
-            if seen.insert(q.clone()) {
+            if seen.insert(q) {
                 for r in self.successors(&q) {
-                    stack.push(r.clone());
+                    stack.push(*r);
                 }
             }
         }
@@ -325,14 +325,14 @@ impl DependencyGraph {
         if !self.idb.contains(p) {
             return true; // EDB leaf
         }
-        state.insert(p.clone(), 1);
+        state.insert(*p, 1);
         for q in self.successors(p) {
             if !self.visit(q, state, order) {
                 return false;
             }
         }
-        state.insert(p.clone(), 2);
-        order.push(p.clone());
+        state.insert(*p, 2);
+        order.push(*p);
         true
     }
 }
@@ -346,10 +346,10 @@ mod tests {
     fn edb_idb_classification() {
         let p = parse_program("q(X) :- r(X, Y), s(Y). s(Y) :- t(Y).").unwrap();
         let idb = p.idb_preds();
-        assert!(idb.contains("q") && idb.contains("s"));
+        assert!(idb.contains(&Symbol::new("q")) && idb.contains(&Symbol::new("s")));
         let edb = p.edb_preds();
-        assert!(edb.contains("r") && edb.contains("t"));
-        assert!(!edb.contains("s"));
+        assert!(edb.contains(&Symbol::new("r")) && edb.contains(&Symbol::new("t")));
+        assert!(!edb.contains(&Symbol::new("s")));
     }
 
     #[test]

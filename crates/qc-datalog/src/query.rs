@@ -84,7 +84,7 @@ impl ConjunctiveQuery {
 
     /// The predicates of the relational subgoals.
     pub fn body_preds(&self) -> BTreeSet<Symbol> {
-        self.subgoals.iter().map(|a| a.pred.clone()).collect()
+        self.subgoals.iter().map(|a| a.pred).collect()
     }
 
     /// Applies a substitution to the whole query.
@@ -165,7 +165,7 @@ impl ConjunctiveQuery {
                 n += 1;
             }
             taken.insert(candidate.clone());
-            s.bind(v.clone(), Term::var(candidate));
+            s.bind(*v, Term::var(candidate));
         }
         self.substitute(&s)
     }
@@ -252,13 +252,13 @@ impl Ucq {
         let first = disjuncts
             .first()
             .expect("use Ucq::empty for the empty union");
-        let pred = first.head.pred.clone();
+        let pred = first.head.pred;
         let arity = first.head.arity();
         for d in &disjuncts {
             if d.head.pred != pred {
                 return Err(UcqError::MixedPredicates {
                     expected: pred,
-                    found: d.head.pred.clone(),
+                    found: d.head.pred,
                 });
             }
             if d.head.arity() != arity {
@@ -287,7 +287,7 @@ impl Ucq {
     /// A single-disjunct union.
     pub fn single(cq: ConjunctiveQuery) -> Ucq {
         Ucq {
-            pred: cq.head.pred.clone(),
+            pred: cq.head.pred,
             arity: cq.head.arity(),
             disjuncts: vec![cq],
         }

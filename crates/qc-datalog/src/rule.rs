@@ -99,20 +99,14 @@ impl Rule {
             match t {
                 Term::Var(v) => {
                     let n = map.len();
-                    Term::Var(
-                        map.entry(v.clone())
-                            .or_insert_with(|| Var::new(format!("_C{n}")))
-                            .clone(),
-                    )
+                    Term::Var(*map.entry(*v).or_insert_with(|| Var::new(format!("_C{n}"))))
                 }
                 Term::Const(_) => t.clone(),
-                Term::App(f, args) => {
-                    Term::App(f.clone(), args.iter().map(|a| walk(a, map)).collect())
-                }
+                Term::App(f, args) => Term::App(*f, args.iter().map(|a| walk(a, map)).collect()),
             }
         }
         let head = Atom {
-            pred: self.head.pred.clone(),
+            pred: self.head.pred,
             args: self.head.args.iter().map(|t| walk(t, &mut map)).collect(),
         };
         let body = self
@@ -120,7 +114,7 @@ impl Rule {
             .iter()
             .map(|l| match l {
                 Literal::Atom(a) => Literal::Atom(Atom {
-                    pred: a.pred.clone(),
+                    pred: a.pred,
                     args: a.args.iter().map(|t| walk(t, &mut map)).collect(),
                 }),
                 Literal::Comp(c) => Literal::Comp(Comparison {

@@ -1,6 +1,6 @@
 //! Substitutions, one-way matching, and most-general unification.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::{Atom, Comparison, Literal, Rule, Term, Var};
@@ -10,9 +10,17 @@ use crate::{Atom, Comparison, Literal, Rule, Term, Var};
 /// Stored in *triangular* form: bindings may mention variables that are
 /// themselves bound; [`Subst::apply_term`] resolves chains. Bindings are
 /// acyclic by construction ([`Subst::bind`] performs the occurs check).
+///
+/// Internally this is a dense vector of `(Var, Term)` pairs kept sorted by
+/// the variable's interner id, so lookups are a binary search over `u32`
+/// keys with no per-entry allocation. Iteration order exposed through
+/// [`Subst::domain`] and `Display` is lexicographic by variable name
+/// (matching the previous `BTreeMap` representation), independent of
+/// interning order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Subst {
-    map: BTreeMap<Var, Term>,
+    /// Sorted by `Var`'s symbol id, unique keys.
+    map: Vec<(Var, Term)>,
 }
 
 impl Subst {
@@ -26,15 +34,20 @@ impl Subst {
         self.map.is_empty()
     }
 
+    fn slot(&self, v: &Var) -> Result<usize, usize> {
+        let key = v.0.id();
+        self.map.binary_search_by_key(&key, |(w, _)| w.0.id())
+    }
+
     /// The raw binding of `v`, unresolved.
     pub fn get(&self, v: &Var) -> Option<&Term> {
-        self.map.get(v)
+        self.slot(v).ok().map(|i| &self.map[i].1)
     }
 
     /// The fully resolved value of `v` (follows chains), or `None` if
     /// unbound.
     pub fn resolve(&self, v: &Var) -> Option<Term> {
-        let t = self.map.get(v)?;
+        let t = self.get(v)?;
         Some(self.apply_term(t))
     }
 
@@ -43,34 +56,35 @@ impl Subst {
     /// occurs in the resolved term and the term is not `v` itself.
     pub fn bind(&mut self, v: Var, t: Term) -> bool {
         let resolved = self.apply_term(&t);
-        if resolved == Term::Var(v.clone()) {
+        if resolved == Term::Var(v) {
             return true; // binding a variable to itself is a no-op
         }
         if resolved.contains_var(&v) {
             return false;
         }
-        self.map.insert(v, resolved);
+        match self.slot(&v) {
+            Ok(i) => self.map[i].1 = resolved,
+            Err(i) => self.map.insert(i, (v, resolved)),
+        }
         true
     }
 
     /// Applies the substitution to a term, resolving binding chains.
     pub fn apply_term(&self, t: &Term) -> Term {
         match t {
-            Term::Var(v) => match self.map.get(v) {
-                Some(bound) => self.apply_term(bound),
+            Term::Var(v) => match self.get(v) {
+                Some(bound) => self.apply_term(&bound.clone()),
                 None => t.clone(),
             },
             Term::Const(_) => t.clone(),
-            Term::App(f, args) => {
-                Term::App(f.clone(), args.iter().map(|a| self.apply_term(a)).collect())
-            }
+            Term::App(f, args) => Term::App(*f, args.iter().map(|a| self.apply_term(a)).collect()),
         }
     }
 
     /// Applies the substitution to an atom.
     pub fn apply_atom(&self, a: &Atom) -> Atom {
         Atom {
-            pred: a.pred.clone(),
+            pred: a.pred,
             args: a.args.iter().map(|t| self.apply_term(t)).collect(),
         }
     }
@@ -108,7 +122,7 @@ impl Subst {
     pub fn match_term(&mut self, pattern: &Term, target: &Term) -> bool {
         let p = self.apply_term(pattern);
         match (&p, target) {
-            (Term::Var(v), _) => self.bind(v.clone(), target.clone()),
+            (Term::Var(v), _) => self.bind(*v, target.clone()),
             (Term::Const(a), Term::Const(b)) => a == b,
             (Term::App(f, fa), Term::App(g, ga)) => {
                 f == g
@@ -130,16 +144,25 @@ impl Subst {
                 .all(|(p, t)| self.match_term(p, t))
     }
 
-    /// The bound variables.
+    /// The bound variables, in lexicographic name order.
     pub fn domain(&self) -> impl Iterator<Item = &Var> {
-        self.map.keys()
+        let mut vars: Vec<&Var> = self.map.iter().map(|(v, _)| v).collect();
+        vars.sort();
+        vars.into_iter()
+    }
+
+    /// The bindings sorted lexicographically by variable name.
+    fn sorted_pairs(&self) -> Vec<&(Var, Term)> {
+        let mut pairs: Vec<&(Var, Term)> = self.map.iter().collect();
+        pairs.sort_by_key(|a| a.0);
+        pairs
     }
 }
 
 impl fmt::Display for Subst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, (v, t)) in self.map.iter().enumerate() {
+        for (i, (v, t)) in self.sorted_pairs().into_iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -186,8 +209,8 @@ fn unify_into(s: &mut Subst, a: &Term, b: &Term) -> bool {
     let a = s.apply_term(a);
     let b = s.apply_term(b);
     match (&a, &b) {
-        (Term::Var(v), _) => s.bind(v.clone(), b.clone()),
-        (_, Term::Var(w)) => s.bind(w.clone(), a.clone()),
+        (Term::Var(v), _) => s.bind(*v, b.clone()),
+        (_, Term::Var(w)) => s.bind(*w, a.clone()),
         (Term::Const(x), Term::Const(y)) => x == y,
         (Term::App(f, fa), Term::App(g, ga)) => {
             f == g && fa.len() == ga.len() && fa.iter().zip(ga).all(|(x, y)| unify_into(s, x, y))
@@ -241,7 +264,7 @@ impl VarGen {
         let mut s = Subst::new();
         for v in vars {
             let fresh = self.fresh_named(v.name());
-            s.bind(v.clone(), Term::Var(fresh));
+            s.bind(*v, Term::Var(fresh));
         }
         s
     }
@@ -336,5 +359,17 @@ mod tests {
         assert_ne!(rx, ry);
         assert_ne!(rx, v("X"));
         assert!(matches!(rx, Term::Var(ref w) if w.name().starts_with("_G")));
+    }
+
+    #[test]
+    fn domain_and_display_are_name_ordered() {
+        let mut s = Subst::new();
+        // Intern in non-alphabetical order on purpose.
+        assert!(s.bind(Var::new("Zeta"), Term::int(1)));
+        assert!(s.bind(Var::new("Alpha"), Term::int(2)));
+        assert!(s.bind(Var::new("Mid"), Term::int(3)));
+        let names: Vec<&str> = s.domain().map(|v| v.name()).collect();
+        assert_eq!(names, ["Alpha", "Mid", "Zeta"]);
+        assert_eq!(s.to_string(), "{Alpha -> 2, Mid -> 3, Zeta -> 1}");
     }
 }

@@ -1,28 +1,160 @@
-//! Cheap-to-clone interned-style strings.
+//! Globally interned identifiers.
+//!
+//! Every predicate name, constant symbol, function symbol, and variable
+//! name in the system is interned once into a process-global table and
+//! represented by a dense `u32` id. Equality and hashing are a single
+//! integer comparison; the pretty string lives behind the id and is
+//! recovered for `Display`/`Debug`/ordering.
 
-use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{OnceLock, RwLock};
+
+use crate::fx::FxBuildHasher;
 
 /// An immutable identifier (predicate name, constant symbol, function
 /// symbol, variable name).
 ///
-/// Backed by `Arc<str>` so clones are a reference-count bump — symbolic
-/// algorithms copy names constantly, and per the perf-book guidance we keep
-/// that cheap. Equality and hashing are by string content, so two `Symbol`s
-/// built from equal strings are interchangeable.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Symbol(Arc<str>);
+/// Backed by a process-global interner: construction maps the string to a
+/// dense `u32` id, so `Symbol` is `Copy`, equality and hashing cost one
+/// integer op, and two `Symbol`s built from equal strings are always
+/// interchangeable. Ordering remains *lexicographic by string content* so
+/// every sorted output (canonical forms, `facts()`, plan listings) is
+/// independent of interning order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+/// Interned strings are leaked into `'static` storage: the table is
+/// append-only for the life of the process. `strings` is the id → text
+/// direction; `ids` is text → id.
+struct Interner {
+    strings: Vec<&'static str>,
+    ids: HashMap<&'static str, u32, FxBuildHasher>,
+    bytes: usize,
+    resizes: u64,
+}
+
+/// Monotone counters kept outside the lock so read-path bookkeeping never
+/// serializes callers.
+static LOOKUPS: AtomicU64 = AtomicU64::new(0);
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            strings: Vec::new(),
+            ids: HashMap::default(),
+            bytes: 0,
+            resizes: 0,
+        })
+    })
+}
+
+std::thread_local! {
+    /// Per-thread id → text cache so `as_str` is lock-free after the first
+    /// resolution of an id on each thread (the global table is append-only,
+    /// so cached entries can never go stale).
+    static RESOLVE_CACHE: std::cell::RefCell<Vec<Option<&'static str>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// A snapshot of global interner occupancy and traffic, surfaced through
+/// `relcont --metrics-json` and the interner microbench.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InternerStats {
+    /// Number of distinct strings interned so far.
+    pub symbols: u64,
+    /// Total bytes of leaked string storage.
+    pub bytes: u64,
+    /// Total `Symbol::new` calls.
+    pub lookups: u64,
+    /// `Symbol::new` calls that found an existing entry (no insertion).
+    pub hits: u64,
+    /// Times the text → id hash map had to grow its capacity.
+    pub resizes: u64,
+}
+
+/// Returns a snapshot of the global interner's statistics.
+pub fn interner_stats() -> InternerStats {
+    let inner = interner().read().expect("interner lock poisoned");
+    InternerStats {
+        symbols: inner.strings.len() as u64,
+        bytes: inner.bytes as u64,
+        lookups: LOOKUPS.load(AtomicOrdering::Relaxed),
+        hits: HITS.load(AtomicOrdering::Relaxed),
+        resizes: inner.resizes,
+    }
+}
 
 impl Symbol {
-    /// Creates a symbol from a string.
+    /// Creates a symbol, interning the string if it is new.
     pub fn new(s: impl AsRef<str>) -> Symbol {
-        Symbol(Arc::from(s.as_ref()))
+        let s = s.as_ref();
+        LOOKUPS.fetch_add(1, AtomicOrdering::Relaxed);
+        {
+            let inner = interner().read().expect("interner lock poisoned");
+            if let Some(&id) = inner.ids.get(s) {
+                HITS.fetch_add(1, AtomicOrdering::Relaxed);
+                return Symbol(id);
+            }
+        }
+        let mut inner = interner().write().expect("interner lock poisoned");
+        if let Some(&id) = inner.ids.get(s) {
+            HITS.fetch_add(1, AtomicOrdering::Relaxed);
+            return Symbol(id);
+        }
+        let id = u32::try_from(inner.strings.len()).expect("interner overflow: > u32::MAX symbols");
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        inner.strings.push(leaked);
+        inner.bytes += leaked.len();
+        let before = inner.ids.capacity();
+        inner.ids.insert(leaked, id);
+        if inner.ids.capacity() != before {
+            inner.resizes += 1;
+        }
+        Symbol(id)
+    }
+
+    /// The symbol's dense interner id.
+    pub fn id(&self) -> u32 {
+        self.0
     }
 
     /// The symbol's text.
-    pub fn as_str(&self) -> &str {
-        &self.0
+    pub fn as_str(&self) -> &'static str {
+        let idx = self.0 as usize;
+        RESOLVE_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(&Some(s)) = cache.get(idx) {
+                return s;
+            }
+            let inner = interner().read().expect("interner lock poisoned");
+            let s = inner.strings[idx];
+            if cache.len() <= idx {
+                cache.resize(idx + 1, None);
+            }
+            cache[idx] = Some(s);
+            s
+        })
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Symbol) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Symbol) -> Ordering {
+        if self.0 == other.0 {
+            Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
     }
 }
 
@@ -62,12 +194,6 @@ impl From<String> for Symbol {
     }
 }
 
-impl Borrow<str> for Symbol {
-    fn borrow(&self) -> &str {
-        self.as_str()
-    }
-}
-
 impl AsRef<str> for Symbol {
     fn as_ref(&self) -> &str {
         self.as_str()
@@ -96,18 +222,39 @@ mod tests {
         let a = Symbol::new("edge");
         let b = Symbol::new(String::from("edge"));
         assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
         assert_ne!(a, Symbol::new("node"));
     }
 
     #[test]
-    fn borrow_allows_str_lookup() {
+    fn hash_map_lookup_by_symbol() {
         let mut m: HashMap<Symbol, u32> = HashMap::new();
         m.insert(Symbol::new("p"), 1);
-        assert_eq!(m.get("p"), Some(&1));
+        assert_eq!(m.get(&Symbol::new("p")), Some(&1));
     }
 
     #[test]
     fn display_round_trips() {
         assert_eq!(Symbol::new("CarDesc").to_string(), "CarDesc");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut syms = [Symbol::new("zed"), Symbol::new("apple"), Symbol::new("mid")];
+        syms.sort();
+        let names: Vec<&str> = syms.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, ["apple", "mid", "zed"]);
+    }
+
+    #[test]
+    fn stats_reflect_interning() {
+        let before = interner_stats();
+        let _ = Symbol::new("stats_reflect_interning_unique_symbol");
+        let _ = Symbol::new("stats_reflect_interning_unique_symbol");
+        let after = interner_stats();
+        assert_eq!(after.symbols, before.symbols + 1);
+        assert!(after.lookups >= before.lookups + 2);
+        assert!(after.hits > before.hits);
+        assert!(after.bytes > before.bytes);
     }
 }

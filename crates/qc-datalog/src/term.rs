@@ -15,7 +15,7 @@ use crate::Symbol;
 /// elements; only numeric constants carry a known position in the dense
 /// order.
 #[derive(
-    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
 )]
 pub enum Const {
     /// An uninterpreted symbolic constant, e.g. `red`.
@@ -71,7 +71,7 @@ impl fmt::Display for Const {
 
 /// A variable, identified by name.
 #[derive(
-    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
 )]
 pub struct Var(pub Symbol);
 
@@ -168,7 +168,7 @@ impl Term {
     pub fn collect_vars(&self, out: &mut BTreeSet<Var>) {
         match self {
             Term::Var(v) => {
-                out.insert(v.clone());
+                out.insert(*v);
             }
             Term::Const(_) => {}
             Term::App(_, args) => {
@@ -192,7 +192,7 @@ impl Term {
         match self {
             Term::Var(_) => {}
             Term::Const(c) => {
-                out.insert(c.clone());
+                out.insert(*c);
             }
             Term::App(_, args) => {
                 for t in args {

@@ -1,0 +1,177 @@
+//! Hash-consed ground values.
+//!
+//! Every ground [`Term`] that enters a database — constants and the ground
+//! function terms inverse-rule plans construct as labelled nulls — is
+//! interned once into a process-global table and represented by a dense
+//! `u32` *value id*. Relations then store flat `u32` rows: tuple equality,
+//! dedup, and index probes are integer comparisons, and the term structure
+//! (plus its function-nesting depth) is recovered from the id in O(1).
+
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{OnceLock, RwLock};
+
+use crate::fx::FxHashMap;
+use crate::symbol::InternerStats;
+use crate::Term;
+
+struct ValueTable {
+    /// id → leaked ground term (append-only for the life of the process).
+    terms: Vec<&'static Term>,
+    /// id → function-term nesting depth of the value.
+    depths: Vec<u32>,
+    /// term → id. Keys borrow the leaked terms in `terms`.
+    ids: FxHashMap<&'static Term, u32>,
+    bytes: usize,
+    resizes: u64,
+}
+
+static LOOKUPS: AtomicU64 = AtomicU64::new(0);
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+fn table() -> &'static RwLock<ValueTable> {
+    static TABLE: OnceLock<RwLock<ValueTable>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(ValueTable {
+            terms: Vec::new(),
+            depths: Vec::new(),
+            ids: FxHashMap::default(),
+            bytes: 0,
+            resizes: 0,
+        })
+    })
+}
+
+std::thread_local! {
+    /// Per-thread id → term cache; entries never go stale because the
+    /// global table is append-only.
+    static RESOLVE_CACHE: std::cell::RefCell<Vec<Option<(&'static Term, u32)>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Interns a ground term, returning its dense value id.
+///
+/// # Panics
+/// Panics (debug builds) if the term is not ground.
+pub fn intern(t: &Term) -> u32 {
+    debug_assert!(t.is_ground(), "interning non-ground term {t:?}");
+    LOOKUPS.fetch_add(1, AtomicOrdering::Relaxed);
+    {
+        let inner = table().read().expect("value table lock poisoned");
+        if let Some(&id) = inner.ids.get(t) {
+            HITS.fetch_add(1, AtomicOrdering::Relaxed);
+            return id;
+        }
+    }
+    let mut inner = table().write().expect("value table lock poisoned");
+    if let Some(&id) = inner.ids.get(t) {
+        HITS.fetch_add(1, AtomicOrdering::Relaxed);
+        return id;
+    }
+    let id = u32::try_from(inner.terms.len()).expect("value interner overflow: > u32::MAX values");
+    let leaked: &'static Term = Box::leak(Box::new(t.clone()));
+    inner.terms.push(leaked);
+    inner
+        .depths
+        .push(u32::try_from(leaked.depth()).expect("value depth overflow"));
+    inner.bytes += std::mem::size_of::<Term>();
+    let before = inner.ids.capacity();
+    inner.ids.insert(leaked, id);
+    if inner.ids.capacity() != before {
+        inner.resizes += 1;
+    }
+    id
+}
+
+/// The value id of a ground term if it has ever been interned, without
+/// inserting it. Probing with a term no database has seen returns `None` —
+/// such a value cannot match any stored row.
+pub fn lookup(t: &Term) -> Option<u32> {
+    LOOKUPS.fetch_add(1, AtomicOrdering::Relaxed);
+    let inner = table().read().expect("value table lock poisoned");
+    let found = inner.ids.get(t).copied();
+    if found.is_some() {
+        HITS.fetch_add(1, AtomicOrdering::Relaxed);
+    }
+    found
+}
+
+fn cached(id: u32) -> (&'static Term, u32) {
+    let idx = id as usize;
+    RESOLVE_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(&Some(entry)) = cache.get(idx) {
+            return entry;
+        }
+        let inner = table().read().expect("value table lock poisoned");
+        let entry = (inner.terms[idx], inner.depths[idx]);
+        if cache.len() <= idx {
+            cache.resize(idx + 1, None);
+        }
+        cache[idx] = Some(entry);
+        entry
+    })
+}
+
+/// The ground term behind a value id.
+pub fn resolve(id: u32) -> &'static Term {
+    cached(id).0
+}
+
+/// The function-term nesting depth of a value (constants have depth 0).
+pub fn depth(id: u32) -> usize {
+    cached(id).1 as usize
+}
+
+/// Returns a snapshot of the global value interner's statistics (same shape
+/// as the symbol interner's).
+pub fn value_stats() -> InternerStats {
+    let inner = table().read().expect("value table lock poisoned");
+    InternerStats {
+        symbols: inner.terms.len() as u64,
+        bytes: inner.bytes as u64,
+        lookups: LOOKUPS.load(AtomicOrdering::Relaxed),
+        hits: HITS.load(AtomicOrdering::Relaxed),
+        resizes: inner.resizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_injective_and_stable() {
+        let a = intern(&Term::int(42));
+        let b = intern(&Term::int(42));
+        let c = intern(&Term::sym("forty_two"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(resolve(a), &Term::int(42));
+        assert_eq!(resolve(c), &Term::sym("forty_two"));
+    }
+
+    #[test]
+    fn depth_is_cached() {
+        let nested = Term::app("f", vec![Term::app("g", vec![Term::int(1)])]);
+        let id = intern(&nested);
+        assert_eq!(depth(id), 2);
+        assert_eq!(depth(intern(&Term::int(7))), 0);
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let probe = Term::sym("value_lookup_test_never_inserted");
+        assert_eq!(lookup(&probe), None);
+        let id = intern(&probe);
+        assert_eq!(lookup(&probe), Some(id));
+    }
+
+    #[test]
+    fn stats_grow() {
+        let before = value_stats();
+        let _ = intern(&Term::sym("value_stats_unique_constant"));
+        let after = value_stats();
+        assert_eq!(after.symbols, before.symbols + 1);
+        assert!(after.lookups > before.lookups);
+    }
+}

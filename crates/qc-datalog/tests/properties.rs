@@ -44,6 +44,30 @@ proptest! {
     }
 
     #[test]
+    fn display_parse_round_trip_through_the_interner(rule in arb_rule()) {
+        // Printing resolves interned ids back to names; re-parsing interns
+        // those names again. The round trip must land on the *same* dense
+        // ids (Symbol equality is id equality), and resolving an id must
+        // reproduce the exact source spelling.
+        let printed = rule.to_string();
+        let reparsed = parse_rule(&printed).expect("printed rule must parse");
+        prop_assert_eq!(rule.head.pred.id(), reparsed.head.pred.id());
+        prop_assert_eq!(rule.head.pred.as_str(), reparsed.head.pred.as_str());
+        for (a, b) in rule.body.iter().zip(&reparsed.body) {
+            let (Literal::Atom(a), Literal::Atom(b)) = (a, b) else { continue };
+            prop_assert_eq!(a.pred.id(), b.pred.id());
+            prop_assert_eq!(a.pred.as_str(), b.pred.as_str());
+        }
+        // Ground rules additionally round-trip through the hash-consed
+        // value table: equal terms share one value id.
+        for (a, b) in rule.head.args.iter().zip(&reparsed.head.args) {
+            if a.vars().is_empty() {
+                prop_assert_eq!(qc_datalog::value::intern(a), qc_datalog::value::intern(b));
+            }
+        }
+    }
+
+    #[test]
     fn unification_produces_a_unifier(a in arb_atom(), b in arb_atom()) {
         if let Some(mgu) = unify_atoms(&a, &b) {
             prop_assert_eq!(mgu.apply_atom(&a), mgu.apply_atom(&b));

@@ -58,7 +58,7 @@ pub fn source_coverage(
     Ok(plan
         .disjuncts
         .iter()
-        .flat_map(|d| d.subgoals.iter().map(|a| a.pred.clone()))
+        .flat_map(|d| d.subgoals.iter().map(|a| a.pred))
         .collect())
 }
 

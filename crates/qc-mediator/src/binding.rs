@@ -99,7 +99,7 @@ pub fn executable_plan(query: &Program, views: &LavSetting) -> Program {
     for source in &views.sources {
         let head_args = source.view.head.args.clone();
         let call = Atom {
-            pred: source.name.clone(),
+            pred: source.name,
             args: head_args.clone(),
         };
         for adornment in source.effective_adornments() {

@@ -207,7 +207,7 @@ impl BruteForceOracle {
         let mut preds: Vec<(Symbol, usize)> = Vec::new();
         let note = |pred: &Symbol, arity: usize, preds: &mut Vec<(Symbol, usize)>| {
             if !preds.iter().any(|(p, _)| p == pred) {
-                preds.push((pred.clone(), arity));
+                preds.push((*pred, arity));
             }
         };
         for s in &views.sources {
@@ -229,7 +229,7 @@ impl BruteForceOracle {
             let mut tuple = vec![0usize; *arity];
             loop {
                 facts.push((
-                    pred.clone(),
+                    *pred,
                     tuple.iter().map(|&i| self.domain[i].clone()).collect(),
                 ));
                 // Odometer increment.
@@ -339,7 +339,7 @@ pub fn find_containment_counterexample(
         let mut idx = vec![0usize; arity];
         loop {
             slots.push((
-                s.name.clone(),
+                s.name,
                 idx.iter().map(|&i| oracle.domain[i].clone()).collect(),
             ));
             let mut k = 0;

@@ -122,7 +122,7 @@ pub fn enumerated_plan(
                 let term_of_block = |b: usize| -> Term {
                     match choice[b] {
                         0 => Term::var(format!("B{b}")),
-                        k => Term::Const(consts[k - 1].clone()),
+                        k => Term::Const(consts[k - 1]),
                     }
                 };
                 let mut body = Vec::new();
@@ -133,7 +133,7 @@ pub fn enumerated_plan(
                         .map(|k| term_of_block(block_of[pos + k]))
                         .collect();
                     body.push(Atom {
-                        pred: views.sources[vi].name.clone(),
+                        pred: views.sources[vi].name,
                         args,
                     });
                     pos += arity;
@@ -222,7 +222,7 @@ fn make_candidate(
 ) -> ConjunctiveQuery {
     ConjunctiveQuery::new(
         Atom {
-            pred: query.head.pred.clone(),
+            pred: query.head.pred,
             args: head_args,
         },
         body.to_vec(),

@@ -68,7 +68,7 @@ type ShapeVec = Vec<Shape>;
 
 fn shape_pred_name(pred: &Symbol, shapes: &ShapeVec) -> Symbol {
     if shapes.iter().all(|s| *s == Shape::Plain) {
-        return pred.clone();
+        return *pred;
     }
     let mut name = String::from(pred.as_str());
     name.push_str("__");
@@ -175,7 +175,7 @@ pub fn eliminate_function_terms(plan: &Program) -> Result<Program, FnElimError> 
 fn count_function_symbols(plan: &Program) -> u64 {
     fn walk(t: &Term, out: &mut BTreeSet<Symbol>) {
         if let Term::App(f, args) = t {
-            out.insert(f.clone());
+            out.insert(*f);
             for a in args {
                 walk(a, out);
             }
@@ -239,10 +239,8 @@ fn specialize_rule(
                 match shape {
                     Shape::Plain => {} // checked at the end
                     Shape::Fun(f, arity) => {
-                        let template = Term::App(
-                            f.clone(),
-                            (0..*arity).map(|_| Term::Var(gen.fresh())).collect(),
-                        );
+                        let template =
+                            Term::App(*f, (0..*arity).map(|_| Term::Var(gen.fresh())).collect());
                         if !unify_terms_with(&mut sigma2, arg, &template) {
                             continue 'shapes;
                         }
@@ -299,7 +297,7 @@ fn specialize_rule(
                     for a in &args {
                         if a.has_function() {
                             return Err(FnElimError::NestedFunctionTerms(
-                                Term::App(f.clone(), args.clone()).to_string(),
+                                Term::App(f, args.clone()).to_string(),
                             ));
                         }
                     }
@@ -343,7 +341,7 @@ fn specialize_rule(
                 Literal::Comp(c) => body.push(Literal::Comp(sigma.apply_comparison(c))),
             }
         }
-        let head_pred_orig = rule.head.pred.clone();
+        let head_pred_orig = rule.head.pred;
         let new_head = Atom {
             pred: shape_pred_name(&rule.head.pred, &head_shapes),
             args: head_args,
@@ -457,7 +455,7 @@ mod tests {
         assert_eq!(direct.len(), 2); // (1,1), (2,2): f(1) != f(2)
         assert_eq!(elimd.len(), direct.len());
         for t in direct.tuples() {
-            assert!(elimd.contains(t));
+            assert!(elimd.contains(&t));
         }
     }
 

@@ -33,7 +33,7 @@ pub fn inverse_rules(views: &LavSetting) -> Program {
     for source in &views.sources {
         let view = &source.view;
         let head_atom = Atom {
-            pred: source.name.clone(),
+            pred: source.name,
             args: view.head.args.clone(),
         };
         // Skolemize existential variables.
@@ -43,7 +43,7 @@ pub fn inverse_rules(views: &LavSetting) -> Program {
                 qc_datalog::Symbol::new(format!("f_{}_{}", source.name, z.name())),
                 view.head.args.clone(),
             );
-            let bound = sigma.bind(z.clone(), skolem);
+            let bound = sigma.bind(z, skolem);
             debug_assert!(bound, "skolem binding cannot fail the occurs check");
         }
         for subgoal in &view.subgoals {
@@ -73,7 +73,7 @@ pub fn max_contained_plan(query: &Program, views: &LavSetting) -> Program {
 mod tests {
     use super::*;
     use crate::schema::{example1_sources, LavSetting};
-    use qc_datalog::{parse_program, parse_term};
+    use qc_datalog::{parse_program, parse_term, Symbol};
 
     #[test]
     fn example2_inverse_rules() {
@@ -106,9 +106,9 @@ mod tests {
         // EDBs of the plan are exactly the source relations.
         let edb = plan.edb_preds();
         for s in ["RedCars", "AntiqueCars", "CarAndDriver"] {
-            assert!(edb.contains(s), "{s}");
+            assert!(edb.contains(&Symbol::new(s)), "{s}");
         }
-        assert!(!edb.contains("CarDesc"));
+        assert!(!edb.contains(&Symbol::new("CarDesc")));
         assert!(plan.has_function_terms());
     }
 

@@ -177,7 +177,7 @@ fn map_subgoal(
                 let current = st.phi.get(x).map(|t| st.theta.apply_term(t));
                 match current {
                     None => {
-                        st.phi.insert(x.clone(), vt);
+                        st.phi.insert(*x, vt);
                     }
                     Some(prev) if prev == vt => {}
                     Some(prev) => {
@@ -199,7 +199,7 @@ fn map_subgoal(
                     if existential.contains(y) {
                         return false; // view does not guarantee the value
                     }
-                    if !st.theta.bind(y.clone(), qt.clone()) {
+                    if !st.theta.bind(*y, qt.clone()) {
                         return false;
                     }
                 }
@@ -218,9 +218,9 @@ fn equate(a: &Term, b: &Term, existential: &BTreeSet<Var>, theta: &mut Subst) ->
     match (a, b) {
         (Term::Var(x), _) if !existential.contains(x) => match b {
             Term::Var(y) if existential.contains(y) => false,
-            _ => theta.bind(x.clone(), b.clone()),
+            _ => theta.bind(*x, b.clone()),
         },
-        (_, Term::Var(y)) if !existential.contains(y) => theta.bind(y.clone(), a.clone()),
+        (_, Term::Var(y)) if !existential.contains(y) => theta.bind(*y, a.clone()),
         (Term::Const(c), Term::Const(d)) => c == d,
         _ => false,
     }
@@ -305,9 +305,9 @@ fn finalize(
                 match owners.split_first() {
                     None => atom_args.push(t.clone()), // unused head position
                     Some((rep, rest)) => {
-                        atom_args.push(Term::Var((*rep).clone()));
+                        atom_args.push(Term::Var(*(*rep)));
                         for other in rest {
-                            if !rho.bind((*other).clone(), Term::Var((*rep).clone())) {
+                            if !rho.bind(*(*other), Term::Var(*(*rep))) {
                                 return None;
                             }
                         }
@@ -319,7 +319,7 @@ fn finalize(
     // Query variables mapped to constants get substituted.
     for (x, t) in &st.phi {
         if let Term::Const(_) = st.theta.apply_term(t) {
-            if !rho.bind(x.clone(), st.theta.apply_term(t)) {
+            if !rho.bind(*x, st.theta.apply_term(t)) {
                 return None;
             }
         }
@@ -327,7 +327,7 @@ fn finalize(
     Some(Mcd {
         covered: st.covered.clone(),
         atom: Atom {
-            pred: source.name.clone(),
+            pred: source.name,
             args: atom_args,
         },
         rho,
@@ -356,7 +356,7 @@ fn combine(
                 // query variable (e.g. one equates it with a representative
                 // and another with a constant), which must merge, not
                 // overwrite.
-                if !qc_datalog::unify_terms_with(&mut rho, &Term::Var(v.clone()), &t) {
+                if !qc_datalog::unify_terms_with(&mut rho, &Term::Var(*v), &t) {
                     return;
                 }
             }

@@ -92,7 +92,7 @@ impl SourceDescription {
         let rule = parse_rule(src)?;
         let view = ConjunctiveQuery::from_rule(&rule);
         Ok(SourceDescription {
-            name: view.head.pred.clone(),
+            name: view.head.pred,
             view,
             complete: false,
             adornments: Vec::new(),
@@ -179,7 +179,7 @@ impl LavSetting {
 
     /// The exported relation names.
     pub fn names(&self) -> Vec<Symbol> {
-        self.sources.iter().map(|s| s.name.clone()).collect()
+        self.sources.iter().map(|s| s.name).collect()
     }
 
     /// Whether every view definition is comparison-free.
@@ -271,7 +271,7 @@ impl MediatedSchema {
 
     /// The declared arity of a relation.
     pub fn arity_of(&self, name: &str) -> Option<usize> {
-        self.relations.get(name).copied()
+        self.relations.get(&Symbol::new(name)).copied()
     }
 
     /// Infers a schema from the view bodies of a setting (first use wins;
@@ -280,7 +280,7 @@ impl MediatedSchema {
         let mut s = MediatedSchema::default();
         for src in &views.sources {
             for a in &src.view.subgoals {
-                s.relations.entry(a.pred.clone()).or_insert(a.arity());
+                s.relations.entry(a.pred).or_insert(a.arity());
             }
         }
         s
@@ -295,13 +295,13 @@ impl MediatedSchema {
             match self.relations.get(&a.pred) {
                 None => {
                     return Err(SchemaError::UnknownRelation {
-                        relation: a.pred.clone(),
+                        relation: a.pred,
                         context: context.to_string(),
                     })
                 }
                 Some(&declared) if declared != a.arity() => {
                     return Err(SchemaError::WrongArity {
-                        relation: a.pred.clone(),
+                        relation: a.pred,
                         declared,
                         used: a.arity(),
                         context: context.to_string(),

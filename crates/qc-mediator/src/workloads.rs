@@ -77,7 +77,7 @@ pub fn random_views(nviews: usize, npreds: usize, rng: &mut impl Rng) -> LavSett
         }
         let view = ConjunctiveQuery::new(Atom::new(format!("v{v}"), head_vars), body, Vec::new());
         sources.push(SourceDescription {
-            name: view.head.pred.clone(),
+            name: view.head.pred,
             view,
             complete: false,
             adornments: Vec::new(),

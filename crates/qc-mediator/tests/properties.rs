@@ -34,7 +34,7 @@ proptest! {
         let a_small = certain_answers(&p, &s("q"), &views, &small, &opts).unwrap();
         let a_big = certain_answers(&p, &s("q"), &views, &big, &opts).unwrap();
         for t in a_small.tuples() {
-            prop_assert!(a_big.contains(t), "lost {t:?} when the instance grew");
+            prop_assert!(a_big.contains(&t), "lost {t:?} when the instance grew");
         }
     }
 
@@ -50,7 +50,7 @@ proptest! {
         let all = certain_answers(&p, &s("q"), &views, &inst, &opts).unwrap();
         let some = certain_answers(&p, &s("q"), &fewer, &inst, &opts).unwrap();
         for t in some.tuples() {
-            prop_assert!(all.contains(t), "answer {t:?} appeared from nowhere");
+            prop_assert!(all.contains(&t), "answer {t:?} appeared from nowhere");
         }
     }
 
@@ -83,7 +83,7 @@ proptest! {
         let restricted = reachable_certain_answers(&p, &s("q"), &views, &db, &opts).unwrap();
         for t in restricted.tuples() {
             prop_assert!(
-                unrestricted.contains(t),
+                unrestricted.contains(&t),
                 "reachable answer {t:?} is not certain\nq: {}", q
             );
         }
@@ -109,7 +109,7 @@ proptest! {
         let fewer = reachable_certain_answers(&p, &s("q"), &one, &db, &opts).unwrap();
         let more = reachable_certain_answers(&p, &s("q"), &two, &db, &opts).unwrap();
         for t in fewer.tuples() {
-            prop_assert!(more.contains(t), "second access path lost {t:?}");
+            prop_assert!(more.contains(&t), "second access path lost {t:?}");
         }
     }
 
@@ -161,7 +161,7 @@ proptest! {
                 let a2 = reachable_certain_answers(&q2, &s("q"), &views, &db, &opts).unwrap();
                 for t in a1.tuples() {
                     prop_assert!(
-                        a2.contains(t),
+                        a2.contains(&t),
                         "BP-decided contained but {t:?} escapes\nq1: {}\nq2: {}\nadorned: {:?}",
                         q1, q2,
                         views.sources.iter().map(|v| v.adornments.len()).collect::<Vec<_>>()

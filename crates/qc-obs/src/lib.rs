@@ -40,6 +40,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+pub mod fx;
 pub mod hist;
 
 pub use hist::{prometheus_text, Hist, Histogram, HistogramSnapshot, Histograms};
@@ -158,6 +159,12 @@ counters! {
     ServeTierDowngrades => "serve_tier_downgrades",
     /// Degradation-ladder steps back up (toward Full).
     ServeTierUpgrades => "serve_tier_upgrades",
+    /// Containment-mapping searches the adaptive size estimator routed to
+    /// the direct (linear-scan) kernel because the instance was small.
+    EngineTierDirect => "engine_tier_direct",
+    /// Containment-mapping searches the adaptive size estimator routed to
+    /// the bucketed (optimized) kernel.
+    EngineTierOptimized => "engine_tier_optimized",
 }
 
 impl std::fmt::Display for Counter {

@@ -166,7 +166,7 @@ impl Session {
             "help" => Ok(Some(HELP.to_string())),
             "view" => {
                 let src = SourceDescription::parse(rest).map_err(|e| e.to_string())?;
-                let name = src.name.clone();
+                let name = src.name;
                 self.views.sources.retain(|s| s.name != name);
                 self.views.sources.push(src);
                 Ok(Some(format!("source {name} declared")))

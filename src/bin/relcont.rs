@@ -26,7 +26,7 @@
 //! ```text
 //! --trace              print the per-stage pipeline tree to stderr
 //! --metrics-json PATH  write the pipeline report (spans + counters +
-//!                      latency histograms) as JSON
+//!                      latency histograms + interner stats) as JSON
 //! --prom PATH          write counters + histograms in Prometheus text
 //!                      exposition format
 //! --timeout MS         wall-clock deadline for the decision procedures
@@ -104,7 +104,7 @@ usage:
 observability (any command):
   --trace              print the per-stage pipeline tree to stderr
   --metrics-json PATH  write the pipeline report (spans + counters +
-                       latency histograms) as JSON
+                       latency histograms + interner stats) as JSON
   --prom PATH          write counters + histograms as Prometheus text
   --flight-recorder PATH  (serve) dump per-request timelines as JSON
 resource limits (any command; exit 3 when one stops the decision):
@@ -165,8 +165,20 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 Ok(Outcome::Unknown(_)) => "unknown",
                 Err(_) => "error",
             };
+            // Interner health: table sizes plus lookup/hit/resize totals
+            // for the global symbol interner and the hash-consed ground
+            // value table (cf. the `interner_microbench` bin in qc-bench).
+            let istats = |s: &relcont::datalog::InternerStats| {
+                format!(
+                    "{{ \"symbols\": {}, \"bytes\": {}, \"lookups\": {}, \
+                     \"hits\": {}, \"resizes\": {} }}",
+                    s.symbols, s.bytes, s.lookups, s.hits, s.resizes
+                )
+            };
+            let sym = istats(&relcont::datalog::interner_stats());
+            let val = istats(&relcont::datalog::value::value_stats());
             let wrapped = format!(
-                "{{\n  \"verdict\": \"{verdict}\",\n  \"report\": {json},\n  \"histograms\": {hists}\n}}"
+                "{{\n  \"verdict\": \"{verdict}\",\n  \"report\": {json},\n  \"histograms\": {hists},\n  \"interners\": {{ \"symbol\": {sym}, \"value\": {val} }}\n}}"
             );
             std::fs::write(&path, wrapped).map_err(|e| format!("{path}: {e}"))?;
         }
@@ -308,7 +320,7 @@ fn load_query(path: &str, ans: Option<&str>) -> Result<(Program, Symbol), String
         None => program
             .rules()
             .first()
-            .map(|r| r.head.pred.clone())
+            .map(|r| r.head.pred)
             .ok_or_else(|| format!("{path}: empty program"))?,
     };
     Ok((program, ans))
@@ -451,7 +463,7 @@ fn cmd_validate(flags: &Flags) -> Result<Outcome, String> {
         views
             .sources
             .iter()
-            .flat_map(|s| s.view.subgoals.iter().map(|a| a.pred.clone()))
+            .flat_map(|s| s.view.subgoals.iter().map(|a| a.pred))
             .collect::<std::collections::BTreeSet<_>>()
             .len()
     );

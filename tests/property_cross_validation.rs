@@ -50,9 +50,7 @@ fn arbitrary_cq(rng: &mut StdRng, max_atoms: usize) -> ConjunctiveQuery {
     let head_args = if body_vars.is_empty() {
         vec![]
     } else {
-        vec![Term::Var(
-            body_vars[rng.gen_range(0..body_vars.len())].clone(),
-        )]
+        vec![Term::Var(body_vars[rng.gen_range(0..body_vars.len())])]
     };
     ConjunctiveQuery::new(Atom::new("q", head_args), subgoals, Vec::new())
 }
@@ -70,7 +68,7 @@ proptest! {
         let q2_vars: Vec<_> = q2.subgoals.iter().flat_map(|a| a.vars()).collect();
         q2.head = Atom::new("q", q1.head.args.iter().map(|_| {
             match q2_vars.first() {
-                Some(v) => Term::Var(v.clone()),
+                Some(v) => Term::Var(*v),
                 None => Term::int(0),
             }
         }).collect());
@@ -119,7 +117,7 @@ proptest! {
                 let a2 = certain_answers(&p2, &s("q"), &views, &inst, &opts).unwrap();
                 for t in a1.tuples() {
                     prop_assert!(
-                        a2.contains(t),
+                        a2.contains(&t),
                         "decided contained but witness {t:?} escapes\nq1: {}\nq2: {}",
                         q1, q2
                     );

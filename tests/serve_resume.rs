@@ -182,7 +182,7 @@ proptest! {
         let cfg = ServeConfig { trip_threshold: u32::MAX, ..ServeConfig::default() };
         let core = ServeCore::new(views, cfg);
         let mut req = Request::new(
-            query_program(&cq1), q.clone(), query_program(&cq2), q,
+            query_program(&cq1), q, query_program(&cq2), q,
         );
         let Some(oracle) = oracle_verdict(&req, &core) else {
             return Ok(()); // degenerate drawing: nothing to compare against
