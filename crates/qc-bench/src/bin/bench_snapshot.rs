@@ -89,7 +89,14 @@ const TIME_NOISE_FLOOR_NS: u64 = 50_000;
 /// `baseline × (LIVE_NUM/LIVE_DEN) + LIVE_SLACK_NS` fails. Both minima
 /// come from the same process seconds apart, so the comparison is immune
 /// to host-speed drift that the committed-snapshot gate must tolerate.
-const LIVE_COMPARE: &[&str] = &["e1_example1/all_pairs_expansion", "e5_cq_baseline/chain_16"];
+const LIVE_COMPARE: &[&str] = &[
+    "e1_example1/all_pairs_expansion",
+    "e5_cq_baseline/chain_16",
+    // The two recursive RA-tier scenarios: the compiled engine must beat
+    // (or at worst match, within the ratio) the tuple-at-a-time kernel.
+    "e6_binding_patterns/ra_chain_tc_96",
+    "e9_rewriting_ablation/magic_seeded_reach_64",
+];
 /// Live-compare ratio: optimized may cost at most 5/4 of baseline…
 const LIVE_NUM: u64 = 5;
 const LIVE_DEN: u64 = 4;
@@ -108,16 +115,15 @@ fn configs() -> [Cfg; 2] {
         Cfg {
             name: "baseline",
             engine: EngineOptions::naive(),
-            eval: EvalOptions {
-                reorder: false,
-                ..EvalOptions::default()
-            },
+            // The naïve bridge: tuple-at-a-time fixpoints, no dynamic
+            // join reordering, no magic sets.
+            eval: EngineOptions::naive().eval_options(),
         },
         Cfg {
             name: "optimized",
             // Pinned to one thread: counter totals stay deterministic.
             engine: EngineOptions::sequential(),
-            eval: EvalOptions::default(),
+            eval: EngineOptions::sequential().eval_options(),
         },
     ]
 }
@@ -246,6 +252,40 @@ fn scenarios() -> Vec<Scenario> {
             .unwrap();
         }),
     });
+    // E6 — recursive chain plan: full transitive closure on a 96-node
+    // chain (4 560 derived tuples over 95 semi-naive rounds). The
+    // baseline runs the tuple-at-a-time kernel; the optimized adaptive
+    // router sends this to the compiled RA engine (recursive → RA), so
+    // the paired-minima gate measures batch deltas against per-tuple
+    // substitution on the workload the RA tier exists for.
+    let tc_ra = tc.clone();
+    let db96 = chain_edb("e", 96);
+    out.push(Scenario {
+        name: "e6_binding_patterns/ra_chain_tc_96",
+        run: Box::new(move |cfg| {
+            evaluate(&tc_ra, &db96, &cfg.eval).unwrap();
+        }),
+    });
+    // E9 — binding-pattern workload: reachability seeded at one constant
+    // over two disconnected 64-node chains. With magic sets (optimized)
+    // only the component reachable from the seed is derived; the tuple
+    // baseline materializes the full closure of both components before
+    // selecting. The committed derived-facts counters record the pruning.
+    let seeded =
+        parse_program("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z). q(Y) :- t(c0, Y).")
+            .unwrap();
+    let mut facts = String::new();
+    for i in 0..64 {
+        facts.push_str(&format!("e(c{}, c{}). e(d{}, d{}). ", i, i + 1, i, i + 1));
+    }
+    let db_seeded = qc_datalog::Database::parse(&facts).unwrap();
+    out.push(Scenario {
+        name: "e9_rewriting_ablation/magic_seeded_reach_64",
+        run: Box::new(move |cfg| {
+            qc_datalog::eval::answers(&seeded, &db_seeded, &Symbol::new("q"), &cfg.eval).unwrap();
+        }),
+    });
+
     let q_ucq = Ucq::single(parse_query("t(X, Y) :- e(X, A), e(B, Y).").unwrap());
     out.push(Scenario {
         name: "e10_engine_ablation/type_fixpoint",
@@ -665,6 +705,56 @@ fn tier_self_test() -> ExitCode {
         tiers(EngineOptions::sequential(), &big, &big_to),
         false,
     );
+
+    // RA eval tier: the recursive bench scenarios must actually exercise
+    // the compiled engine under the optimized configuration (and the
+    // tuple kernel under the baseline) — otherwise the committed RA-vs-
+    // tuple comparison silently measures the same engine twice.
+    let eval_tiers = |cfg: &Cfg, scenario: &str| {
+        let s = scenarios()
+            .into_iter()
+            .find(|s| s.name == scenario)
+            .unwrap_or_else(|| panic!("self-test scenario {scenario} missing"));
+        let rec = Arc::new(qc_obs::PipelineRecorder::new());
+        {
+            let _g = qc_obs::install(rec.clone() as Arc<dyn qc_obs::Recorder>);
+            engine::with_options(cfg.engine, || (s.run)(cfg));
+        }
+        (
+            rec.counters().get(qc_obs::Counter::EvalTierRa),
+            rec.counters().get(qc_obs::Counter::EvalTierTuple),
+            rec.counters().get(qc_obs::Counter::RaMagicPrunedTuples),
+        )
+    };
+    let cfgs = configs();
+    for scenario in [
+        "e6_binding_patterns/ra_chain_tc_96",
+        "e9_rewriting_ablation/magic_seeded_reach_64",
+    ] {
+        let (ra, tup, _) = eval_tiers(&cfgs[1], scenario);
+        if ra > 0 && tup == 0 {
+            eprintln!("ok {scenario} optimized routes RA: ra={ra} tuple={tup}");
+        } else {
+            eprintln!("TIER ROUTING WRONG {scenario} optimized: ra={ra} tuple={tup}");
+            failures += 1;
+        }
+        let (ra_b, tup_b, _) = eval_tiers(&cfgs[0], scenario);
+        if ra_b == 0 && tup_b > 0 {
+            eprintln!("ok {scenario} baseline stays tuple: ra={ra_b} tuple={tup_b}");
+        } else {
+            eprintln!("TIER ROUTING WRONG {scenario} baseline: ra={ra_b} tuple={tup_b}");
+            failures += 1;
+        }
+    }
+    // Magic sets must prune on the seeded E9 workload.
+    let (_, _, pruned) = eval_tiers(&cfgs[1], "e9_rewriting_ablation/magic_seeded_reach_64");
+    if pruned > 0 {
+        eprintln!("ok magic sets prune on seeded reachability: pruned={pruned}");
+    } else {
+        eprintln!("MAGIC SETS NOT PRUNING on seeded reachability");
+        failures += 1;
+    }
+
     if failures > 0 {
         eprintln!("{failures} tier-routing failure(s)");
         ExitCode::from(1)

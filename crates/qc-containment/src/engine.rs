@@ -13,6 +13,9 @@
 
 use std::cell::Cell;
 
+pub use qc_datalog::eval::EvalEngine;
+use qc_datalog::eval::EvalOptions;
+
 /// Default bound on the number of resident verdicts in the canonical
 /// containment memo (see [`crate::memo`]).
 pub const DEFAULT_MEMO_CAPACITY: usize = 4096;
@@ -32,6 +35,13 @@ pub const DEFAULT_TIER_MEMO_SIZE: usize = 16;
 /// stay on the calling thread — spawning scoped workers costs more than
 /// the items.
 pub const DEFAULT_TIER_PARALLEL_MIN: usize = 8;
+
+/// Default [`EngineOptions::tier_ra_min_tuples`]: non-recursive fixpoints
+/// over fewer EDB tuples than this stay on the tuple-at-a-time kernel —
+/// compiling RA plans costs more than evaluating such instances directly.
+/// Recursive programs always amortize compilation over their rounds and
+/// route to RA regardless of size.
+pub const DEFAULT_TIER_RA_MIN_TUPLES: usize = 256;
 
 /// Tuning knobs for the containment engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +71,17 @@ pub struct EngineOptions {
     /// Adaptive threshold: keep [`parallel_map`] batches smaller than this
     /// on the calling thread.
     pub tier_parallel_min: usize,
+    /// Datalog fixpoint engine for canonical-database evaluation, certain
+    /// answers, and datalog containment: the compiled relational-algebra
+    /// tier, the tuple-at-a-time kernel, or adaptive routing between them
+    /// (see [`EngineOptions::tier_ra_min_tuples`]).
+    pub eval_engine: EvalEngine,
+    /// Apply the magic-sets rewrite before goal-directed RA fixpoints, so
+    /// only tuples reachable from the query's binding pattern are derived.
+    pub eval_magic_sets: bool,
+    /// Adaptive threshold: non-recursive fixpoints over fewer EDB tuples
+    /// than this stay on the tuple-at-a-time kernel.
+    pub tier_ra_min_tuples: usize,
 }
 
 impl Default for EngineOptions {
@@ -73,13 +94,16 @@ impl Default for EngineOptions {
             tier_hom_product: DEFAULT_TIER_HOM_PRODUCT,
             tier_memo_size: DEFAULT_TIER_MEMO_SIZE,
             tier_parallel_min: DEFAULT_TIER_PARALLEL_MIN,
+            eval_engine: EvalEngine::Adaptive,
+            eval_magic_sets: true,
+            tier_ra_min_tuples: DEFAULT_TIER_RA_MIN_TUPLES,
         }
     }
 }
 
 impl EngineOptions {
     /// The order-naïve reference configuration: sequential, linear-scan
-    /// homomorphism search, no memo, no tiering.
+    /// homomorphism search, no memo, no tiering, tuple-at-a-time fixpoints.
     pub fn naive() -> EngineOptions {
         EngineOptions {
             parallelism: 1,
@@ -89,6 +113,9 @@ impl EngineOptions {
             tier_hom_product: 0,
             tier_memo_size: 0,
             tier_parallel_min: 0,
+            eval_engine: EvalEngine::Tuple,
+            eval_magic_sets: false,
+            tier_ra_min_tuples: 0,
         }
     }
 
@@ -112,6 +139,29 @@ impl EngineOptions {
     /// optimized machinery runs unconditionally when off).
     pub fn with_adaptive(self, adaptive: bool) -> EngineOptions {
         EngineOptions { adaptive, ..self }
+    }
+
+    /// This configuration with the given datalog fixpoint engine.
+    pub fn with_eval_engine(self, eval_engine: EvalEngine) -> EngineOptions {
+        EngineOptions {
+            eval_engine,
+            ..self
+        }
+    }
+
+    /// The [`EvalOptions`] this engine configuration implies: the fixpoint
+    /// tier, magic sets, and the RA routing threshold come from the engine
+    /// knobs; everything else keeps the evaluator defaults (except the
+    /// naïve configuration, which also disables the evaluator's dynamic
+    /// join reordering to stay the order-naïve reference).
+    pub fn eval_options(&self) -> EvalOptions {
+        EvalOptions {
+            engine: self.eval_engine,
+            magic_sets: self.eval_magic_sets,
+            tier_ra_min_tuples: self.tier_ra_min_tuples,
+            reorder: self.hom_buckets,
+            ..EvalOptions::default()
+        }
     }
 }
 
@@ -258,11 +308,28 @@ mod tests {
         assert_eq!(d.tier_hom_product, DEFAULT_TIER_HOM_PRODUCT);
         assert_eq!(d.tier_memo_size, DEFAULT_TIER_MEMO_SIZE);
         assert_eq!(d.tier_parallel_min, DEFAULT_TIER_PARALLEL_MIN);
+        assert_eq!(d.eval_engine, EvalEngine::Adaptive);
+        assert!(d.eval_magic_sets);
+        assert_eq!(d.tier_ra_min_tuples, DEFAULT_TIER_RA_MIN_TUPLES);
         let n = EngineOptions::naive();
         assert!(!n.hom_buckets);
         assert_eq!(n.parallelism, 1);
         assert_eq!(n.memo_capacity, 0);
         assert!(!n.adaptive);
+        assert_eq!(n.eval_engine, EvalEngine::Tuple);
+        assert!(!n.eval_options().reorder);
+        assert!(!n.eval_options().magic_sets);
+        assert_eq!(
+            EngineOptions::default().eval_options().engine,
+            EvalEngine::Adaptive
+        );
+        assert_eq!(
+            EngineOptions::sequential()
+                .with_eval_engine(EvalEngine::Ra)
+                .eval_options()
+                .engine,
+            EvalEngine::Ra
+        );
         assert_eq!(EngineOptions::sequential().parallelism, 1);
         assert_eq!(n.with_parallelism(0).parallelism, 1);
         assert!(!EngineOptions::sequential().with_adaptive(false).adaptive);

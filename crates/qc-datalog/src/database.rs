@@ -181,14 +181,23 @@ impl Relation {
     }
 
     /// Iterates over candidate rows for a partially-ground pattern: if some
-    /// pattern position is ground, uses the most selective index; otherwise
-    /// scans. Rows are materialized to tuples.
+    /// pattern position is ground *and indexed*, uses the most selective
+    /// index; otherwise falls back to a full scan. Rows are materialized to
+    /// tuples.
+    ///
+    /// Positions without an index yet — the relation is empty (indexes are
+    /// sized on first insert) or the pattern is wider than the relation's
+    /// arity — are excluded from probe selection rather than treated as
+    /// empty probe lists, which would silently drop every candidate. The
+    /// caller still verifies full patterns against the returned rows, so
+    /// over-approximating with a scan is always safe.
     pub fn candidates<'a>(
         &'a self,
         bound: &[(usize, Term)],
     ) -> Box<dyn Iterator<Item = Tuple> + 'a> {
         if let Some((pos, val)) = bound
             .iter()
+            .filter(|(pos, _)| *pos < self.index.len())
             .min_by_key(|(pos, val)| self.rows_with(*pos, val).len())
         {
             let rows = self.rows_with(*pos, val).to_vec();
@@ -468,6 +477,32 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert!(r.contains(&vec![]));
         assert_eq!(r.arity(), Some(0));
+    }
+
+    #[test]
+    fn candidates_on_empty_relation_is_empty_not_panicking() {
+        let r = Relation::new();
+        // No index exists yet (indexes are sized on first insert): both the
+        // unbound and the bound pattern must degrade to an empty scan.
+        assert_eq!(r.candidates(&[]).count(), 0);
+        assert_eq!(r.candidates(&[(0, Term::int(1))]).count(), 0);
+        assert_eq!(r.candidates(&[(3, Term::sym("x"))]).count(), 0);
+    }
+
+    #[test]
+    fn candidates_falls_back_to_scan_for_unindexed_positions() {
+        let mut r = Relation::new();
+        r.insert(vec![Term::int(1), Term::int(2)]);
+        r.insert(vec![Term::int(3), Term::int(4)]);
+        // Position 5 is beyond the relation's arity, so it has no index; a
+        // probe there must not shadow the scan with an empty candidate set.
+        assert_eq!(r.candidates(&[(5, Term::int(2))]).count(), 2);
+        // A mix of indexed and unindexed positions uses the indexed one.
+        assert_eq!(
+            r.candidates(&[(5, Term::int(9)), (1, Term::int(2))])
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -35,6 +35,22 @@ pub enum Strategy {
     SemiNaive,
 }
 
+/// Which join kernel runs the fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalEngine {
+    /// The tuple-at-a-time backtracking join (the differential oracle).
+    Tuple,
+    /// The compiled relational-algebra batch engine ([`crate::ra`]),
+    /// falling back to the tuple kernel for programs it cannot compile
+    /// (non-ground function-term patterns in rule bodies).
+    Ra,
+    /// Route per fixpoint: RA for recursive programs or large instances
+    /// (≥ [`EvalOptions::tier_ra_min_tuples`] EDB tuples), the tuple
+    /// kernel otherwise (default).
+    #[default]
+    Adaptive,
+}
+
 /// Engine limits and strategy selection.
 #[derive(Debug, Clone, Copy)]
 pub struct EvalOptions {
@@ -47,13 +63,25 @@ pub struct EvalOptions {
     /// Maximum function-term nesting depth in derived tuples.
     pub max_term_depth: usize,
     /// Record one derivation per derived tuple (enables
-    /// [`evaluate_traced`] / provenance).
+    /// [`evaluate_traced`] / provenance). Tracing forces the
+    /// tuple-at-a-time kernel, which records per-derivation support.
     pub trace: bool,
     /// Greedy most-bound-first reordering of rule bodies before the
     /// backtracking join (atoms with constants or already-bound variables
     /// first; ties broken by smaller visible relation size). `false`
-    /// preserves textual body order — the order-naïve baseline.
+    /// preserves textual body order — the order-naïve baseline — in both
+    /// kernels.
     pub reorder: bool,
+    /// Which join kernel runs the fixpoint.
+    pub engine: EvalEngine,
+    /// Apply the magic-sets rewrite before an RA [`answers`] fixpoint, so
+    /// only tuples reachable from the answer predicate's binding pattern
+    /// are derived. Ignored by [`evaluate`] (no goal) and by the tuple
+    /// kernel.
+    pub magic_sets: bool,
+    /// [`EvalEngine::Adaptive`] routes non-recursive programs to the RA
+    /// engine only when the EDB holds at least this many tuples.
+    pub tier_ra_min_tuples: usize,
 }
 
 impl Default for EvalOptions {
@@ -65,6 +93,9 @@ impl Default for EvalOptions {
             max_term_depth: 8,
             trace: false,
             reorder: true,
+            engine: EvalEngine::Adaptive,
+            magic_sets: true,
+            tier_ra_min_tuples: 256,
         }
     }
 }
@@ -112,6 +143,29 @@ impl From<qc_guard::ResourceError> for EvalError {
     }
 }
 
+/// Whether this fixpoint should run on the RA batch engine.
+///
+/// Tracing and the naive strategy pin the tuple kernel (provenance and the
+/// E10 ablation baseline are tuple-level concepts), `EvalEngine::Tuple`
+/// forces it, and programs the RA compiler cannot express (non-ground
+/// function-term patterns in rule bodies) fall back to it. Under
+/// `Adaptive`, RA takes recursive programs — where compile-once pays off
+/// across rounds — and large instances, leaving small non-recursive
+/// fixpoints on the direct kernel.
+fn use_ra(program: &Program, edb: &Database, opts: &EvalOptions) -> bool {
+    if opts.trace || opts.strategy == Strategy::Naive {
+        return false;
+    }
+    let want = match opts.engine {
+        EvalEngine::Tuple => false,
+        EvalEngine::Ra => true,
+        EvalEngine::Adaptive => {
+            program.is_recursive() || edb.total_len() >= opts.tier_ra_min_tuples
+        }
+    };
+    want && crate::ra::supports(program)
+}
+
 /// Evaluates `program` over `edb`, returning the derived IDB relations.
 pub fn evaluate(
     program: &Program,
@@ -119,6 +173,11 @@ pub fn evaluate(
     opts: &EvalOptions,
 ) -> Result<Database, EvalError> {
     let _span = qc_obs::span("datalog_eval");
+    if use_ra(program, edb, opts) {
+        qc_obs::count(qc_obs::Counter::EvalTierRa, 1);
+        return crate::ra::evaluate(program, edb, opts);
+    }
+    qc_obs::count(qc_obs::Counter::EvalTierTuple, 1);
     match opts.strategy {
         Strategy::Naive => naive_inner(program, edb, opts, None),
         Strategy::SemiNaive => seminaive_inner(program, edb, opts, None),
@@ -127,12 +186,21 @@ pub fn evaluate(
 
 /// Evaluates and returns the answer relation for `answer` (empty relation
 /// if nothing was derived).
+///
+/// On the RA engine with `opts.magic_sets` set, the program is first
+/// rewritten with magic sets for `answer`, so the fixpoint only derives
+/// tuples the answer predicate can reach.
 pub fn answers(
     program: &Program,
     edb: &Database,
     answer: &Symbol,
     opts: &EvalOptions,
 ) -> Result<Relation, EvalError> {
+    if use_ra(program, edb, opts) {
+        let _span = qc_obs::span("datalog_eval");
+        qc_obs::count(qc_obs::Counter::EvalTierRa, 1);
+        return crate::ra::answers(program, edb, answer, opts);
+    }
     let idb = evaluate(program, edb, opts)?;
     Ok(idb.relation(answer).cloned().unwrap_or_default())
 }
@@ -245,11 +313,11 @@ pub fn evaluate_traced(
 /// A view of a relation restricted to its first `limit` tuples (relations
 /// are append-only, so a prefix is a consistent snapshot).
 #[derive(Clone, Copy)]
-struct RelView<'a> {
-    rel: &'a Relation,
+pub(crate) struct RelView<'a> {
+    pub(crate) rel: &'a Relation,
     /// Tuples `offset..limit` are visible.
-    offset: usize,
-    limit: usize,
+    pub(crate) offset: usize,
+    pub(crate) limit: usize,
 }
 
 impl<'a> RelView<'a> {
@@ -270,7 +338,7 @@ impl<'a> RelView<'a> {
     }
 
     /// Number of tuples visible through this view.
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.limit - self.offset
     }
 
@@ -307,8 +375,8 @@ impl<'a> RelView<'a> {
 }
 
 /// Which snapshot a body occurrence should read.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Source {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Source {
     /// EDB, or IDB "everything so far".
     Full,
     /// IDB tuples derived in the previous round only.
@@ -317,16 +385,16 @@ enum Source {
     Old,
 }
 
-struct Snapshots<'a> {
-    edb: &'a Database,
-    idb: &'a Database,
+pub(crate) struct Snapshots<'a> {
+    pub(crate) edb: &'a Database,
+    pub(crate) idb: &'a Database,
     /// Per-IDB-relation: (old_len, full_len); delta = old_len..full_len.
-    marks: &'a HashMap<Symbol, (usize, usize)>,
-    empty: Relation,
+    pub(crate) marks: &'a HashMap<Symbol, (usize, usize)>,
+    pub(crate) empty: Relation,
 }
 
 impl<'a> Snapshots<'a> {
-    fn view(&'a self, pred: &Symbol, source: Source) -> RelView<'a> {
+    pub(crate) fn view(&'a self, pred: &Symbol, source: Source) -> RelView<'a> {
         if let Some(rel) = self.idb.relation(pred) {
             let (old, full) = self
                 .marks

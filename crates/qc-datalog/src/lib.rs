@@ -43,6 +43,7 @@ pub use qc_obs::fx;
 mod parser;
 mod program;
 mod query;
+mod ra;
 mod rule;
 mod subst;
 mod symbol;

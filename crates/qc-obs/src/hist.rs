@@ -97,6 +97,11 @@ hists! {
     ServeE2eBoundedNs => "serve_e2e_bounded_ns",
     /// End-to-end latency (enqueue to reply), MiniconOnly tier.
     ServeE2eMiniconNs => "serve_e2e_minicon_ns",
+    /// RA rule-plan compilation (magic-sets rewrite + join-order and
+    /// index-choice selection), per fixpoint.
+    RaCompileNs => "ra_compile_ns",
+    /// RA semi-naive fixpoint execution (excluding compilation), per run.
+    RaEvalNs => "ra_eval_ns",
 }
 
 impl Hist {

@@ -165,6 +165,19 @@ counters! {
     /// Containment-mapping searches the adaptive size estimator routed to
     /// the bucketed (optimized) kernel.
     EngineTierOptimized => "engine_tier_optimized",
+    /// Fixpoints the adaptive eval router ran on the batch
+    /// relational-algebra engine.
+    EvalTierRa => "eval_tier_ra",
+    /// Fixpoints the adaptive eval router kept on the tuple-at-a-time
+    /// kernel.
+    EvalTierTuple => "eval_tier_tuple",
+    /// Rule plan variants compiled by the RA engine (one per rule plus one
+    /// per rule × semi-naive delta focus).
+    RaRulesCompiled => "ra_rules_compiled",
+    /// Join probes against magic (demand) relations that found no binding —
+    /// candidate derivations the magic-sets rewrite pruned before they
+    /// produced tuples.
+    RaMagicPrunedTuples => "ra_magic_pruned_tuples",
 }
 
 impl std::fmt::Display for Counter {

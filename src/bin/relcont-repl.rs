@@ -20,7 +20,7 @@
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, Write};
 
-use relcont::datalog::eval::EvalOptions;
+use relcont::containment::engine;
 use relcont::datalog::{parse_rule, Database, Program, Symbol};
 use relcont::guard::Guard;
 use relcont::mediator::analysis::{is_lossless, source_coverage, unused_sources};
@@ -330,7 +330,7 @@ impl Session {
                     &self.views,
                     &self.facts,
                     &tuple,
-                    &EvalOptions::default(),
+                    &engine::current().eval_options(),
                 )
                 .map_err(|e| e.to_string())?
                 {
@@ -383,14 +383,20 @@ impl Session {
             "certain" | "reachable" => {
                 let (q, a) = self.query(rest)?;
                 let rel = if cmd == "certain" {
-                    certain_answers(q, &a, &self.views, &self.facts, &EvalOptions::default())
+                    certain_answers(
+                        q,
+                        &a,
+                        &self.views,
+                        &self.facts,
+                        &engine::current().eval_options(),
+                    )
                 } else {
                     reachable_certain_answers(
                         q,
                         &a,
                         &self.views,
                         &self.facts,
-                        &EvalOptions::default(),
+                        &engine::current().eval_options(),
                     )
                 }
                 .map_err(|e| e.to_string())?;

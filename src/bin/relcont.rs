@@ -41,6 +41,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
+use relcont::containment::engine;
 use relcont::datalog::eval::{EvalError, EvalOptions};
 use relcont::datalog::{parse_program, Database, Program, Symbol};
 use relcont::guard::Guard;
@@ -68,6 +69,13 @@ fn outcome_of(holds: bool) -> Outcome {
     } else {
         Outcome::False
     }
+}
+
+/// The fixpoint options implied by the ambient [`engine::EngineOptions`]:
+/// one configuration source decides both the containment kernels and the
+/// datalog evaluation tier (tuple-at-a-time, compiled RA, or adaptive).
+fn engine_eval_options() -> EvalOptions {
+    engine::current().eval_options()
 }
 
 fn main() -> ExitCode {
@@ -415,9 +423,9 @@ fn cmd_certain(flags: &Flags) -> Result<Outcome, String> {
         return Err("certain needs --instance and/or --csv".into());
     }
     let rel = match if flags.bp {
-        reachable_certain_answers(&q, &ans, &views, &db, &EvalOptions::default())
+        reachable_certain_answers(&q, &ans, &views, &db, &engine_eval_options())
     } else {
-        certain_answers(&q, &ans, &views, &db, &EvalOptions::default())
+        certain_answers(&q, &ans, &views, &db, &engine_eval_options())
     } {
         Ok(rel) => rel,
         Err(e) => {
@@ -648,7 +656,7 @@ fn cmd_eval(flags: &Flags) -> Result<Outcome, String> {
         std::fs::read_to_string(flags.required("data")?).map_err(|e| format!("data: {e}"))?;
     let db = Database::parse(&data).map_err(|e| format!("data: {e}"))?;
     let ans = Symbol::new(flags.required("ans")?);
-    let rel = match relcont::datalog::eval::answers(&program, &db, &ans, &EvalOptions::default()) {
+    let rel = match relcont::datalog::eval::answers(&program, &db, &ans, &engine_eval_options()) {
         Ok(rel) => rel,
         Err(EvalError::Resource(r)) => return Ok(Outcome::Unknown(r.to_string())),
         Err(e) => return Err(e.to_string()),

@@ -219,6 +219,85 @@ fn cli_resource_limits_yield_exit_3_and_tagged_metrics() {
 }
 
 #[test]
+fn cli_eval_metrics_expose_ra_engine_counters() {
+    // A recursive program over a non-trivial EDB routes to the compiled
+    // RA engine under the default adaptive tiering, and the metrics JSON
+    // must surface the compile/eval instrumentation: rule count, magic
+    // pruning, tier counter, and both timing histograms.
+    let dir = tmpdir("ra-metrics");
+    let prog = write_tmp(
+        &dir,
+        "prog.dl",
+        "t(X, Y) :- e(X, Y).
+         t(X, Z) :- t(X, Y), e(Y, Z).
+         q(Y) :- t(c0, Y).",
+    );
+    // Two disconnected chains: only the c-chain is reachable from the
+    // seed, so the magic-sets rewrite has something to prune.
+    let mut edges = String::new();
+    for i in 0..20 {
+        edges.push_str(&format!("e(c{i}, c{}).\ne(d{i}, d{}).\n", i + 1, i + 1));
+    }
+    let data = write_tmp(&dir, "data.dl", &edges);
+    let metrics = dir.join("metrics.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_relcont"))
+        .args(["eval", "--program"])
+        .arg(&prog)
+        .args(["--data"])
+        .arg(&data)
+        .args(["--ans", "q", "--metrics-json"])
+        .arg(&metrics)
+        .output()
+        .expect("run relcont");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[\"c1\"]"), "{stdout}");
+    assert!(stdout.contains("[\"c20\"]"), "{stdout}");
+    assert!(!stdout.contains("d1"), "{stdout}");
+    let json = std::fs::read_to_string(&metrics).expect("metrics written");
+    for key in [
+        "\"ra_rules_compiled\"",
+        "\"ra_magic_pruned_tuples\"",
+        "\"eval_tier_ra\"",
+        "\"ra_compile_ns\"",
+        "\"ra_eval_ns\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
+
+#[test]
+fn repl_stats_reports_eval_tier() {
+    // The REPL's `:stats` tree carries the engine-tier counters, so a
+    // session can tell which kernel served its certain-answer runs
+    // (conjunctive plans stay on the tuple kernel under adaptive tiering).
+    let bin = env!("CARGO_BIN_EXE_relcont-repl");
+    let mut child = Command::new(bin)
+        .env("NO_PROMPT", "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let script = "view v0(A, B) :- e(A, B).
+query q(X, Y) :- e(X, Y).
+fact v0(1, 2).
+certain q
+:stats
+quit
+";
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("q(1, 2)"), "{stdout}");
+    assert!(stdout.contains("eval_tier_tuple=1"), "{stdout}");
+}
+
+#[test]
 fn repl_limit_command() {
     let bin = env!("CARGO_BIN_EXE_relcont-repl");
     let mut child = Command::new(bin)
