@@ -53,11 +53,17 @@ struct Tally {
     sheds: usize,
     worker_restarts: u64,
     failures: usize,
+    seed: u64,
 }
 
 impl Tally {
     fn fail(&mut self, trial: usize, msg: &str) {
         eprintln!("FAIL trial {trial}: {msg}");
+        eprintln!(
+            "  repro: cargo run --release -p qc-bench --bin service_chaos -- \
+             --trials 1 --seed {}",
+            self.seed.wrapping_add(trial as u64)
+        );
         self.failures += 1;
     }
 }
@@ -281,6 +287,10 @@ fn check_shedding(trial: usize, case: &Case, tally: &mut Tally) {
         workers: 1,
         queue_capacity: CAP,
         start_paused: true,
+        // The C+X jobs are identical; coalescing would attach them to one
+        // leader instead of shedding, which is a different invariant
+        // (covered by durability_chaos).
+        coalesce: false,
         ..ServeConfig::default()
     };
     let svc = Service::start(case.views.clone(), cfg);
@@ -338,7 +348,10 @@ fn main() -> ExitCode {
     // the seed.
     std::panic::set_hook(Box::new(|_| {}));
 
-    let mut tally = Tally::default();
+    let mut tally = Tally {
+        seed,
+        ..Tally::default()
+    };
     let mut skipped = 0usize;
     for trial in 0..trials {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(trial as u64));

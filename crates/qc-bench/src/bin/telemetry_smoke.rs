@@ -41,6 +41,17 @@ const SERVE_HISTS: [&str; 9] = [
 
 const QUANTILES: [&str; 4] = ["p50", "p90", "p99", "p999"];
 
+/// Durability / coalescing counters that must appear in the Prometheus
+/// exposition even at zero (`prometheus_text` emits every counter).
+const DURABILITY_COUNTERS: [&str; 6] = [
+    "serve_coalesced_hits",
+    "serve_checkpoint_rejected",
+    "journal_appends",
+    "journal_retired",
+    "journal_replayed",
+    "journal_compactions",
+];
+
 fn is_number(v: &Value) -> bool {
     matches!(v, Value::UInt(_) | Value::Int(_) | Value::Float(_))
 }
@@ -116,7 +127,8 @@ fn check_flight(flight: &Value) -> Result<usize, String> {
     Ok(entries.len())
 }
 
-/// Histogram families declared with bucket/sum/count lines.
+/// Histogram families declared with bucket/sum/count lines, plus the
+/// durability counters (present even at zero).
 fn check_prom(text: &str) -> Result<usize, String> {
     for name in SERVE_HISTS {
         let family = format!("relcont_{name}");
@@ -131,7 +143,16 @@ fn check_prom(text: &str) -> Result<usize, String> {
             }
         }
     }
-    Ok(SERVE_HISTS.len())
+    for name in DURABILITY_COUNTERS {
+        let family = format!("relcont_{name}");
+        if !text.contains(&format!("# TYPE {family} counter")) {
+            return Err(format!("prom text: missing counter TYPE line for {family}"));
+        }
+        if !text.contains(&format!("{family} ")) {
+            return Err(format!("prom text: {family} has no sample line"));
+        }
+    }
+    Ok(SERVE_HISTS.len() + DURABILITY_COUNTERS.len())
 }
 
 fn main() -> ExitCode {
@@ -169,7 +190,7 @@ fn main() -> ExitCode {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let n = check_prom(&text)?;
-            eprintln!("ok prom: {n} histogram families exposed");
+            eprintln!("ok prom: {n} metric families exposed");
         }
         Ok(())
     };
@@ -256,7 +277,14 @@ mod tests {
                 "# TYPE {f} histogram\n{f}_bucket{{le=\"+Inf\"}} 0\n{f}_sum 0\n{f}_count 0\n"
             ));
         }
-        assert_eq!(check_prom(&text).unwrap(), 9);
+        // Histograms alone no longer pass: the durability counters must
+        // be exposed too, zero-valued or not.
+        assert!(check_prom(&text).unwrap_err().contains("counter TYPE line"));
+        for name in DURABILITY_COUNTERS {
+            let f = format!("relcont_{name}");
+            text.push_str(&format!("# TYPE {f} counter\n{f} 0\n"));
+        }
+        assert_eq!(check_prom(&text).unwrap(), 15);
         assert!(check_prom("").unwrap_err().contains("TYPE"));
     }
 }

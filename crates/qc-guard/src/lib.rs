@@ -59,6 +59,12 @@ pub mod stage {
     pub const ENUMERATION: &str = "enumeration";
     /// Counterexample-expansion search (unfoldings explored).
     pub const WITNESS: &str = "witness";
+    /// Checkpoint-journal appends (qc-serve durability layer). Exists so
+    /// a [`crate::FaultPlan`] can kill a process mid-append: the journal
+    /// ticks this stage between the partial and the final write of a
+    /// record, and an injected panic there leaves a torn tail on disk —
+    /// exactly the crash geometry the tolerant replay must recover from.
+    pub const JOURNAL: &str = "journal";
 }
 
 /// Which resource ran out.

@@ -449,6 +449,59 @@ pub fn relatively_contained_verdict_resume(
     views: &LavSetting,
     proven_before: &[usize],
 ) -> Result<Verdict, RelativeError> {
+    relatively_contained_verdict_resume_checked(q1, ans1, q2, ans2, views, proven_before, None)
+        .map(|(v, _)| v)
+}
+
+/// How a resume checkpoint fared against the rebuilt plan (see
+/// [`relatively_contained_verdict_resume_checked`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeState {
+    /// No checkpoint was supplied: a fresh run.
+    Fresh,
+    /// The checkpoint was applied; `skipped` disjuncts were taken as
+    /// already proven.
+    Applied {
+        /// Disjunct checks skipped thanks to the checkpoint.
+        skipped: usize,
+    },
+    /// The checkpoint claimed a plan shape the rebuilt plan contradicts
+    /// (`expected` vs `actual` disjuncts); its proven set was discarded
+    /// and the run recomputed from scratch.
+    Rejected {
+        /// `disjuncts_total` the checkpoint was cut against.
+        expected: usize,
+        /// Disjunct count of the plan rebuilt for this run.
+        actual: usize,
+    },
+    /// The input is recursive: the decision is monolithic, so per-disjunct
+    /// checkpoints do not apply.
+    Monolithic,
+}
+
+/// [`relatively_contained_verdict_resume`] with explicit checkpoint
+/// validation: when `expected_total` is given and disagrees with the
+/// rebuilt plan's disjunct count, the checkpoint is *rejected* — the
+/// proven set is discarded, the run recomputes everything, and the
+/// returned [`ResumeState::Rejected`] carries both counts so the caller
+/// can surface the stale checkpoint instead of silently eating it.
+///
+/// The plan's disjunct order is deterministic for a fixed input, so a
+/// total mismatch can only mean the checkpoint was cut against different
+/// inputs (or a different engine version) than this run — exactly the
+/// case where trusting its indices would silently skip the wrong
+/// disjuncts' work (still sound, but no longer the progress the caller
+/// thinks it has).
+#[allow(clippy::too_many_arguments)]
+pub fn relatively_contained_verdict_resume_checked(
+    q1: &Program,
+    ans1: &Symbol,
+    q2: &Program,
+    ans2: &Symbol,
+    views: &LavSetting,
+    proven_before: &[usize],
+    expected_total: Option<usize>,
+) -> Result<(Verdict, ResumeState), RelativeError> {
     let _span = qc_obs::span("relative_containment_verdict");
     let q1_recursive = q1.dependency_graph().pred_in_cycle_reachable_from(ans1);
     let q2_recursive = q2.dependency_graph().pred_in_cycle_reachable_from(ans2);
@@ -458,10 +511,10 @@ pub fn relatively_contained_verdict_resume(
         // evaluation; exhaustion cannot be attributed to individual
         // disjuncts, so the anytime answer carries no partial plan.
         return match run_guarded(|| relatively_contained(q1, ans1, q2, ans2, views)) {
-            Ok(true) => Ok(Verdict::Contained),
-            Ok(false) => Ok(Verdict::NotContained),
+            Ok(true) => Ok((Verdict::Contained, ResumeState::Monolithic)),
+            Ok(false) => Ok((Verdict::NotContained, ResumeState::Monolithic)),
             Err(e) => match e.resource() {
-                Some(r) => Ok(unknown(r.clone())),
+                Some(r) => Ok((unknown(r.clone()), ResumeState::Monolithic)),
                 None => Err(e),
             },
         };
@@ -472,12 +525,33 @@ pub fn relatively_contained_verdict_resume(
         Ok(p) => p,
         Err(e) => {
             return match e.resource() {
-                Some(r) => Ok(unknown(r.clone())),
+                // The plan never got built, so checkpoint validity is
+                // unknowable this run; report Fresh (nothing was skipped).
+                Some(r) => Ok((unknown(r.clone()), ResumeState::Fresh)),
                 None => Err(e),
-            }
+            };
         }
     };
     let total = p1.disjuncts.len();
+    let (proven_before, state) = match expected_total {
+        Some(expected) if expected != total => (
+            // A shape mismatch means the indices were cut against a
+            // different plan: discard them (recompute; sound either way)
+            // and tell the caller the checkpoint was rejected.
+            &[][..],
+            ResumeState::Rejected {
+                expected,
+                actual: total,
+            },
+        ),
+        _ if proven_before.is_empty() => (proven_before, ResumeState::Fresh),
+        _ => (
+            proven_before,
+            ResumeState::Applied {
+                skipped: proven_before.iter().filter(|&&i| i < total).count(),
+            },
+        ),
+    };
     let mut proven: Vec<qc_datalog::ConjunctiveQuery> = Vec::new();
     let mut proven_ix: Vec<usize> = Vec::new();
     for (ix, d) in p1.disjuncts.iter().enumerate() {
@@ -497,20 +571,23 @@ pub fn relatively_contained_verdict_resume(
                 proven.push(d.clone());
                 proven_ix.push(ix);
             }
-            Ok(false) => return Ok(Verdict::NotContained),
+            Ok(false) => return Ok((Verdict::NotContained, state)),
             Err(r) => {
                 let partial_plan = (!proven.is_empty())
                     .then(|| Ucq::new(proven).expect("disjuncts share the query head"));
-                return Ok(Verdict::Unknown(Partial {
-                    resource: r,
-                    disjuncts_proven: proven_ix,
-                    disjuncts_total: total,
-                    partial_plan,
-                }));
+                return Ok((
+                    Verdict::Unknown(Partial {
+                        resource: r,
+                        disjuncts_proven: proven_ix,
+                        disjuncts_total: total,
+                        partial_plan,
+                    }),
+                    state,
+                ));
             }
         }
     }
-    Ok(Verdict::Contained)
+    Ok((Verdict::Contained, state))
 }
 
 /// Decides relative containment with binding patterns, `Q1 ⊑_{V,B} Q2`

@@ -97,6 +97,11 @@ hists! {
     ServeE2eBoundedNs => "serve_e2e_bounded_ns",
     /// End-to-end latency (enqueue to reply), MiniconOnly tier.
     ServeE2eMiniconNs => "serve_e2e_minicon_ns",
+    /// Latency of one checkpoint-journal append (serialize + write +
+    /// fsync per policy).
+    JournalAppendNs => "journal_append_ns",
+    /// Latency of a full journal replay at store startup.
+    JournalReplayNs => "journal_replay_ns",
     /// RA rule-plan compilation (magic-sets rewrite + join-order and
     /// index-choice selection), per fixpoint.
     RaCompileNs => "ra_compile_ns",

@@ -159,6 +159,30 @@ counters! {
     ServeTierDowngrades => "serve_tier_downgrades",
     /// Degradation-ladder steps back up (toward Full).
     ServeTierUpgrades => "serve_tier_upgrades",
+    /// Requests that attached as waiters to a structurally-identical
+    /// in-flight computation instead of running their own.
+    ServeCoalescedHits => "serve_coalesced_hits",
+    /// Request checkpoints refused (fingerprint or plan-shape mismatch)
+    /// and therefore recomputed from scratch.
+    ServeCheckpointRejected => "serve_checkpoint_rejected",
+    /// Checkpoint records appended to the journal (durable or in-memory).
+    JournalAppends => "journal_appends",
+    /// Checkpoint records dropped from the journal after a definite
+    /// verdict retired their fingerprint.
+    JournalRetired => "journal_retired",
+    /// Valid checkpoint records replayed from a journal at startup.
+    JournalReplayed => "journal_replayed",
+    /// Journal replays that truncated a torn tail (a partially-written
+    /// final record, e.g. from a crash mid-append).
+    JournalTornTruncations => "journal_torn_truncations",
+    /// Corrupt journal records (framing/CRC/parse failures before the
+    /// tail) discarded along with everything after them.
+    JournalCorruptRecords => "journal_corrupt_records",
+    /// Journals abandoned wholesale at replay (unsupported format
+    /// version); the store restarts empty with a logged reason.
+    JournalResets => "journal_resets",
+    /// Size-triggered journal compactions (live fingerprints rewritten).
+    JournalCompactions => "journal_compactions",
     /// Containment-mapping searches the adaptive size estimator routed to
     /// the direct (linear-scan) kernel because the instance was small.
     EngineTierDirect => "engine_tier_direct",

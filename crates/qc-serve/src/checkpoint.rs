@@ -37,6 +37,22 @@ pub struct Checkpoint {
     pub memo_resident: usize,
 }
 
+/// Why a supplied checkpoint was refused (and the run recomputed from
+/// scratch). Surfaced in [`crate::Response::checkpoint_rejected`] and the
+/// flight-recorder timeline so stale checkpoints are observable instead
+/// of silently eaten.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointRejected {
+    /// Human-readable mismatch description (fingerprint or plan shape).
+    pub reason: String,
+}
+
+impl std::fmt::Display for CheckpointRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "checkpoint rejected: {}", self.reason)
+    }
+}
+
 impl Checkpoint {
     /// Whether this checkpoint belongs to the request with `fingerprint`
     /// and is shape-consistent with a `total`-disjunct plan.

@@ -38,6 +38,9 @@ pub struct Timeline {
     pub tier: Option<Tier>,
     /// Whether the run continued from a checkpoint.
     pub resumed: bool,
+    /// Why a supplied checkpoint was refused (fingerprint or plan-shape
+    /// mismatch), when one was.
+    pub checkpoint_rejected: Option<String>,
     /// Time spent waiting in the admission queue.
     pub queue_wait_ns: u64,
     /// Time spent executing the decision procedure.
@@ -60,6 +63,7 @@ impl Timeline {
             outcome: outcome.to_string(),
             tier: None,
             resumed: false,
+            checkpoint_rejected: None,
             queue_wait_ns: 0,
             execute_ns: 0,
             total_ns: 0,
@@ -110,6 +114,13 @@ impl Timeline {
                 },
             ),
             ("resumed".into(), Value::Bool(self.resumed)),
+            (
+                "checkpoint_rejected".into(),
+                match &self.checkpoint_rejected {
+                    Some(r) => Value::Str(r.clone()),
+                    None => Value::Null,
+                },
+            ),
             ("queue_wait_ns".into(), Value::UInt(self.queue_wait_ns)),
             ("execute_ns".into(), Value::UInt(self.execute_ns)),
             ("total_ns".into(), Value::UInt(self.total_ns)),
@@ -210,6 +221,9 @@ impl FlightRecorder {
             );
             if t.resumed {
                 out.push_str(" resumed");
+            }
+            if let Some(r) = &t.checkpoint_rejected {
+                let _ = write!(out, " checkpoint_rejected={r:?}");
             }
             if let Some(trip) = &t.trip {
                 let _ = write!(out, " trip={trip}");

@@ -28,9 +28,11 @@
 
 pub mod checkpoint;
 pub mod flight;
+pub mod journal;
 pub mod ladder;
+pub mod retry;
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -42,19 +44,44 @@ use qc_datalog::{ConjunctiveQuery, Program, Symbol, Ucq};
 use qc_guard::{FaultPlan, Guard, ResourceError};
 use qc_mediator::expansion::expand_cq;
 use qc_mediator::minicon::minicon_rewritings;
-use qc_mediator::relative::{relatively_contained_verdict_resume, Partial, RelativeError, Verdict};
+use qc_mediator::relative::{
+    relatively_contained_verdict_resume_checked, Partial, RelativeError, ResumeState, Verdict,
+};
 use qc_mediator::schema::LavSetting;
 use qc_obs::{Counter, Counters, Hist, Histograms};
 
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointRejected};
 pub use flight::{FlightRecorder, StageTime, Timeline};
+pub use journal::{
+    CheckpointStore, FileJournal, FsyncPolicy, JournalConfig, MemoryStore, ReplayReport,
+    SaveReceipt,
+};
 pub use ladder::{DegradationController, Tier};
+pub use retry::RetryPolicy;
 
 /// A per-request trace ID: allocated at admission (or at [`ServeCore::handle`]
 /// for direct callers), carried by every [`Response`] and [`ServiceError`],
 /// and resolvable against the [`FlightRecorder`] dump.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TraceId(pub u64);
+
+/// Bit position where the store generation lives in a [`TraceId`]: the
+/// low 48 bits are the per-process sequence, the high 16 the journal
+/// generation, so trace IDs stay unique across a kill–restart.
+pub const TRACE_GENERATION_SHIFT: u32 = 48;
+
+impl TraceId {
+    /// The store generation this trace was minted under (0 for bare
+    /// in-memory cores).
+    pub fn generation(self) -> u64 {
+        self.0 >> TRACE_GENERATION_SHIFT
+    }
+
+    /// The per-process sequence number within the generation.
+    pub fn sequence(self) -> u64 {
+        self.0 & ((1u64 << TRACE_GENERATION_SHIFT) - 1)
+    }
+}
 
 impl std::fmt::Display for TraceId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -209,6 +236,10 @@ pub struct Response {
     /// Resume token, present when the verdict is `Unknown` and the run
     /// got far enough to have per-disjunct progress worth keeping.
     pub checkpoint: Option<Checkpoint>,
+    /// Set when the request carried (or the store held) a checkpoint
+    /// that was refused — wrong fingerprint or a plan-shape mismatch —
+    /// and the run recomputed from scratch instead of resuming.
+    pub checkpoint_rejected: Option<CheckpointRejected>,
     /// The request's trace ID, resolvable in the flight-recorder dump.
     pub trace: TraceId,
     /// Time the request waited in the admission queue before a worker
@@ -327,6 +358,10 @@ pub struct ServeConfig {
     pub recover_threshold: u32,
     /// Start with workers paused (deterministic queue tests).
     pub start_paused: bool,
+    /// Coalesce structurally-identical in-flight requests: later
+    /// arrivals attach as waiters to the first computation instead of
+    /// running their own ([`Service`] only).
+    pub coalesce: bool,
     /// How many request timelines the flight recorder retains.
     pub flight_capacity: usize,
     /// Engine configuration for [`Tier::Full`] runs. Defaults to the
@@ -349,6 +384,7 @@ impl Default for ServeConfig {
             trip_threshold: 3,
             recover_threshold: 3,
             start_paused: false,
+            coalesce: true,
             flight_capacity: 256,
             engine: EngineOptions::sequential(),
         }
@@ -515,6 +551,16 @@ pub struct ServeStats {
     pub tier_downgrades: u64,
     /// Ladder steps up.
     pub tier_upgrades: u64,
+    /// Requests answered by attaching to an identical in-flight one.
+    pub coalesced_hits: u64,
+    /// Checkpoints refused (fingerprint/shape mismatch) and recomputed.
+    pub checkpoint_rejected: u64,
+    /// Checkpoint records appended to the store.
+    pub journal_appends: u64,
+    /// Live fingerprints resident in the checkpoint store.
+    pub journal_live: usize,
+    /// The store's process generation (0 for in-memory stores).
+    pub generation: u64,
     /// Queue-wait latency distribution (all tiers merged).
     pub queue_wait: LatencySummary,
     /// Execute latency distribution (all tiers merged).
@@ -580,6 +626,16 @@ impl std::fmt::Display for ServeStats {
             "ladder: {} degraded runs, {} down / {} up; {} worker restarts",
             self.degraded_runs, self.tier_downgrades, self.tier_upgrades, self.worker_restarts
         )?;
+        writeln!(
+            f,
+            "durability: generation {}, {} journal appends, {} live checkpoints; \
+             {} coalesced, {} checkpoints rejected",
+            self.generation,
+            self.journal_appends,
+            self.journal_live,
+            self.coalesced_hits,
+            self.checkpoint_rejected
+        )?;
         writeln!(f, "queue-wait: {}", self.queue_wait)?;
         writeln!(f, "execute: {}", self.execute)?;
         write!(f, "end-to-end: {}", self.e2e)
@@ -599,32 +655,77 @@ pub struct ServeCore {
     hists: Arc<Histograms>,
     flight: FlightRecorder,
     next_trace: AtomicU64,
+    store: Arc<dyn CheckpointStore>,
+    generation: u64,
 }
 
 impl ServeCore {
-    /// A core serving containment over `views`.
+    /// A core serving containment over `views`, with a volatile
+    /// in-memory checkpoint store (see [`ServeCore::with_store`] for a
+    /// durable one).
     pub fn new(views: LavSetting, cfg: ServeConfig) -> ServeCore {
+        ServeCore::with_store(views, cfg, Arc::new(MemoryStore::new()))
+    }
+
+    /// A core whose `Unknown`-with-checkpoint responses are journaled to
+    /// `store` at response time, and which replays the store's live
+    /// checkpoints on arriving fingerprints — a restarted core resumes a
+    /// retried request from its pre-crash proven-disjunct set. The
+    /// store's generation is folded into trace-ID minting (see
+    /// [`TRACE_GENERATION_SHIFT`]) and its replay report into the
+    /// `journal_*` counters.
+    pub fn with_store(
+        views: LavSetting,
+        cfg: ServeConfig,
+        store: Arc<dyn CheckpointStore>,
+    ) -> ServeCore {
         let capacity = CapacityModel::new(cfg.pool, cfg.min_budget);
         let ladder = Mutex::new(DegradationController::new(
             cfg.trip_threshold,
             cfg.recover_threshold,
         ));
         let flight = FlightRecorder::new(cfg.flight_capacity);
+        let counters = Arc::new(Counters::new());
+        let hists = Arc::new(Histograms::new());
+        let report = store.replay_report();
+        counters.add(Counter::JournalReplayed, report.records_replayed);
+        counters.add(
+            Counter::JournalTornTruncations,
+            report.torn_truncated as u64,
+        );
+        counters.add(Counter::JournalCorruptRecords, report.corrupt_records);
+        counters.add(Counter::JournalResets, report.reset.is_some() as u64);
+        if report.replay_ns > 0 {
+            hists.record(Hist::JournalReplayNs, report.replay_ns);
+        }
+        let generation = store.generation();
         ServeCore {
             views,
             cfg,
             capacity,
             ladder,
-            counters: Arc::new(Counters::new()),
-            hists: Arc::new(Histograms::new()),
+            counters,
+            hists,
             flight,
             next_trace: AtomicU64::new(1),
+            store,
+            generation,
         }
     }
 
     /// The views this core serves against.
     pub fn views(&self) -> &LavSetting {
         &self.views
+    }
+
+    /// The checkpoint store backing resumable verdicts.
+    pub fn store(&self) -> &Arc<dyn CheckpointStore> {
+        &self.store
+    }
+
+    /// The store generation trace IDs are minted under.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The shared counter bank (serve-level counters always land here;
@@ -645,10 +746,15 @@ impl ServeCore {
         &self.flight
     }
 
-    /// Allocates the next trace ID. [`Service`] calls this at admission;
-    /// direct [`ServeCore::handle`] callers get one implicitly.
+    /// Allocates the next trace ID: the store generation in the high
+    /// bits, a per-process sequence in the low — unique within a process
+    /// by the sequence, across restarts by the generation. [`Service`]
+    /// calls this at admission; direct [`ServeCore::handle`] callers get
+    /// one implicitly.
     pub fn next_trace(&self) -> TraceId {
-        TraceId(self.next_trace.fetch_add(1, Ordering::Relaxed))
+        let seq = self.next_trace.fetch_add(1, Ordering::Relaxed)
+            & ((1u64 << TRACE_GENERATION_SHIFT) - 1);
+        TraceId(((self.generation & 0xFFFF) << TRACE_GENERATION_SHIFT) | seq)
     }
 
     /// The active ladder tier.
@@ -677,6 +783,11 @@ impl ServeCore {
             worker_restarts: c(Counter::ServeWorkerRestarts),
             tier_downgrades: c(Counter::ServeTierDowngrades),
             tier_upgrades: c(Counter::ServeTierUpgrades),
+            coalesced_hits: c(Counter::ServeCoalescedHits),
+            checkpoint_rejected: c(Counter::ServeCheckpointRejected),
+            journal_appends: c(Counter::JournalAppends),
+            journal_live: self.store.live(),
+            generation: self.generation,
             queue_wait: LatencySummary::of(&self.hists.merged(&[
                 Hist::ServeQueueWaitFullNs,
                 Hist::ServeQueueWaitBoundedNs,
@@ -750,14 +861,36 @@ impl ServeCore {
         let started = Instant::now();
         let fingerprint = req.fingerprint(&self.views);
         let mut proven_before: Vec<usize> = Vec::new();
+        let mut expected_total: Option<usize> = None;
         let mut resumed = false;
+        let mut checkpoint_rejected: Option<CheckpointRejected> = None;
         if let Some(cp) = &req.checkpoint {
             if cp.fingerprint == fingerprint {
-                // The disjunct count is re-validated implicitly: the
-                // resume loop ignores out-of-range indices.
+                // The disjunct count is validated against the rebuilt
+                // plan inside the resume call; a mismatch surfaces as
+                // `ResumeState::Rejected` below.
                 proven_before = cp.proven.clone();
+                expected_total = Some(cp.disjuncts_total);
                 resumed = true;
-                self.counters.add(Counter::ServeResumed, 1);
+            } else {
+                checkpoint_rejected = Some(CheckpointRejected {
+                    reason: format!(
+                        "fingerprint mismatch: checkpoint {:#018x}, request {:#018x}",
+                        cp.fingerprint, fingerprint
+                    ),
+                });
+                self.counters.add(Counter::ServeCheckpointRejected, 1);
+            }
+        } else if let Some(cp) = self.store.load(fingerprint) {
+            // No client-supplied checkpoint: resume from the journal's
+            // durable copy, if a prior (possibly pre-crash) generation
+            // made partial progress on this exact request. A stored
+            // checkpoint with nothing proven has nothing to resume —
+            // skipping it keeps `resumed` meaning "work was skipped".
+            if !cp.proven.is_empty() {
+                proven_before = cp.proven.clone();
+                expected_total = Some(cp.disjuncts_total);
+                resumed = true;
             }
         }
 
@@ -803,18 +936,37 @@ impl ServeCore {
             };
             engine::with_options(opts, || {
                 qc_guard::with_guard(&guard, || {
-                    relatively_contained_verdict_resume(
+                    relatively_contained_verdict_resume_checked(
                         &req.q1,
                         &req.ans1,
                         &req.q2,
                         &req.ans2,
                         &self.views,
                         &proven_before,
+                        expected_total,
                     )
                 })
             })
+            .map(|(v, state)| {
+                if let ResumeState::Rejected { expected, actual } = state {
+                    checkpoint_rejected = Some(CheckpointRejected {
+                        reason: format!(
+                            "plan shape mismatch: checkpoint expects {expected} disjuncts, plan has {actual}"
+                        ),
+                    });
+                    self.counters.add(Counter::ServeCheckpointRejected, 1);
+                    resumed = false;
+                }
+                v
+            })
         };
-        self.capacity.settle(guard.consumed());
+        let consumed = guard.consumed();
+        self.capacity.settle(consumed);
+        // Counted after the run so a shape-rejected checkpoint (resumed
+        // flipped back off above) is a rejection, not a resume.
+        if resumed {
+            self.counters.add(Counter::ServeResumed, 1);
+        }
 
         let execute_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let queue_wait_ns = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
@@ -830,10 +982,11 @@ impl ServeCore {
                     outcome: "rejected".into(),
                     tier: Some(tier),
                     resumed,
+                    checkpoint_rejected: checkpoint_rejected.map(|r| r.reason),
                     queue_wait_ns,
                     execute_ns,
                     total_ns,
-                    consumed: guard.consumed(),
+                    consumed,
                     trip: Some(why.clone()),
                     stages,
                 });
@@ -873,6 +1026,40 @@ impl ServeCore {
             }),
             _ => None,
         };
+        // Durability: every checkpoint handed to a client is also written
+        // to the store at response time, so a crash between response and
+        // retry loses nothing. Definite verdicts retire the fingerprint's
+        // journal entry — the progress is spent. The save runs under the
+        // request's guard so chaos harnesses can kill the process
+        // mid-append (`stage::JOURNAL`); budget/cancel trips inside the
+        // store are ignored there, journaling is never starved.
+        match &checkpoint {
+            Some(cp) => {
+                let t0 = Instant::now();
+                let receipt = qc_guard::with_guard(&guard, || self.store.save(cp));
+                self.hists.record(
+                    Hist::JournalAppendNs,
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                );
+                if receipt.appended {
+                    self.counters.add(Counter::JournalAppends, 1);
+                }
+                if receipt.compacted {
+                    self.counters.add(Counter::JournalCompactions, 1);
+                }
+            }
+            None => {
+                // Retire only on a definite verdict. An `Unknown` that
+                // produced no checkpoint (e.g. the budget tripped during
+                // plan construction) says nothing about the stored
+                // progress — erasing it would lose durable work.
+                if matches!(verdict, Verdict::Contained | Verdict::NotContained)
+                    && self.store.retire(fingerprint)
+                {
+                    self.counters.add(Counter::JournalRetired, 1);
+                }
+            }
+        }
         let (outcome_name, trip) = match &verdict {
             Verdict::Contained => ("contained", None),
             Verdict::NotContained => ("not_contained", None),
@@ -883,10 +1070,11 @@ impl ServeCore {
             outcome: outcome_name.into(),
             tier: Some(tier),
             resumed,
+            checkpoint_rejected: checkpoint_rejected.as_ref().map(|r| r.reason.clone()),
             queue_wait_ns,
             execute_ns,
             total_ns,
-            consumed: guard.consumed(),
+            consumed,
             trip,
             stages,
         });
@@ -894,8 +1082,9 @@ impl ServeCore {
             verdict,
             tier,
             resumed,
-            consumed: guard.consumed(),
+            consumed,
             checkpoint,
+            checkpoint_rejected,
             trace,
             queue_wait_ns,
         })
@@ -969,6 +1158,18 @@ struct Job {
     trace: TraceId,
     enqueued: Instant,
     queue_timeout: Option<Duration>,
+    /// Coalescing key this job leads (other identical requests attach as
+    /// waiters under it), when coalescing applies.
+    key: Option<u64>,
+    reply: mpsc::Sender<Result<Response, ServiceError>>,
+}
+
+/// A request that attached to an identical in-flight computation instead
+/// of enqueueing its own job. It gets a copy of the leader's answer under
+/// its own trace ID.
+struct Waiter {
+    trace: TraceId,
+    enqueued: Instant,
     reply: mpsc::Sender<Result<Response, ServiceError>>,
 }
 
@@ -978,6 +1179,10 @@ struct QueueShared {
     capacity: usize,
     paused: AtomicBool,
     draining: AtomicBool,
+    /// Coalescing table: key → waiters attached to the in-flight leader.
+    /// Lock order: `jobs` before `inflight` (workers take `inflight`
+    /// alone, admission takes it while holding `jobs`).
+    inflight: Mutex<HashMap<u64, Vec<Waiter>>>,
 }
 
 impl QueueShared {
@@ -986,6 +1191,33 @@ impl QueueShared {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
+
+    fn inflight(&self) -> MutexGuard<'_, HashMap<u64, Vec<Waiter>>> {
+        self.inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The identity under which two requests may share one computation: the
+/// request fingerprint plus every answer-shaping override (budget,
+/// timeout, checkpoint content). Requests carrying an injected fault are
+/// never coalesced — fault plans are per-request chaos instruments.
+fn coalesce_key(req: &Request, views: &LavSetting) -> Option<u64> {
+    use std::hash::{Hash, Hasher};
+    if req.fault.is_some() {
+        return None;
+    }
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    req.fingerprint(views).hash(&mut h);
+    req.budget.hash(&mut h);
+    req.timeout.hash(&mut h);
+    if let Some(cp) = &req.checkpoint {
+        cp.fingerprint.hash(&mut h);
+        cp.disjuncts_total.hash(&mut h);
+        cp.proven.hash(&mut h);
+    }
+    Some(h.finish())
 }
 
 /// A pending answer; [`Ticket::wait`] blocks until the worker replies.
@@ -1025,8 +1257,20 @@ pub struct Service {
 }
 
 impl Service {
-    /// Starts `cfg.workers` worker threads over a fresh core.
+    /// Starts `cfg.workers` worker threads over a fresh core with a
+    /// volatile in-memory checkpoint store.
     pub fn start(views: LavSetting, cfg: ServeConfig) -> Service {
+        Service::start_with_store(views, cfg, Arc::new(MemoryStore::new()))
+    }
+
+    /// [`Service::start`] over an explicit [`CheckpointStore`] — pass a
+    /// [`FileJournal`] for crash-durable checkpoints and restart
+    /// recovery.
+    pub fn start_with_store(
+        views: LavSetting,
+        cfg: ServeConfig,
+        store: Arc<dyn CheckpointStore>,
+    ) -> Service {
         let start_paused = cfg.start_paused;
         let workers = cfg.workers.max(1);
         let shared = Arc::new(QueueShared {
@@ -1035,8 +1279,9 @@ impl Service {
             capacity: cfg.queue_capacity.max(1),
             paused: AtomicBool::new(start_paused),
             draining: AtomicBool::new(false),
+            inflight: Mutex::new(HashMap::new()),
         });
-        let core = Arc::new(ServeCore::new(views, cfg));
+        let core = Arc::new(ServeCore::with_store(views, cfg, store));
         let handles = (0..workers)
             .map(|_| {
                 let core = Arc::clone(&core);
@@ -1071,6 +1316,11 @@ impl Service {
 
     fn admit(&self, req: Request, wait_for_room: bool) -> Result<Ticket, ServiceError> {
         let counters = self.core.counters();
+        let key = if self.core.cfg.coalesce {
+            coalesce_key(&req, self.core.views())
+        } else {
+            None
+        };
         let mut jobs = self.shared.jobs();
         loop {
             if self.shared.draining.load(Ordering::SeqCst) {
@@ -1084,6 +1334,25 @@ impl Service {
                     trace,
                     why: "service is draining".into(),
                 });
+            }
+            // Coalescing: an identical request is already queued or
+            // executing — attach to it instead of spending a queue slot
+            // (checked before the capacity gate: attaching beats
+            // shedding). The waiter's answer arrives when the leader's
+            // does, under the waiter's own trace ID.
+            if let Some(k) = key {
+                let mut inflight = self.shared.inflight();
+                if let Some(waiters) = inflight.get_mut(&k) {
+                    let trace = self.core.next_trace();
+                    let (tx, rx) = mpsc::channel();
+                    waiters.push(Waiter {
+                        trace,
+                        enqueued: Instant::now(),
+                        reply: tx,
+                    });
+                    counters.add(Counter::ServeCoalescedHits, 1);
+                    return Ok(Ticket { rx, trace });
+                }
             }
             if jobs.len() < self.shared.capacity {
                 break;
@@ -1113,11 +1382,17 @@ impl Service {
         }
         let (tx, rx) = mpsc::channel();
         let trace = self.core.next_trace();
+        if let Some(k) = key {
+            // Register as the in-flight leader for this key so identical
+            // requests admitted from here on attach as waiters.
+            self.shared.inflight().insert(k, Vec::new());
+        }
         jobs.push_back(Job {
             req,
             trace,
             enqueued: Instant::now(),
             queue_timeout: None,
+            key,
             reply: tx,
         });
         counters.add(Counter::ServeAdmitted, 1);
@@ -1250,8 +1525,73 @@ fn worker_loop(core: Arc<ServeCore>, shared: Arc<QueueShared>) {
             }
             None => run_supervised(&core, &job.req, depth, job.trace, waited),
         };
+        // Resolve coalesced waiters. The key is removed *before* replies
+        // are sent: requests admitted from here on lead a fresh
+        // computation instead of attaching to an answer already on its
+        // way out.
+        let waiters = match job.key {
+            Some(k) => shared.inflight().remove(&k).unwrap_or_default(),
+            None => Vec::new(),
+        };
         // A dropped ticket just discards the answer; never an error.
+        for w in waiters {
+            let _ = w.reply.send(coalesced_reply(&core, &reply, &w, job.trace));
+        }
         let _ = job.reply.send(reply);
+    }
+}
+
+/// The answer a coalesced waiter receives: the leader's verdict under the
+/// waiter's own trace ID and queue wait, with a `coalesced` timeline
+/// pointing back at the leader's trace.
+fn coalesced_reply(
+    core: &ServeCore,
+    leader: &Result<Response, ServiceError>,
+    w: &Waiter,
+    leader_trace: TraceId,
+) -> Result<Response, ServiceError> {
+    let waited_ns = u64::try_from(w.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    match leader {
+        Ok(resp) => {
+            core.flight().push(Timeline {
+                trace: w.trace,
+                outcome: "coalesced".into(),
+                tier: Some(resp.tier),
+                resumed: resp.resumed,
+                checkpoint_rejected: None,
+                queue_wait_ns: waited_ns,
+                execute_ns: 0,
+                total_ns: waited_ns,
+                consumed: 0,
+                trip: Some(format!("waiter of {leader_trace}")),
+                stages: Vec::new(),
+            });
+            let mut r = resp.clone();
+            r.trace = w.trace;
+            r.queue_wait_ns = waited_ns;
+            Ok(r)
+        }
+        Err(e) => {
+            core.flight().push(Timeline::event(
+                w.trace,
+                "coalesced",
+                waited_ns,
+                Some(format!("waiter of {leader_trace}: {e}")),
+            ));
+            Err(error_with_trace(e, w.trace))
+        }
+    }
+}
+
+/// The same service error re-addressed to a coalesced waiter's trace.
+fn error_with_trace(e: &ServiceError, trace: TraceId) -> ServiceError {
+    match e.clone() {
+        ServiceError::Rejected { why, .. } => ServiceError::Rejected { trace, why },
+        ServiceError::ShedUnderLoad { queue_len, .. } => {
+            ServiceError::ShedUnderLoad { trace, queue_len }
+        }
+        ServiceError::Timeout { waited_ms, .. } => ServiceError::Timeout { trace, waited_ms },
+        ServiceError::WorkerLost { why, .. } => ServiceError::WorkerLost { trace, why },
     }
 }
 
@@ -1419,6 +1759,38 @@ mod tests {
         let resp = core.handle(&req, 0).unwrap();
         assert!(!resp.resumed, "fingerprint mismatch must not resume");
         assert_eq!(resp.verdict, Verdict::Contained);
+        let rejected = resp.checkpoint_rejected.expect("typed rejection");
+        assert!(
+            rejected.reason.contains("fingerprint mismatch"),
+            "{rejected}"
+        );
+        assert_eq!(core.stats().checkpoint_rejected, 1);
+        let tl = core.flight().find(resp.trace).unwrap();
+        assert_eq!(
+            tl.checkpoint_rejected.as_deref(),
+            Some(rejected.reason.as_str()),
+            "rejection is visible in the timeline"
+        );
+    }
+
+    #[test]
+    fn shape_mismatched_checkpoint_is_rejected_with_reason() {
+        let core = ServeCore::new(example1_sources(), ServeConfig::default());
+        let req = contained_request();
+        let fingerprint = req.fingerprint(core.views());
+        let mut stale = req.clone();
+        stale.checkpoint = Some(Checkpoint {
+            fingerprint,
+            disjuncts_total: 99, // the rebuilt plan will disagree
+            proven: vec![0, 1],
+            memo_resident: 0,
+        });
+        let resp = core.handle(&stale, 0).unwrap();
+        assert_eq!(resp.verdict, Verdict::Contained, "recomputed from scratch");
+        assert!(!resp.resumed, "shape mismatch must not count as resumed");
+        let rejected = resp.checkpoint_rejected.expect("typed rejection");
+        assert!(rejected.reason.contains("99"), "{rejected}");
+        assert_eq!(core.stats().checkpoint_rejected, 1);
     }
 
     #[test]
@@ -1514,6 +1886,9 @@ mod tests {
             workers: 2,
             queue_capacity: 2,
             start_paused: true,
+            // The submits are identical; without this they would coalesce
+            // instead of shedding, which is exactly what this test pins.
+            coalesce: false,
             ..ServeConfig::default()
         };
         let svc = Service::start(example1_sources(), cfg);
@@ -1617,6 +1992,9 @@ mod tests {
         let cfg = ServeConfig {
             workers: 2,
             queue_capacity: 2,
+            // Identical requests would coalesce into one computation;
+            // this test pins the plain bounded-queue batch path.
+            coalesce: false,
             ..ServeConfig::default()
         };
         let svc = Service::start(example1_sources(), cfg);
@@ -1630,5 +2008,147 @@ mod tests {
         assert_eq!(stats.shed, 0, "batch admission waits instead of shedding");
         assert_eq!(stats.completed, 6);
         svc.shutdown();
+    }
+
+    #[test]
+    fn identical_concurrent_requests_coalesce_into_one_computation() {
+        let cfg = ServeConfig {
+            workers: 2,
+            queue_capacity: 8,
+            start_paused: true, // all submits land before any runs
+            ..ServeConfig::default()
+        };
+        let svc = Service::start(example1_sources(), cfg);
+        let n = 4;
+        let tickets: Vec<Ticket> = (0..n)
+            .map(|_| svc.submit(contained_request()).unwrap())
+            .collect();
+        let traces: Vec<TraceId> = tickets.iter().map(Ticket::trace).collect();
+        svc.unpause();
+        let mut verdicts = Vec::new();
+        for t in tickets {
+            verdicts.push(t.wait().unwrap().verdict);
+        }
+        assert!(verdicts.iter().all(|v| *v == Verdict::Contained));
+        let stats = svc.stats();
+        assert_eq!(stats.admitted, 1, "one leader");
+        assert_eq!(stats.completed, 1, "one computation");
+        assert_eq!(stats.coalesced_hits, n as u64 - 1);
+        // Every waiter gets its own trace and a `coalesced` timeline
+        // naming the leader.
+        let flight = svc.core().flight();
+        for w in &traces[1..] {
+            let tl = flight.find(*w).expect("waiter timeline");
+            assert_eq!(tl.outcome, "coalesced");
+            assert_eq!(
+                tl.trip.as_deref(),
+                Some(format!("waiter of {}", traces[0]).as_str())
+            );
+        }
+        assert_ne!(
+            flight.find(traces[0]).unwrap().outcome,
+            "coalesced",
+            "the leader's timeline is the real run"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn faulted_requests_never_coalesce() {
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            start_paused: true,
+            ..ServeConfig::default()
+        };
+        let svc = Service::start(example1_sources(), cfg);
+        let mut req = contained_request();
+        req.fault = Some(FaultPlan {
+            stage: qc_guard::stage::HOM_SEARCH,
+            at_tick: 1_000_000, // armed but never fires
+            kind: FaultKind::Panic,
+        });
+        let t1 = svc.submit(req.clone()).unwrap();
+        let t2 = svc.submit(req).unwrap();
+        svc.unpause();
+        t1.wait().unwrap();
+        t2.wait().unwrap();
+        let stats = svc.stats();
+        assert_eq!(stats.coalesced_hits, 0, "fault plans are per-request");
+        assert_eq!(stats.admitted, 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn store_resumes_requests_that_arrive_without_a_checkpoint() {
+        let core = ServeCore::new(example1_sources(), ServeConfig::default());
+        let mut starved = contained_request();
+        // Find a budget yielding partial progress (as in the resume test).
+        let mut journaled = false;
+        for budget in 1..5_000 {
+            starved.budget = Some(budget);
+            let resp = core.handle(&starved, 0).unwrap();
+            if let Some(cp) = resp.checkpoint {
+                if !cp.proven.is_empty() {
+                    journaled = true;
+                    break;
+                }
+            }
+        }
+        assert!(journaled, "no budget produced partial progress");
+        assert!(core.stats().journal_live >= 1, "checkpoint was journaled");
+        // Same request, no explicit checkpoint, ample budget: the core
+        // resumes from its own store.
+        starved.budget = Some(u64::MAX);
+        let resp = core.handle(&starved, 0).unwrap();
+        assert_eq!(resp.verdict, Verdict::Contained);
+        assert!(resp.resumed, "store-held checkpoint was applied");
+        assert_eq!(
+            core.stats().journal_live,
+            0,
+            "definite verdict retired the fingerprint"
+        );
+        assert!(core.stats().journal_appends >= 1);
+    }
+
+    #[test]
+    fn starved_unknown_does_not_retire_stored_progress() {
+        let core = ServeCore::new(example1_sources(), ServeConfig::default());
+        let mut starved = contained_request();
+        for budget in 1..5_000 {
+            starved.budget = Some(budget);
+            let resp = core.handle(&starved, 0).unwrap();
+            if resp.checkpoint.is_some_and(|cp| !cp.proven.is_empty()) {
+                break;
+            }
+        }
+        assert!(core.stats().journal_live >= 1, "checkpoint was journaled");
+        // A rerun so starved it dies during plan construction returns
+        // `Unknown` with no checkpoint. That says nothing about the
+        // stored progress: the fingerprint must stay live.
+        starved.budget = Some(1);
+        let resp = core.handle(&starved, 0).unwrap();
+        assert!(matches!(resp.verdict, Verdict::Unknown(_)));
+        assert!(resp.checkpoint.is_none(), "too starved to checkpoint");
+        assert!(
+            core.stats().journal_live >= 1,
+            "Unknown without a checkpoint must not retire the fingerprint"
+        );
+    }
+
+    #[test]
+    fn trace_ids_carry_the_store_generation() {
+        let store = Arc::new(MemoryStore::with_generation(3));
+        let core = ServeCore::with_store(example1_sources(), ServeConfig::default(), store);
+        let resp = core.handle(&contained_request(), 0).unwrap();
+        assert_eq!(resp.trace.generation(), 3);
+        assert_eq!(core.generation(), 3);
+        let gen0 = ServeCore::new(example1_sources(), ServeConfig::default());
+        let r0 = gen0.handle(&contained_request(), 0).unwrap();
+        assert_eq!(r0.trace.generation(), 0);
+        assert_ne!(
+            resp.trace, r0.trace,
+            "same sequence, different generation → distinct traces"
+        );
     }
 }

@@ -55,6 +55,9 @@ commands:
   :limit budget <units>   work-unit budget for subsequent commands
   :limit timeout <ms>     wall-clock deadline for subsequent commands
   :limit off              remove all resource limits
+  :retries [N | off]      auto-retry limited `check`s: a partial (Unknown)
+                          verdict hands its checkpoint straight back for up
+                          to N more attempts before reporting
   :serve-stats            service health, ladder tier, shed/resume counters,
                           and latency quantiles (limited `check`s run through
                           the qc-serve core; unknown verdicts are
@@ -72,6 +75,8 @@ struct Session {
     recorder: std::sync::Arc<qc_obs::PipelineRecorder>,
     limit_budget: Option<u64>,
     limit_timeout_ms: Option<u64>,
+    /// Extra attempts granted to limited `check`s (`:retries N`).
+    retry_attempts: u32,
     /// Embedded serve core for limited checks; rebuilt when views change.
     serve: Option<relcont::serve::ServeCore>,
     /// Resume tokens from `Unknown` verdicts, keyed by query-name pair.
@@ -87,6 +92,7 @@ impl Session {
             recorder,
             limit_budget: None,
             limit_timeout_ms: None,
+            retry_attempts: 0,
             serve: None,
             serve_checkpoints: BTreeMap::new(),
         }
@@ -248,17 +254,35 @@ impl Session {
                     let mut req = relcont::serve::Request::new(q1, a1, q2, a2);
                     req.budget = self.limit_budget;
                     req.timeout = self.limit_timeout_ms.map(std::time::Duration::from_millis);
-                    req.checkpoint = self.serve_checkpoints.get(&key).cloned();
-                    let resp = self
-                        .serve_core()
-                        .handle(&req, 0)
-                        .map_err(|e| e.to_string())?;
+                    let saved = self.serve_checkpoints.get(&key).cloned();
+                    let retries = self.retry_attempts;
+                    let mut attempts = 0u32;
+                    let resp = {
+                        let core = self.serve_core();
+                        let policy =
+                            relcont::serve::RetryPolicy::with_attempts(retries.saturating_add(1));
+                        // First attempt resumes from the session's saved
+                        // checkpoint; each retry resumes from the previous
+                        // attempt's (`:retries`).
+                        policy.run(|cp| {
+                            attempts += 1;
+                            let mut r = req.clone();
+                            r.checkpoint = cp.or_else(|| saved.clone());
+                            core.handle(&r, 0)
+                        })
+                    }
+                    .map_err(|e| e.to_string())?;
                     let mut out = format!("{n1} vs {n2}: {}", resp.verdict);
                     out.push_str(&format!(
-                        " [tier={}, trace={}{}]",
+                        " [tier={}, trace={}{}{}]",
                         resp.tier,
                         resp.trace,
-                        if resp.resumed { ", resumed" } else { "" }
+                        if resp.resumed { ", resumed" } else { "" },
+                        if attempts > 1 {
+                            format!(", {attempts} attempts")
+                        } else {
+                            String::new()
+                        }
                     ));
                     if let Verdict::Unknown(partial) = &resp.verdict {
                         if let Some(plan) = &partial.partial_plan {
@@ -467,6 +491,26 @@ impl Session {
                     _ => Err("usage: :limit [budget <units> | timeout <ms> | off]".into()),
                 }
             }
+            ":retries" | "retries" => match rest {
+                "" => Ok(Some(match self.retry_attempts {
+                    0 => "retries: off (partial verdicts report immediately)".into(),
+                    n => format!("retries: {n} extra attempt(s) per limited check"),
+                })),
+                "off" | "0" => {
+                    self.retry_attempts = 0;
+                    Ok(Some("retries disabled".into()))
+                }
+                v => {
+                    let n: u32 = v
+                        .parse()
+                        .map_err(|_| format!("retries expects a count, got {v:?}"))?;
+                    self.retry_attempts = n;
+                    Ok(Some(format!(
+                        "limited checks now retry up to {n} time(s), resuming \
+                         from their checkpoints"
+                    )))
+                }
+            },
             ":serve-stats" | "serve-stats" => match &self.serve {
                 None => Ok(Some(
                     "no serve activity yet (limited `check`s run through the serve core)".into(),

@@ -106,9 +106,12 @@ usage:
   relcont validate --views FILE [--query FILE]
   relcont serve   --views FILE --queries FILE --jobs FILE
                   [--workers N] [--queue N] [--pool UNITS]
+                  [--journal PATH] [--retries N]
                   (jobs file: one `ANS1 ANS2` pair per line; --budget and
                    --timeout become per-request limits; exit 0 = all
-                   contained, 1 = some refuted, 3 = any undecided)
+                   contained, 1 = some refuted, 3 = any undecided;
+                   --journal makes checkpoints durable across restarts,
+                   --retries re-drives shed/partial jobs deterministically)
 observability (any command):
   --trace              print the per-stage pipeline tree to stderr
   --metrics-json PATH  write the pipeline report (spans + counters +
@@ -532,6 +535,12 @@ fn cmd_serve(flags: &Flags) -> Result<Outcome, String> {
         )),
         None => None,
     };
+    let retries: u32 = match flags.optional("retries") {
+        Some(n) => n
+            .parse()
+            .map_err(|_| format!("--retries expects a count, got {n:?}"))?,
+        None => 0,
+    };
 
     let mut pairs: Vec<(String, String)> = Vec::new();
     for (lineno, line) in jtext.lines().enumerate() {
@@ -556,7 +565,30 @@ fn cmd_serve(flags: &Flags) -> Result<Outcome, String> {
         }
     }
 
-    let svc = relcont::serve::Service::start(views, cfg);
+    let svc = match flags.optional("journal") {
+        Some(path) => {
+            // Durable checkpoints: unknown verdicts are journaled to the
+            // file and survive process restarts; a rerun against the same
+            // journal resumes instead of recomputing.
+            use relcont::serve::CheckpointStore as _;
+            let journal = relcont::serve::FileJournal::open(path)
+                .map_err(|e| format!("--journal {path}: {e}"))?;
+            let report = journal.replay_report();
+            eprintln!(
+                "journal: {path} generation {}, {} record(s) replayed, {} live{}",
+                journal.generation(),
+                report.records_replayed,
+                journal.live(),
+                if report.repaired() {
+                    " (repaired: torn/corrupt tail truncated)"
+                } else {
+                    ""
+                }
+            );
+            relcont::serve::Service::start_with_store(views, cfg, std::sync::Arc::new(journal))
+        }
+        None => relcont::serve::Service::start(views, cfg),
+    };
     let reqs: Vec<relcont::serve::Request> = pairs
         .iter()
         .map(|(a, b)| {
@@ -571,7 +603,29 @@ fn cmd_serve(flags: &Flags) -> Result<Outcome, String> {
             req
         })
         .collect();
-    let replies = svc.run_batch(reqs);
+    let replies = svc.run_batch(reqs.clone());
+    // `--retries N` grants each job N extra attempts through the
+    // deterministic retry policy: shed/timeout errors back off and
+    // resubmit, resumable Unknowns hand their checkpoint straight back.
+    let replies: Vec<_> = if retries == 0 {
+        replies
+    } else {
+        let policy = relcont::serve::RetryPolicy::with_attempts(retries.saturating_add(1));
+        reqs.iter()
+            .zip(replies)
+            .map(|(req, first)| {
+                let mut first = Some(first);
+                policy.run(|cp| match first.take() {
+                    Some(r) => r,
+                    None => {
+                        let mut retry = req.clone();
+                        retry.checkpoint = cp;
+                        svc.submit(retry).and_then(|t| t.wait())
+                    }
+                })
+            })
+            .collect()
+    };
 
     let (mut undecided, mut refuted) = (0usize, 0usize);
     for ((a, b), reply) in pairs.iter().zip(replies) {
@@ -604,6 +658,15 @@ fn cmd_serve(flags: &Flags) -> Result<Outcome, String> {
         stats.shed,
         stats.resumed,
         stats.worker_restarts
+    );
+    eprintln!(
+        "serve durability: generation {}; {} journal append(s), {} live checkpoint(s); \
+         {} coalesced, {} checkpoint(s) rejected",
+        stats.generation,
+        stats.journal_appends,
+        stats.journal_live,
+        stats.coalesced_hits,
+        stats.checkpoint_rejected
     );
     eprintln!(
         "serve latency: queue-wait {}; execute {}; end-to-end {}",

@@ -73,6 +73,9 @@ fn shed_errors_carry_resolvable_traces() {
         workers: 1,
         queue_capacity: 1,
         start_paused: true,
+        // The submits are identical; without this the second would
+        // coalesce onto the first instead of shedding.
+        coalesce: false,
         ..ServeConfig::default()
     };
     let svc = Service::start(example1_sources(), cfg);
