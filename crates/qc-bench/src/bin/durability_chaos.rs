@@ -251,7 +251,7 @@ fn check_kill_restart(trial: usize, case: &Case, dir: &Path, rng: &mut StdRng, t
         };
         let core = pinned_core(&case.views, Arc::clone(&journal));
         gen_a = core.generation();
-        fingerprint = case.req.fingerprint(core.views());
+        fingerprint = case.req.fingerprint(&core.snapshot());
         let mut req = case.req.clone();
         let mut budget = 4u64;
         let keep = 1 + rng.gen_range(0..3);
@@ -320,6 +320,8 @@ fn check_kill_restart(trial: usize, case: &Case, dir: &Path, rng: &mut StdRng, t
                 disjuncts_total: cp.disjuncts_total,
                 proven: Vec::new(),
                 memo_resident: 0,
+                epoch: None,
+                preds: None,
             });
             let mut b = 4u64;
             loop {

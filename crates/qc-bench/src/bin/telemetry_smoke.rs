@@ -52,6 +52,18 @@ const DURABILITY_COUNTERS: [&str; 6] = [
     "journal_compactions",
 ];
 
+/// Catalog-churn counters (epoch bumps and precise invalidation) that
+/// must likewise be declared even at zero.
+const CATALOG_COUNTERS: [&str; 7] = [
+    "catalog_epoch_bumps",
+    "catalog_epoch_views_recompiled",
+    "catalog_epoch_views_reused",
+    "invalidation_verdicts_dropped",
+    "invalidation_checkpoints_dropped",
+    "invalidation_stale_epoch_rejected",
+    "serve_verdict_cache_hits",
+];
+
 fn is_number(v: &Value) -> bool {
     matches!(v, Value::UInt(_) | Value::Int(_) | Value::Float(_))
 }
@@ -143,7 +155,7 @@ fn check_prom(text: &str) -> Result<usize, String> {
             }
         }
     }
-    for name in DURABILITY_COUNTERS {
+    for name in DURABILITY_COUNTERS.iter().chain(&CATALOG_COUNTERS) {
         let family = format!("relcont_{name}");
         if !text.contains(&format!("# TYPE {family} counter")) {
             return Err(format!("prom text: missing counter TYPE line for {family}"));
@@ -152,7 +164,7 @@ fn check_prom(text: &str) -> Result<usize, String> {
             return Err(format!("prom text: {family} has no sample line"));
         }
     }
-    Ok(SERVE_HISTS.len() + DURABILITY_COUNTERS.len())
+    Ok(SERVE_HISTS.len() + DURABILITY_COUNTERS.len() + CATALOG_COUNTERS.len())
 }
 
 fn main() -> ExitCode {
@@ -284,7 +296,13 @@ mod tests {
             let f = format!("relcont_{name}");
             text.push_str(&format!("# TYPE {f} counter\n{f} 0\n"));
         }
-        assert_eq!(check_prom(&text).unwrap(), 15);
+        // Likewise the catalog-churn counter families.
+        assert!(check_prom(&text).unwrap_err().contains("counter TYPE line"));
+        for name in CATALOG_COUNTERS {
+            let f = format!("relcont_{name}");
+            text.push_str(&format!("# TYPE {f} counter\n{f} 0\n"));
+        }
+        assert_eq!(check_prom(&text).unwrap(), 22);
         assert!(check_prom("").unwrap_err().contains("TYPE"));
     }
 }

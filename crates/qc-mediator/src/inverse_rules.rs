@@ -10,7 +10,43 @@
 
 use qc_datalog::{Atom, Literal, Program, Rule, Subst, Term};
 
-use crate::schema::LavSetting;
+use crate::schema::{LavSetting, SourceDescription};
+
+/// Inverts a single source description: one rule per non-comparison
+/// subgoal of its view, existentials Skolemized over the head variables.
+///
+/// The inversion of a source depends on nothing but that source (no
+/// shared fresh-variable state, no cross-view interaction), which is what
+/// makes exact delta maintenance possible: [`inverse_rules`] is the
+/// per-source concatenation in catalog order, and
+/// [`crate::catalog::CompiledCatalog`] caches each source's block and
+/// reassembles the same program without re-inverting untouched views.
+pub fn inverse_rules_for_source(source: &SourceDescription) -> Vec<Rule> {
+    let view = &source.view;
+    let head_atom = Atom {
+        pred: source.name,
+        args: view.head.args.clone(),
+    };
+    // Skolemize existential variables.
+    let mut sigma = Subst::new();
+    for z in view.existential_vars() {
+        let skolem = Term::App(
+            qc_datalog::Symbol::new(format!("f_{}_{}", source.name, z.name())),
+            view.head.args.clone(),
+        );
+        let bound = sigma.bind(z, skolem);
+        debug_assert!(bound, "skolem binding cannot fail the occurs check");
+    }
+    view.subgoals
+        .iter()
+        .map(|subgoal| {
+            Rule::new(
+                sigma.apply_atom(subgoal),
+                vec![Literal::Atom(head_atom.clone())],
+            )
+        })
+        .collect()
+}
 
 /// Inverts every view definition of the setting.
 ///
@@ -31,24 +67,8 @@ use crate::schema::LavSetting;
 pub fn inverse_rules(views: &LavSetting) -> Program {
     let mut out = Program::default();
     for source in &views.sources {
-        let view = &source.view;
-        let head_atom = Atom {
-            pred: source.name,
-            args: view.head.args.clone(),
-        };
-        // Skolemize existential variables.
-        let mut sigma = Subst::new();
-        for z in view.existential_vars() {
-            let skolem = Term::App(
-                qc_datalog::Symbol::new(format!("f_{}_{}", source.name, z.name())),
-                view.head.args.clone(),
-            );
-            let bound = sigma.bind(z, skolem);
-            debug_assert!(bound, "skolem binding cannot fail the occurs check");
-        }
-        for subgoal in &view.subgoals {
-            let head = sigma.apply_atom(subgoal);
-            out.push(Rule::new(head, vec![Literal::Atom(head_atom.clone())]));
+        for rule in inverse_rules_for_source(source) {
+            out.push(rule);
         }
     }
     qc_obs::count(

@@ -10,6 +10,9 @@
 //! * [`analysis`] — source-set analysis: losslessness, coverage, source
 //!   redundancy, relative-equivalence classes (§1's "coverage and
 //!   limitations" use case);
+//! * [`catalog`] — a mutable, epoch-versioned compiled catalog with
+//!   delta-maintained inverse rules and MiniCon view preparations (the
+//!   live-churn setting of §1);
 //! * [`mod@inverse_rules`] — the inverse-rules algorithm of Duschka,
 //!   Genesereth and Levy (\[15\] in the paper) constructing
 //!   maximally-contained query plans (reproduces Example 2);
@@ -59,6 +62,7 @@
 
 pub mod analysis;
 pub mod binding;
+pub mod catalog;
 pub mod certain;
 pub mod enumerate;
 pub mod expansion;
@@ -72,6 +76,7 @@ pub mod schema;
 pub mod workloads;
 
 pub use binding::{executable_plan, is_executable_rule, reachable_certain_answers};
+pub use catalog::{CatalogDelta, CatalogError, CatalogOp, CompiledCatalog, DeltaReport};
 pub use certain::{certain_answers, BruteForceOracle, World};
 pub use expansion::{expand_program, expand_ucq};
 pub use fn_elim::eliminate_function_terms;

@@ -69,6 +69,50 @@ pub fn minicon_rewritings(query: &ConjunctiveQuery, views: &LavSetting) -> Ucq {
             mcds.extend(form_mcds(query, source, i, &mut gen));
         }
     }
+    assemble_rewritings(query, mcds, views)
+}
+
+/// [`minicon_rewritings`] against a [`CompiledCatalog`]: per-view
+/// renaming and variable classification come from the cached
+/// [`crate::catalog::PreparedView`]s instead of being redone per call.
+///
+/// The cached renaming is deterministic (`_C<view>_<v>`), so rewritings
+/// are stable across processes — unlike the stock path, whose fresh names
+/// depend on the process-global variable counter. If a query's own
+/// variables collide with the prepared namespace (only possible when the
+/// query literally uses `_C`-prefixed names), the call falls back to the
+/// stock fresh-renaming path; soundness never depends on the cache.
+pub fn minicon_rewritings_catalog(
+    query: &ConjunctiveQuery,
+    catalog: &crate::catalog::CompiledCatalog,
+) -> Ucq {
+    let qvars = query.vars();
+    let collides = catalog
+        .entries()
+        .iter()
+        .any(|e| e.prepared.view.vars().iter().any(|v| qvars.contains(v)));
+    if collides {
+        return minicon_rewritings(query, catalog.views());
+    }
+    let _t = qc_obs::time(qc_obs::Hist::MiniconNs);
+    let mut mcds: Vec<Mcd> = Vec::new();
+    for (i, _) in query.subgoals.iter().enumerate() {
+        for e in catalog.entries() {
+            mcds.extend(form_mcds_in(
+                query,
+                &e.source,
+                &e.prepared.view,
+                &e.prepared.existential,
+                i,
+            ));
+        }
+    }
+    assemble_rewritings(query, mcds, catalog.views())
+}
+
+/// Combines formed MCDs into full covers, then soundness-filters,
+/// minimizes and dedups — the tail shared by both rewriting entry points.
+fn assemble_rewritings(query: &ConjunctiveQuery, mcds: Vec<Mcd>, views: &LavSetting) -> Ucq {
     qc_obs::count(qc_obs::Counter::MiniconMcdsFormed, mcds.len() as u64);
     // Combine MCDs with disjoint coverage into full covers.
     let n = query.subgoals.len();
@@ -123,6 +167,20 @@ fn form_mcds(
         .flat_map(|a| a.vars())
         .filter(|v| !head_vars.contains(v))
         .collect();
+    form_mcds_in(query, source, &view, &existential, seed)
+}
+
+/// MCD formation against an already-renamed view with a precomputed
+/// existential set — the shared core of [`form_mcds`] (fresh rename per
+/// call) and the compiled-catalog path (deterministic rename cached per
+/// view in [`crate::catalog::PreparedView`]).
+fn form_mcds_in(
+    query: &ConjunctiveQuery,
+    source: &SourceDescription,
+    view: &ConjunctiveQuery,
+    existential: &BTreeSet<Var>,
+    seed: usize,
+) -> Vec<Mcd> {
     let mut out = Vec::new();
     for (si, _) in view.subgoals.iter().enumerate() {
         let mut state = MapState {
@@ -130,11 +188,11 @@ fn form_mcds(
             theta: Subst::new(),
             covered: BTreeSet::new(),
         };
-        if map_subgoal(query, &view, &existential, seed, si, &mut state) {
+        if map_subgoal(query, view, existential, seed, si, &mut state) {
             // Closure: existential-mapped variables drag their subgoals in.
             // Every way of closing yields a (potentially different) MCD.
-            for closed in close_all(query, &view, &existential, state) {
-                if let Some(mcd) = finalize(query, source, &view, &existential, &closed) {
+            for closed in close_all(query, view, existential, state) {
+                if let Some(mcd) = finalize(query, source, view, existential, &closed) {
                     // One work unit per MCD formed (the `MiniconMcdsFormed`
                     // granularity); `trip` unwinds to the nearest
                     // `qc_guard::guarded` boundary because rewriting

@@ -25,11 +25,46 @@ use qc_containment::ucq_contained;
 use qc_datalog::eval::{EvalError, EvalOptions};
 use qc_datalog::{Program, Symbol, Ucq, UnfoldError};
 
+use crate::catalog::CompiledCatalog;
 use crate::expansion::{expand_cq, expand_program, expand_ucq};
 use crate::fn_elim::{eliminate_function_terms, FnElimError};
 use crate::inverse_rules::max_contained_plan;
 use crate::minicon::semi_interval_plan;
 use crate::schema::LavSetting;
+
+/// Where the maximally-contained plan's ingredients come from: a plain
+/// setting (inverse rules generated on the fly) or a compiled catalog
+/// (cached per-view blocks reassembled). Both construct the *same* plan —
+/// [`CompiledCatalog::inverse_program`] equals
+/// [`crate::inverse_rules::inverse_rules`] by construction — so every
+/// verdict below is independent of the variant chosen; the catalog only
+/// skips recompilation work.
+#[derive(Clone, Copy)]
+enum Planner<'a> {
+    Views(&'a LavSetting),
+    Catalog(&'a CompiledCatalog),
+}
+
+impl<'a> Planner<'a> {
+    fn views(&self) -> &'a LavSetting {
+        match self {
+            Planner::Views(v) => v,
+            Planner::Catalog(c) => c.views(),
+        }
+    }
+
+    /// The query's rules plus the inverse rules of every view.
+    fn inverse_plan(&self, query: &Program) -> Program {
+        match self {
+            Planner::Views(v) => max_contained_plan(query, v),
+            Planner::Catalog(c) => {
+                let mut plan = query.clone();
+                plan.extend(&c.inverse_program());
+                plan
+            }
+        }
+    }
+}
 
 /// Errors from the relative-containment procedures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -180,8 +215,27 @@ pub fn max_contained_ucq_plan(
     answer: &Symbol,
     views: &LavSetting,
 ) -> Result<Ucq, RelativeError> {
+    max_contained_ucq_plan_with(query, answer, Planner::Views(views))
+}
+
+/// [`max_contained_ucq_plan`] drawing inverse rules from a compiled
+/// catalog's cached per-view blocks. Produces the identical plan (same
+/// disjuncts, same order) without re-inverting any view.
+pub fn max_contained_ucq_plan_catalog(
+    query: &Program,
+    answer: &Symbol,
+    catalog: &CompiledCatalog,
+) -> Result<Ucq, RelativeError> {
+    max_contained_ucq_plan_with(query, answer, Planner::Catalog(catalog))
+}
+
+fn max_contained_ucq_plan_with(
+    query: &Program,
+    answer: &Symbol,
+    planner: Planner<'_>,
+) -> Result<Ucq, RelativeError> {
     let _span = qc_obs::span("plan_construction");
-    let plan = max_contained_ucq_plan_inner(query, answer, views)?;
+    let plan = max_contained_ucq_plan_inner(query, answer, planner)?;
     qc_obs::count(qc_obs::Counter::PlanDisjuncts, plan.disjuncts.len() as u64);
     Ok(plan)
 }
@@ -189,12 +243,13 @@ pub fn max_contained_ucq_plan(
 fn max_contained_ucq_plan_inner(
     query: &Program,
     answer: &Symbol,
-    views: &LavSetting,
+    planner: Planner<'_>,
 ) -> Result<Ucq, RelativeError> {
+    let views = planner.views();
     let unfolded = query.unfold(answer)?;
     if unfolded.is_comparison_free() {
         // Inverse rules → fn-elim → unfold (Example 2 → Example 3).
-        let plan = eliminate_function_terms(&max_contained_plan(query, views))?;
+        let plan = eliminate_function_terms(&planner.inverse_plan(query))?;
         let mut ucq = match plan.unfold(answer) {
             Ok(u) => u,
             // Function-term elimination can prove the plan derives no
@@ -502,7 +557,56 @@ pub fn relatively_contained_verdict_resume_checked(
     proven_before: &[usize],
     expected_total: Option<usize>,
 ) -> Result<(Verdict, ResumeState), RelativeError> {
+    relatively_contained_verdict_resume_impl(
+        q1,
+        ans1,
+        q2,
+        ans2,
+        Planner::Views(views),
+        proven_before,
+        expected_total,
+    )
+}
+
+/// [`relatively_contained_verdict_resume_checked`] against a compiled
+/// catalog: the maximally-contained plan draws its inverse rules from the
+/// catalog's cached per-view blocks, so only the query-dependent stages
+/// (fn-elim, unfolding, per-disjunct containment) run per call. The
+/// verdict and the plan's disjunct order are identical to the plain
+/// route for the same setting.
+#[allow(clippy::too_many_arguments)]
+pub fn relatively_contained_verdict_resume_checked_catalog(
+    q1: &Program,
+    ans1: &Symbol,
+    q2: &Program,
+    ans2: &Symbol,
+    catalog: &CompiledCatalog,
+    proven_before: &[usize],
+    expected_total: Option<usize>,
+) -> Result<(Verdict, ResumeState), RelativeError> {
+    relatively_contained_verdict_resume_impl(
+        q1,
+        ans1,
+        q2,
+        ans2,
+        Planner::Catalog(catalog),
+        proven_before,
+        expected_total,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn relatively_contained_verdict_resume_impl(
+    q1: &Program,
+    ans1: &Symbol,
+    q2: &Program,
+    ans2: &Symbol,
+    planner: Planner<'_>,
+    proven_before: &[usize],
+    expected_total: Option<usize>,
+) -> Result<(Verdict, ResumeState), RelativeError> {
     let _span = qc_obs::span("relative_containment_verdict");
+    let views = planner.views();
     let q1_recursive = q1.dependency_graph().pred_in_cycle_reachable_from(ans1);
     let q2_recursive = q2.dependency_graph().pred_in_cycle_reachable_from(ans2);
 
@@ -521,7 +625,7 @@ pub fn relatively_contained_verdict_resume_checked(
     }
 
     let u2 = q2.unfold(ans2)?;
-    let p1 = match run_guarded(|| max_contained_ucq_plan(q1, ans1, views)) {
+    let p1 = match run_guarded(|| max_contained_ucq_plan_with(q1, ans1, planner)) {
         Ok(p) => p,
         Err(e) => {
             return match e.resource() {
@@ -568,6 +672,10 @@ pub fn relatively_contained_verdict_resume_checked(
         let _s = qc_obs::span("containment_check");
         match qc_guard::guarded(|| qc_containment::cq_contained_in_ucq(&exp, &u2)) {
             Ok(true) => {
+                // Fresh proof work (checkpoint-skipped disjuncts are not
+                // counted): the churn suite's measure that a one-view
+                // delta re-proves only affected disjuncts.
+                qc_obs::count(qc_obs::Counter::PlanDisjunctsProved, 1);
                 proven.push(d.clone());
                 proven_ix.push(ix);
             }

@@ -186,3 +186,103 @@ proptest! {
         prop_assert_eq!(got, f.is_forall_exists_satisfiable(), "{:?}", f);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Catalog delta maintenance (live churn)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Delta-maintained compiled artifacts (inverse-rule blocks and
+    /// MiniCon view preparations) must be bit-for-bit what a from-scratch
+    /// compile of the final setting produces, for any delta sequence —
+    /// and the rewritings built from them must agree with the stock
+    /// MiniCon path.
+    #[test]
+    fn catalog_delta_maintenance_matches_from_scratch(seed in any::<u64>()) {
+        use qc_mediator::catalog::{CatalogDelta, CatalogOp, CompiledCatalog};
+        use qc_mediator::minicon::{minicon_rewritings, minicon_rewritings_catalog};
+        use qc_mediator::schema::SourceDescription;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let views = random_views(3, 2, &mut rng);
+        let mut cat = CompiledCatalog::compile(&views);
+        let mut fresh = 0usize;
+        for step in 1..=(1 + (seed as usize) % 5) {
+            let names: Vec<String> = cat
+                .views()
+                .sources
+                .iter()
+                .map(|s| s.name.to_string())
+                .collect();
+            let op = match rng.gen_range(0..3u8) {
+                0 => {
+                    fresh += 1;
+                    let p = rng.gen_range(0..2u8);
+                    CatalogOp::Add(
+                        SourceDescription::parse(&format!(
+                            "w{fresh}(A, C) :- p{p}(A, B), p{}(B, C).",
+                            rng.gen_range(0..2u8)
+                        ))
+                        .unwrap(),
+                    )
+                }
+                1 if !names.is_empty() => {
+                    CatalogOp::Remove(names[rng.gen_range(0..names.len())].clone())
+                }
+                _ if !names.is_empty() => {
+                    let name = &names[rng.gen_range(0..names.len())];
+                    CatalogOp::Replace(
+                        SourceDescription::parse(&format!(
+                            "{name}(A, B) :- p{}(A, B).",
+                            rng.gen_range(0..2u8)
+                        ))
+                        .unwrap(),
+                    )
+                }
+                _ => {
+                    fresh += 1;
+                    CatalogOp::Add(
+                        SourceDescription::parse(&format!("w{fresh}(A, B) :- p0(A, B)."))
+                            .unwrap(),
+                    )
+                }
+            };
+            cat.apply(&CatalogDelta::one(op), step as u64).unwrap();
+        }
+
+        // Oracle: recompile the final setting from scratch; versions are
+        // maintenance metadata, so align them before comparing.
+        let mut oracle = CompiledCatalog::compile(cat.views());
+        let names: Vec<String> = cat
+            .entries()
+            .iter()
+            .map(|e| e.source.name.to_string())
+            .collect();
+        let versions: Vec<u64> = cat.entries().iter().map(|e| e.version).collect();
+        oracle.restore_versions(&names, &versions);
+        prop_assert_eq!(
+            format!("{:?}", cat),
+            format!("{:?}", oracle),
+            "delta-maintained catalog diverged from from-scratch compile"
+        );
+
+        // And the compiled rewritings agree with the stock path.
+        let q = random_query(Shape::Chain, 1 + (seed as usize) % 2, 2, &mut rng);
+        let from_cat = minicon_rewritings_catalog(&q, &cat);
+        let from_oracle = minicon_rewritings_catalog(&q, &oracle);
+        prop_assert_eq!(
+            format!("{from_cat}"),
+            format!("{from_oracle}"),
+            "rewritings over maintained vs rebuilt catalog differ"
+        );
+        let stock = minicon_rewritings(&q, cat.views());
+        prop_assert!(
+            qc_containment::cq::ucq_equivalent(&from_cat, &stock),
+            "catalog rewritings {} not equivalent to stock {}",
+            from_cat,
+            stock
+        );
+    }
+}

@@ -202,6 +202,31 @@ counters! {
     /// candidate derivations the magic-sets rewrite pruned before they
     /// produced tuples.
     RaMagicPrunedTuples => "ra_magic_pruned_tuples",
+    /// Catalog epoch advances (one per applied [`CatalogDelta`] plus any
+    /// replay-time bump after a catalog/journal mismatch).
+    CatalogEpochBumps => "catalog_epoch_bumps",
+    /// Views whose inverse rules and MiniCon preparation were recompiled
+    /// by a catalog delta (the touched set).
+    CatalogEpochViewsRecompiled => "catalog_epoch_views_recompiled",
+    /// Views a catalog delta left untouched (compiled artifacts reused
+    /// verbatim — the delta-maintenance win).
+    CatalogEpochViewsReused => "catalog_epoch_views_reused",
+    /// Memoized definite verdicts dropped because a catalog delta touched
+    /// a predicate their request depends on.
+    InvalidationVerdictsDropped => "invalidation_verdicts_dropped",
+    /// Cached/journaled checkpoints retired because a catalog delta
+    /// touched a predicate their request depends on (or their dependency
+    /// set was unknown).
+    InvalidationCheckpointsDropped => "invalidation_checkpoints_dropped",
+    /// Checkpoints refused or swept because they were cut under a catalog
+    /// epoch other than the current one.
+    InvalidationStaleEpochRejected => "invalidation_stale_epoch_rejected",
+    /// Requests answered from the serve core's memoized definite-verdict
+    /// cache without re-running the decision procedure.
+    ServeVerdictCacheHits => "serve_verdict_cache_hits",
+    /// Plan disjuncts freshly proven contained (checkpoint-skipped
+    /// disjuncts are not counted — the re-proof work measure).
+    PlanDisjunctsProved => "plan_disjuncts_proved",
 }
 
 impl std::fmt::Display for Counter {

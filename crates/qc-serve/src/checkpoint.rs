@@ -35,6 +35,35 @@ pub struct Checkpoint {
     /// exported; a resumed run in a warm process re-derives the skipped
     /// disjuncts' sub-results from the memo, a cold one recomputes them.
     pub memo_resident: usize,
+    /// Catalog epoch the checkpoint was cut under. A checkpoint is only
+    /// honored at the *current* epoch: when a catalog delta leaves a
+    /// request's relevant views untouched, the serve core re-tags its
+    /// journaled checkpoint to the new epoch; anything still carrying an
+    /// older epoch is stale by construction and always rejected. `None`
+    /// marks a pre-epoch (legacy) checkpoint, honored by fingerprint
+    /// alone.
+    pub epoch: Option<u64>,
+    /// Predicate names the originating request mentions — the precise
+    /// invalidation key: a catalog delta retires the checkpoint iff its
+    /// touched-predicate set intersects this one. `None` (legacy) means
+    /// the dependency set is unknown and any delta retires it.
+    pub preds: Option<Vec<String>>,
+}
+
+/// The typed cause of a checkpoint refusal, machine-matchable (the churn
+/// chaos suite asserts stale-epoch resumes are rejected *as such*, not
+/// merely rejected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The checkpoint's fingerprint is not this request's fingerprint
+    /// (foreign checkpoint, or a relevant view changed underneath it).
+    FingerprintMismatch,
+    /// The checkpoint's `disjuncts_total` contradicts the plan rebuilt
+    /// for this run.
+    PlanShapeMismatch,
+    /// The checkpoint was cut under a catalog epoch other than the
+    /// current one.
+    StaleEpoch,
 }
 
 /// Why a supplied checkpoint was refused (and the run recomputed from
@@ -43,7 +72,10 @@ pub struct Checkpoint {
 /// of silently eaten.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CheckpointRejected {
-    /// Human-readable mismatch description (fingerprint or plan shape).
+    /// The machine-matchable cause.
+    pub kind: RejectReason,
+    /// Human-readable mismatch description (fingerprint, plan shape, or
+    /// epoch numbers).
     pub reason: String,
 }
 
@@ -84,9 +116,23 @@ mod tests {
             disjuncts_total: 7,
             proven: vec![0, 2, 5],
             memo_resident: 41,
+            epoch: Some(3),
+            preds: Some(vec!["CarDesc".into(), "Review".into()]),
         };
         let back = Checkpoint::from_json(&cp.to_json()).unwrap();
         assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn legacy_json_without_epoch_fields_still_parses() {
+        // Pre-epoch journals/clients serialize no `epoch`/`preds`; both
+        // must come back as None rather than failing the record.
+        let legacy = r#"{"fingerprint": 9, "disjuncts_total": 2,
+                         "proven": [1], "memo_resident": 0}"#;
+        let cp = Checkpoint::from_json(legacy).unwrap();
+        assert_eq!(cp.epoch, None);
+        assert_eq!(cp.preds, None);
+        assert_eq!(cp.proven, vec![1]);
     }
 
     #[test]
@@ -96,6 +142,8 @@ mod tests {
             disjuncts_total: 3,
             proven: vec![0, 2],
             memo_resident: 0,
+            epoch: None,
+            preds: None,
         };
         assert!(cp.matches(1, 3));
         assert!(!cp.matches(2, 3), "foreign request");

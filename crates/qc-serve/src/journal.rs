@@ -29,6 +29,9 @@
 //!   earlier ones).
 //! * `rm` — a tombstone `{kind, fp}`: a definite verdict retired the
 //!   fingerprint, so replay must not resurrect it.
+//! * `ep` — the catalog-epoch state `{kind, ep: {...}}` ([`EpochRecord`]):
+//!   latest wins, compaction rewrites it. Rides on the skip-unknown-kinds
+//!   rule, so pre-epoch readers ignore it rather than failing.
 //!
 //! ## Replay tolerance
 //!
@@ -60,11 +63,34 @@ use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::Checkpoint;
+
+/// The durable catalog-epoch state: which epoch the journal's checkpoints
+/// were last valid for, a content hash of the catalog at that epoch, and
+/// the per-view versions request fingerprints fold in.
+///
+/// Journaled as an `ep` record (latest wins; compaction keeps it). On
+/// replay the serve core compares `cat` against its own catalog: a match
+/// restores `epoch` and the per-view versions (so pre-restart
+/// fingerprints keep matching and journaled progress resumes); a mismatch
+/// means the catalog changed while the process was down, so the core
+/// bumps past `epoch` and sweeps every journaled checkpoint as stale.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// The catalog epoch (monotone across deltas and restarts).
+    pub epoch: u64,
+    /// Content hash of the catalog at that epoch (names + rendered
+    /// definitions, order-sensitive; versions excluded).
+    pub cat: u64,
+    /// View names, parallel to `versions`.
+    pub names: Vec<String>,
+    /// Epoch at which each view was last added/replaced.
+    pub versions: Vec<u64>,
+}
 
 /// Journal format version written in every `gen` header. Replay abandons
 /// journals from a different (e.g. future) version instead of guessing
@@ -180,6 +206,22 @@ pub trait CheckpointStore: Send + Sync {
     fn replay_report(&self) -> ReplayReport {
         ReplayReport::default()
     }
+
+    /// Records the current catalog-epoch state (durable stores journal an
+    /// `ep` record; the default discards it).
+    fn set_epoch(&self, _rec: &EpochRecord) {}
+
+    /// The last recorded epoch state, if any (replayed from the journal
+    /// for durable stores).
+    fn epoch_state(&self) -> Option<EpochRecord> {
+        None
+    }
+
+    /// Every live fingerprint, so the serve core can sweep or re-tag
+    /// checkpoints on catalog deltas and epoch mismatches.
+    fn live_fingerprints(&self) -> Vec<u64> {
+        Vec::new()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -191,6 +233,7 @@ pub trait CheckpointStore: Send + Sync {
 #[derive(Debug, Default)]
 pub struct MemoryStore {
     map: Mutex<BTreeMap<u64, Checkpoint>>,
+    epoch: Mutex<Option<EpochRecord>>,
     generation: u64,
 }
 
@@ -205,6 +248,7 @@ impl MemoryStore {
     pub fn with_generation(generation: u64) -> MemoryStore {
         MemoryStore {
             map: Mutex::new(BTreeMap::new()),
+            epoch: Mutex::new(None),
             generation,
         }
     }
@@ -268,6 +312,24 @@ impl CheckpointStore for MemoryStore {
     fn live(&self) -> usize {
         self.map().len()
     }
+
+    fn set_epoch(&self, rec: &EpochRecord) {
+        *self
+            .epoch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(rec.clone());
+    }
+
+    fn epoch_state(&self) -> Option<EpochRecord> {
+        self.epoch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    fn live_fingerprints(&self) -> Vec<u64> {
+        self.map().keys().copied().collect()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -325,6 +387,33 @@ struct RmRecord {
     fp: u64,
 }
 
+#[derive(Serialize, Deserialize)]
+struct EpRecord {
+    kind: String,
+    ep: EpochRecord,
+}
+
+/// How the journal syncs a *directory* to durable storage. A rename-over
+/// (compaction) is only durable once the parent directory's entry for the
+/// new file is — `fsync` on the file alone does not cover the rename, so
+/// a power cut can resurrect the pre-compaction journal or leave nothing.
+/// The seam exists so tests can count/fail the call; production uses
+/// [`RealDirSync`].
+pub trait DirSync: Send + Sync {
+    /// Forces `dir`'s entries to durable storage.
+    fn sync_dir(&self, dir: &Path) -> std::io::Result<()>;
+}
+
+/// The production [`DirSync`]: opens the directory and `fsync`s it.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealDirSync;
+
+impl DirSync for RealDirSync {
+    fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+}
+
 /// Serializes one journal record (infallible for the record structs).
 fn record_json<T: Serialize>(rec: &T) -> String {
     serde_json::to_string(rec).expect("journal record serializes")
@@ -359,6 +448,7 @@ struct JournalInner {
     file: File,
     bytes: u64,
     live: BTreeMap<u64, Checkpoint>,
+    epoch: Option<EpochRecord>,
     records_since_compact: u64,
     appends_since_sync: u64,
 }
@@ -371,6 +461,7 @@ pub struct FileJournal {
     cfg: JournalConfig,
     generation: u64,
     report: ReplayReport,
+    dir_sync: Arc<dyn DirSync>,
     inner: Mutex<JournalInner>,
 }
 
@@ -381,10 +472,22 @@ impl FileJournal {
         FileJournal::open_with(path, JournalConfig::default())
     }
 
+    /// Opens (creating if absent) the journal at `path` with `cfg` and
+    /// the production directory-sync implementation.
+    pub fn open_with(path: impl Into<PathBuf>, cfg: JournalConfig) -> std::io::Result<FileJournal> {
+        FileJournal::open_with_dir_sync(path, cfg, Arc::new(RealDirSync))
+    }
+
     /// Opens (creating if absent) the journal at `path`: replays every
     /// recoverable record, truncates any torn or corrupt suffix, bumps
-    /// the generation, and appends the new generation header.
-    pub fn open_with(path: impl Into<PathBuf>, cfg: JournalConfig) -> std::io::Result<FileJournal> {
+    /// the generation, and appends the new generation header. `dir_sync`
+    /// is the seam through which compaction makes its rename-over durable
+    /// ([`JournalConfig`] is `Copy`, so the handle rides separately).
+    pub fn open_with_dir_sync(
+        path: impl Into<PathBuf>,
+        cfg: JournalConfig,
+        dir_sync: Arc<dyn DirSync>,
+    ) -> std::io::Result<FileJournal> {
         let path = path.into();
         let started = std::time::Instant::now();
         let mut file = OpenOptions::new()
@@ -398,6 +501,7 @@ impl FileJournal {
 
         let mut report = ReplayReport::default();
         let mut live: BTreeMap<u64, Checkpoint> = BTreeMap::new();
+        let mut epoch: Option<EpochRecord> = None;
         let mut max_gen = 0u64;
         let mut good_end = 0usize;
         let mut offset = 0usize;
@@ -460,6 +564,16 @@ impl FileJournal {
                         break;
                     }
                 },
+                Some("ep") => match <EpRecord as Deserialize>::from_value(&value) {
+                    Ok(rec) => {
+                        epoch = Some(rec.ep);
+                    }
+                    Err(_) => {
+                        report.corrupt_records += 1;
+                        stop = Some("malformed epoch record");
+                        break;
+                    }
+                },
                 // Unknown kinds are skipped: a newer writer's extra
                 // record types must not brick an older reader.
                 _ => {}
@@ -471,6 +585,7 @@ impl FileJournal {
         let generation = if report.reset.is_some() {
             // Untrusted content: restart the journal from scratch.
             live.clear();
+            epoch = None;
             report.records_replayed = 0;
             report.truncated_bytes = bytes.len() as u64;
             good_end = 0;
@@ -494,10 +609,12 @@ impl FileJournal {
             cfg,
             generation,
             report,
+            dir_sync,
             inner: Mutex::new(JournalInner {
                 file,
                 bytes: good_end as u64,
                 live,
+                epoch,
                 records_since_compact: 0,
                 appends_since_sync: 0,
             }),
@@ -582,6 +699,18 @@ impl FileJournal {
         let line = frame(&gen_json);
         out.write_all(&line)?;
         bytes += line.len() as u64;
+        if let Some(ep) = &inner.epoch {
+            // The epoch record is live state, not history: dropping it in
+            // compaction would make the next restart treat every surviving
+            // checkpoint as pre-epoch.
+            let json = record_json(&EpRecord {
+                kind: "ep".into(),
+                ep: ep.clone(),
+            });
+            let line = frame(&json);
+            out.write_all(&line)?;
+            bytes += line.len() as u64;
+        }
         for cp in inner.live.values() {
             let json = record_json(&CpRecord {
                 kind: "cp".into(),
@@ -594,6 +723,13 @@ impl FileJournal {
         out.sync_data()?;
         drop(out);
         std::fs::rename(&tmp, &self.path)?;
+        // The rename itself is only durable once the parent directory's
+        // entry is; an empty parent means a bare relative filename (CWD),
+        // which `File::open("")` cannot express — skip rather than error.
+        match self.path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => self.dir_sync.sync_dir(p)?,
+            _ => {}
+        }
         inner.file = OpenOptions::new()
             .read(true)
             .append(true)
@@ -674,6 +810,31 @@ impl CheckpointStore for FileJournal {
     fn replay_report(&self) -> ReplayReport {
         self.report.clone()
     }
+
+    fn set_epoch(&self, rec: &EpochRecord) {
+        let mut inner = self.inner_lock();
+        let json = record_json(&EpRecord {
+            kind: "ep".into(),
+            ep: rec.clone(),
+        });
+        // kill_point: an epoch bump races crashes exactly like a
+        // checkpoint append; a torn ep record replays as the *previous*
+        // epoch state, which the serve core detects as a catalog mismatch
+        // and sweeps — stale, never unsound.
+        if self.write_record(&mut inner, &json, true).is_ok() {
+            inner.records_since_compact += 1;
+            self.maybe_sync(&mut inner);
+        }
+        inner.epoch = Some(rec.clone());
+    }
+
+    fn epoch_state(&self) -> Option<EpochRecord> {
+        self.inner_lock().epoch.clone()
+    }
+
+    fn live_fingerprints(&self) -> Vec<u64> {
+        self.inner_lock().live.keys().copied().collect()
+    }
 }
 
 #[cfg(test)]
@@ -686,6 +847,8 @@ mod tests {
             disjuncts_total: 8,
             proven,
             memo_resident: 0,
+            epoch: None,
+            preds: None,
         }
     }
 
@@ -912,6 +1075,113 @@ mod tests {
         assert!(
             !j.replay_report().repaired(),
             "compacted file replays clean"
+        );
+    }
+
+    fn ep(epoch: u64) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            cat: 0x0CA7_A106 ^ epoch,
+            names: vec!["V1".into(), "V2".into()],
+            versions: vec![0, epoch],
+        }
+    }
+
+    #[test]
+    fn memory_store_epoch_state_round_trip() {
+        let s = MemoryStore::new();
+        assert_eq!(s.epoch_state(), None);
+        s.save(&cp(1, vec![0]));
+        s.save(&cp(9, vec![1]));
+        s.set_epoch(&ep(3));
+        assert_eq!(s.epoch_state(), Some(ep(3)));
+        assert_eq!(s.live_fingerprints(), vec![1, 9]);
+    }
+
+    #[test]
+    fn epoch_record_replays_latest_wins() {
+        let path = tmp("epoch");
+        {
+            let j = FileJournal::open(&path).unwrap();
+            j.set_epoch(&ep(1));
+            j.save(&cp(1, vec![0]));
+            j.set_epoch(&ep(2));
+        }
+        let j = FileJournal::open(&path).unwrap();
+        assert!(!j.replay_report().repaired());
+        assert_eq!(j.epoch_state(), Some(ep(2)), "latest ep record wins");
+        assert_eq!(j.live_fingerprints(), vec![1]);
+    }
+
+    #[test]
+    fn compaction_preserves_the_epoch_record() {
+        let path = tmp("epcompact");
+        let cfg = JournalConfig {
+            fsync: FsyncPolicy::Never,
+            compact_bytes: 512,
+        };
+        let j = FileJournal::open_with(&path, cfg).unwrap();
+        j.set_epoch(&ep(7));
+        let mut compacted = false;
+        for round in 0..64 {
+            compacted |= j.save(&cp(1, vec![round % 8])).compacted;
+        }
+        assert!(compacted, "size trigger fired");
+        drop(j);
+        let j = FileJournal::open(&path).unwrap();
+        assert_eq!(j.epoch_state(), Some(ep(7)), "ep survives the rewrite");
+        assert!(j.load(1).is_some());
+    }
+
+    /// A [`DirSync`] that counts calls instead of touching the kernel, so
+    /// the test below can prove compaction's rename-over is followed by a
+    /// parent-directory fsync (the rename alone is not durable).
+    struct CountingDirSync {
+        calls: Mutex<Vec<PathBuf>>,
+    }
+
+    impl DirSync for CountingDirSync {
+        fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
+            self.calls
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(dir.to_path_buf());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn compaction_fsyncs_the_parent_directory_after_rename() {
+        let path = tmp("dirsync");
+        let cfg = JournalConfig {
+            fsync: FsyncPolicy::Never,
+            compact_bytes: 512,
+        };
+        let counter = Arc::new(CountingDirSync {
+            calls: Mutex::new(Vec::new()),
+        });
+        let j = FileJournal::open_with_dir_sync(&path, cfg, counter.clone()).unwrap();
+        assert!(
+            counter.calls.lock().unwrap().is_empty(),
+            "plain appends never dir-sync"
+        );
+        let mut compactions = 0u32;
+        for round in 0..64 {
+            if j.save(&cp(1, vec![round % 8])).compacted {
+                compactions += 1;
+            }
+        }
+        assert!(compactions > 0, "size trigger fired");
+        let calls = counter.calls.lock().unwrap().clone();
+        assert_eq!(
+            calls.len() as u32,
+            compactions,
+            "exactly one parent fsync per compaction"
+        );
+        let parent = path.parent().unwrap().to_path_buf();
+        assert!(
+            calls.iter().all(|c| *c == parent),
+            "synced the journal's parent, got {calls:?}"
         );
     }
 

@@ -32,7 +32,7 @@ pub mod journal;
 pub mod ladder;
 pub mod retry;
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -42,21 +42,24 @@ use std::time::{Duration, Instant};
 use qc_containment::engine::{self, EngineOptions};
 use qc_datalog::{ConjunctiveQuery, Program, Symbol, Ucq};
 use qc_guard::{FaultPlan, Guard, ResourceError};
+use qc_mediator::catalog::CompiledCatalog;
 use qc_mediator::expansion::expand_cq;
-use qc_mediator::minicon::minicon_rewritings;
+use qc_mediator::minicon::minicon_rewritings_catalog;
 use qc_mediator::relative::{
-    relatively_contained_verdict_resume_checked, Partial, RelativeError, ResumeState, Verdict,
+    relatively_contained_verdict_resume_checked_catalog, Partial, RelativeError, ResumeState,
+    Verdict,
 };
 use qc_mediator::schema::LavSetting;
 use qc_obs::{Counter, Counters, Hist, Histograms};
 
-pub use checkpoint::{Checkpoint, CheckpointRejected};
+pub use checkpoint::{Checkpoint, CheckpointRejected, RejectReason};
 pub use flight::{FlightRecorder, StageTime, Timeline};
 pub use journal::{
-    CheckpointStore, FileJournal, FsyncPolicy, JournalConfig, MemoryStore, ReplayReport,
-    SaveReceipt,
+    CheckpointStore, DirSync, EpochRecord, FileJournal, FsyncPolicy, JournalConfig, MemoryStore,
+    RealDirSync, ReplayReport, SaveReceipt,
 };
 pub use ladder::{DegradationController, Tier};
+pub use qc_mediator::catalog::{CatalogDelta, CatalogError, CatalogOp, DeltaReport};
 pub use retry::RetryPolicy;
 
 /// A per-request trace ID: allocated at admission (or at [`ServeCore::handle`]
@@ -164,6 +167,72 @@ impl std::fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+// ---------------------------------------------------------------------------
+// Catalog snapshots
+// ---------------------------------------------------------------------------
+
+/// An immutable view of the catalog at one epoch. Every request runs
+/// entirely against the snapshot it was admitted under ([`Arc`]-shared, so
+/// a concurrent [`ServeCore::apply_delta`] swaps the core's pointer
+/// without touching in-flight runs) — a verdict is always computed against
+/// *one* catalog, never a mix.
+#[derive(Debug, Clone)]
+pub struct CatalogSnapshot {
+    epoch: u64,
+    compiled: CompiledCatalog,
+}
+
+impl CatalogSnapshot {
+    /// A snapshot of `compiled` at `epoch`.
+    pub fn new(epoch: u64, compiled: CompiledCatalog) -> CatalogSnapshot {
+        CatalogSnapshot { epoch, compiled }
+    }
+
+    /// The catalog epoch this snapshot serves.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The snapshot's views as a plain LAV setting.
+    pub fn views(&self) -> &LavSetting {
+        self.compiled.views()
+    }
+
+    /// The compiled catalog (cached inverse rules and MiniCon
+    /// preparations).
+    pub fn catalog(&self) -> &CompiledCatalog {
+        &self.compiled
+    }
+
+    /// Content hash of the catalog: names plus rendered definitions,
+    /// order-sensitive, versions excluded. Two processes serving textually
+    /// identical catalogs hash equal — the restart-adoption key for the
+    /// journaled [`EpochRecord`].
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for e in self.compiled.entries() {
+            e.source.to_string().hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// The journal form of this snapshot's epoch state.
+    pub fn epoch_record(&self) -> EpochRecord {
+        EpochRecord {
+            epoch: self.epoch,
+            cat: self.content_hash(),
+            names: self
+                .compiled
+                .entries()
+                .iter()
+                .map(|e| e.source.name.to_string())
+                .collect(),
+            versions: self.compiled.entries().iter().map(|e| e.version).collect(),
+        }
+    }
+}
+
 /// One containment question: is `Q1 ⊑_V Q2` for the service's views?
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -200,20 +269,48 @@ impl Request {
         }
     }
 
+    /// Every predicate this request mentions: head and relational-body
+    /// predicates of both programs. This is the request's dependency
+    /// footprint against the catalog — a view is *relevant* iff its
+    /// exported name or a body predicate lands in this set.
+    pub fn pred_names(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for prog in [&self.q1, &self.q2] {
+            for rule in prog.rules() {
+                out.insert(rule.head.pred.to_string());
+                for a in rule.body_atoms() {
+                    out.insert(a.pred.to_string());
+                }
+            }
+        }
+        out
+    }
+
     /// Deterministic fingerprint of `(Q1, ans1, Q2, ans2, V)`, the key
     /// that scopes a [`Checkpoint`] to the request that produced it. The
-    /// hash is over the rendered programs and view definitions, so
-    /// textually identical requests fingerprint equal regardless of how
-    /// they were built.
-    pub fn fingerprint(&self, views: &LavSetting) -> u64 {
+    /// hash is over the rendered programs and view definitions — *not*
+    /// interned IDs — so textually identical requests fingerprint equal
+    /// regardless of how (or in which process, with which interning
+    /// order) they were built.
+    ///
+    /// Only the *relevant* views are folded in, each with the epoch that
+    /// last touched it: a catalog delta changes exactly the fingerprints
+    /// of requests that depend on a touched view, so invalidation is
+    /// precise — untouched requests keep their checkpoints, cached
+    /// verdicts, and coalescing identity across epochs.
+    pub fn fingerprint(&self, snap: &CatalogSnapshot) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         self.q1.to_string().hash(&mut h);
         self.ans1.as_str().hash(&mut h);
         self.q2.to_string().hash(&mut h);
         self.ans2.as_str().hash(&mut h);
-        for s in &views.sources {
-            s.to_string().hash(&mut h);
+        let preds = self.pred_names();
+        for e in snap.catalog().entries() {
+            if e.pred_names().iter().any(|p| preds.contains(p)) {
+                e.source.to_string().hash(&mut h);
+                e.version.hash(&mut h);
+            }
         }
         h.finish()
     }
@@ -245,6 +342,9 @@ pub struct Response {
     /// Time the request waited in the admission queue before a worker
     /// picked it up (0 for direct [`ServeCore::handle`] calls).
     pub queue_wait_ns: u64,
+    /// The catalog epoch this verdict was computed under — a single
+    /// epoch, by construction (snapshot-on-admission), never a mix.
+    pub epoch: u64,
 }
 
 /// Coarse service health, derived from the ladder and queue state.
@@ -561,6 +661,12 @@ pub struct ServeStats {
     pub journal_live: usize,
     /// The store's process generation (0 for in-memory stores).
     pub generation: u64,
+    /// The current catalog epoch.
+    pub epoch: u64,
+    /// Catalog deltas applied.
+    pub epoch_bumps: u64,
+    /// Requests answered from the memoized-verdict cache.
+    pub verdict_cache_hits: u64,
     /// Queue-wait latency distribution (all tiers merged).
     pub queue_wait: LatencySummary,
     /// Execute latency distribution (all tiers merged).
@@ -636,6 +742,11 @@ impl std::fmt::Display for ServeStats {
             self.coalesced_hits,
             self.checkpoint_rejected
         )?;
+        writeln!(
+            f,
+            "catalog: epoch {}, {} deltas applied, {} verdict-cache hits",
+            self.epoch, self.epoch_bumps, self.verdict_cache_hits
+        )?;
         writeln!(f, "queue-wait: {}", self.queue_wait)?;
         writeln!(f, "execute: {}", self.execute)?;
         write!(f, "end-to-end: {}", self.e2e)
@@ -647,7 +758,7 @@ impl std::fmt::Display for ServeStats {
 /// except threads and queues. The REPL and benchmarks drive a bare core;
 /// [`Service`] drives one from supervised workers.
 pub struct ServeCore {
-    views: LavSetting,
+    catalog: Mutex<Arc<CatalogSnapshot>>,
     cfg: ServeConfig,
     capacity: CapacityModel,
     ladder: Mutex<DegradationController>,
@@ -657,7 +768,28 @@ pub struct ServeCore {
     next_trace: AtomicU64,
     store: Arc<dyn CheckpointStore>,
     generation: u64,
+    /// Memoized definite verdicts, keyed by request fingerprint (which
+    /// folds in the relevant views' versions, so entries never outlive
+    /// the catalog state they were computed under).
+    verdicts: Mutex<BTreeMap<u64, CachedVerdict>>,
 }
+
+/// A memoized definite verdict with its invalidation key.
+#[derive(Debug, Clone)]
+struct CachedVerdict {
+    verdict: Verdict,
+    tier: Tier,
+    /// The originating request's predicate footprint: a delta drops the
+    /// entry iff its touched predicates intersect this set.
+    preds: BTreeSet<String>,
+    /// Epoch the verdict was computed under (observability; validity is
+    /// carried by the fingerprint + predicate-based invalidation).
+    #[allow(dead_code)]
+    epoch: u64,
+}
+
+/// Bound on memoized definite verdicts (oldest-fingerprint eviction).
+const VERDICT_CACHE_CAP: usize = 4096;
 
 impl ServeCore {
     /// A core serving containment over `views`, with a volatile
@@ -699,8 +831,52 @@ impl ServeCore {
             hists.record(Hist::JournalReplayNs, report.replay_ns);
         }
         let generation = store.generation();
+
+        // Epoch adoption: reconcile this process's catalog with the
+        // journaled epoch state so pre-restart checkpoints resume exactly
+        // when they are still sound.
+        let mut compiled = CompiledCatalog::compile(&views);
+        let mut snap = CatalogSnapshot::new(0, compiled.clone());
+        match store.epoch_state() {
+            None => {
+                // Pre-epoch (or fresh) journal: epoch 0, all views at
+                // version 0; nothing to write until a delta happens.
+            }
+            Some(rec) if rec.cat == snap.content_hash() => {
+                // Same catalog as before the restart: adopt the epoch and
+                // the per-view versions, so pre-restart fingerprints keep
+                // matching and journaled progress resumes precisely.
+                compiled.restore_versions(&rec.names, &rec.versions);
+                snap = CatalogSnapshot::new(rec.epoch, compiled);
+                // Belt and braces: a checkpoint tagged with a *different*
+                // epoch can only be journal damage — sweep it.
+                for fp in store.live_fingerprints() {
+                    if let Some(cp) = store.load(fp) {
+                        if cp.epoch.is_some_and(|e| e != rec.epoch) && store.retire(fp) {
+                            counters.add(Counter::InvalidationStaleEpochRejected, 1);
+                        }
+                    }
+                }
+            }
+            Some(rec) => {
+                // The catalog changed while the process was down. Nothing
+                // journaled can be trusted against the new definitions:
+                // bump past the journaled epoch, stamp every view as
+                // freshly changed, and sweep every checkpoint as stale.
+                let epoch = rec.epoch + 1;
+                compiled.set_all_versions(epoch);
+                snap = CatalogSnapshot::new(epoch, compiled);
+                store.set_epoch(&snap.epoch_record());
+                for fp in store.live_fingerprints() {
+                    if store.retire(fp) {
+                        counters.add(Counter::InvalidationStaleEpochRejected, 1);
+                    }
+                }
+            }
+        }
+
         ServeCore {
-            views,
+            catalog: Mutex::new(Arc::new(snap)),
             cfg,
             capacity,
             ladder,
@@ -710,12 +886,97 @@ impl ServeCore {
             next_trace: AtomicU64::new(1),
             store,
             generation,
+            verdicts: Mutex::new(BTreeMap::new()),
         }
     }
 
-    /// The views this core serves against.
-    pub fn views(&self) -> &LavSetting {
-        &self.views
+    /// The current catalog snapshot. A request admitted now runs entirely
+    /// against this snapshot even if [`ServeCore::apply_delta`] lands
+    /// mid-flight.
+    pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        Arc::clone(&self.catalog_lock())
+    }
+
+    /// The current catalog epoch.
+    pub fn epoch(&self) -> u64 {
+        self.catalog_lock().epoch()
+    }
+
+    fn catalog_lock(&self) -> MutexGuard<'_, Arc<CatalogSnapshot>> {
+        self.catalog
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn verdicts_lock(&self) -> MutexGuard<'_, BTreeMap<u64, CachedVerdict>> {
+        self.verdicts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Applies a catalog delta: recompiles exactly the touched views,
+    /// bumps the epoch, journals the new epoch state (durably, *before*
+    /// serving it), drops every memoized verdict and journaled checkpoint
+    /// whose predicate footprint the delta touches, and re-tags untouched
+    /// checkpoints to the new epoch so they stay honored. In-flight
+    /// requests keep the snapshot they were admitted under; requests
+    /// admitted after the swap see only the new epoch. On error the
+    /// catalog is unchanged.
+    pub fn apply_delta(&self, delta: &CatalogDelta) -> Result<DeltaReport, CatalogError> {
+        let mut guard = self.catalog_lock();
+        let new_epoch = guard.epoch() + 1;
+        let mut compiled = guard.catalog().clone();
+        let report = compiled.apply(delta, new_epoch)?;
+        let snap = Arc::new(CatalogSnapshot::new(new_epoch, compiled));
+
+        // Durability first: the journaled epoch state must cover the new
+        // catalog before any checkpoint is re-tagged against it (a crash
+        // between the two leaves re-tagged checkpoints under an epoch the
+        // journal knows, never the reverse).
+        self.store.set_epoch(&snap.epoch_record());
+
+        // Drop memoized verdicts whose footprint the delta touches.
+        {
+            let mut cache = self.verdicts_lock();
+            let before = cache.len();
+            cache.retain(|_, v| v.preds.is_disjoint(&report.touched_preds));
+            let dropped = (before - cache.len()) as u64;
+            if dropped > 0 {
+                self.counters
+                    .add(Counter::InvalidationVerdictsDropped, dropped);
+            }
+        }
+
+        // Sweep the checkpoint store: retire what the delta touches (or
+        // whose footprint is unknown), re-tag the rest to the new epoch.
+        for fp in self.store.live_fingerprints() {
+            let Some(cp) = self.store.load(fp) else {
+                continue;
+            };
+            let touched = match &cp.preds {
+                None => true, // legacy: unknown footprint, assume touched
+                Some(preds) => preds.iter().any(|p| report.touched_preds.contains(p)),
+            };
+            if touched {
+                if self.store.retire(fp) {
+                    self.counters
+                        .add(Counter::InvalidationCheckpointsDropped, 1);
+                }
+            } else if cp.epoch != Some(new_epoch) {
+                // Untouched progress stays honored: its fingerprint is
+                // unchanged (no relevant view changed version), so only
+                // the epoch tag needs to move.
+                let retagged = Checkpoint {
+                    epoch: Some(new_epoch),
+                    ..cp
+                };
+                let _ = self.store.save(&retagged);
+            }
+        }
+
+        *guard = snap;
+        self.counters.add(Counter::CatalogEpochBumps, 1);
+        Ok(report)
     }
 
     /// The checkpoint store backing resumable verdicts.
@@ -788,6 +1049,9 @@ impl ServeCore {
             journal_appends: c(Counter::JournalAppends),
             journal_live: self.store.live(),
             generation: self.generation,
+            epoch: self.epoch(),
+            epoch_bumps: c(Counter::CatalogEpochBumps),
+            verdict_cache_hits: c(Counter::ServeVerdictCacheHits),
             queue_wait: LatencySummary::of(&self.hists.merged(&[
                 Hist::ServeQueueWaitFullNs,
                 Hist::ServeQueueWaitBoundedNs,
@@ -821,10 +1085,10 @@ impl ServeCore {
     /// under *relative* containment is exactly what the full tiers are
     /// for). Unsupported requests run with [`Tier::Bounded`] semantics
     /// instead.
-    fn minicon_supported(&self, req: &Request) -> bool {
+    fn minicon_supported(&self, req: &Request, snap: &CatalogSnapshot) -> bool {
         !req.q1.has_comparisons()
             && !req.q2.has_comparisons()
-            && self.views.is_comparison_free()
+            && snap.views().is_comparison_free()
             && !req
                 .q1
                 .dependency_graph()
@@ -858,14 +1122,46 @@ impl ServeCore {
         trace: TraceId,
         queue_wait: Duration,
     ) -> Result<Response, ServiceError> {
+        self.handle_traced_at(&self.snapshot(), req, depth, trace, queue_wait)
+    }
+
+    /// [`ServeCore::handle_traced`] against an explicit catalog snapshot
+    /// — the one the request was admitted under, so a delta applied while
+    /// it waited in the queue cannot mix catalogs mid-verdict.
+    pub fn handle_traced_at(
+        &self,
+        snap: &Arc<CatalogSnapshot>,
+        req: &Request,
+        depth: usize,
+        trace: TraceId,
+        queue_wait: Duration,
+    ) -> Result<Response, ServiceError> {
         let started = Instant::now();
-        let fingerprint = req.fingerprint(&self.views);
+        let epoch = snap.epoch();
+        let fingerprint = req.fingerprint(snap);
         let mut proven_before: Vec<usize> = Vec::new();
         let mut expected_total: Option<usize> = None;
         let mut resumed = false;
         let mut checkpoint_rejected: Option<CheckpointRejected> = None;
         if let Some(cp) = &req.checkpoint {
-            if cp.fingerprint == fingerprint {
+            if cp.epoch.is_some_and(|e| e != epoch) {
+                // Stale epoch beats fingerprint: even when the fingerprint
+                // happens to match (the delta touched none of the
+                // request's views), an explicitly foreign-epoch tag means
+                // the client's picture of the catalog is out of date, and
+                // the chaos suite pins that such resumes are *typed*
+                // rejections, never silently honored.
+                checkpoint_rejected = Some(CheckpointRejected {
+                    kind: RejectReason::StaleEpoch,
+                    reason: format!(
+                        "stale epoch: checkpoint cut at epoch {}, catalog at epoch {epoch}",
+                        cp.epoch.unwrap_or_default()
+                    ),
+                });
+                self.counters.add(Counter::ServeCheckpointRejected, 1);
+                self.counters
+                    .add(Counter::InvalidationStaleEpochRejected, 1);
+            } else if cp.fingerprint == fingerprint {
                 // The disjunct count is validated against the rebuilt
                 // plan inside the resume call; a mismatch surfaces as
                 // `ResumeState::Rejected` below.
@@ -874,6 +1170,7 @@ impl ServeCore {
                 resumed = true;
             } else {
                 checkpoint_rejected = Some(CheckpointRejected {
+                    kind: RejectReason::FingerprintMismatch,
                     reason: format!(
                         "fingerprint mismatch: checkpoint {:#018x}, request {:#018x}",
                         cp.fingerprint, fingerprint
@@ -887,10 +1184,56 @@ impl ServeCore {
             // made partial progress on this exact request. A stored
             // checkpoint with nothing proven has nothing to resume —
             // skipping it keeps `resumed` meaning "work was skipped".
-            if !cp.proven.is_empty() {
+            // A store copy tagged with a foreign epoch (sweeps should
+            // have retired or re-tagged it) is never trusted.
+            if cp.epoch.is_some_and(|e| e != epoch) {
+                self.counters
+                    .add(Counter::InvalidationStaleEpochRejected, 1);
+            } else if !cp.proven.is_empty() {
                 proven_before = cp.proven.clone();
                 expected_total = Some(cp.disjuncts_total);
                 resumed = true;
+            }
+        }
+
+        // Memoized definite verdicts. Only consulted for plain requests:
+        // an explicit checkpoint, fault plan, or budget override means the
+        // caller wants the run itself (resume paths, chaos instruments,
+        // deliberately starved anytime runs), not just its answer.
+        if req.checkpoint.is_none() && req.fault.is_none() && req.budget.is_none() {
+            if let Some(hit) = self.verdicts_lock().get(&fingerprint).cloned() {
+                self.counters.add(Counter::ServeVerdictCacheHits, 1);
+                self.counters.add(Counter::ServeCompleted, 1);
+                // A cache hit serves a definite answer; it counts toward
+                // ladder recovery like any other definite response.
+                if self.ladder().on_definite().is_some() {
+                    self.counters.add(Counter::ServeTierUpgrades, 1);
+                }
+                let queue_wait_ns = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
+                self.flight.push(Timeline {
+                    trace,
+                    outcome: "verdict_cache_hit".into(),
+                    tier: Some(hit.tier),
+                    resumed: false,
+                    checkpoint_rejected: None,
+                    queue_wait_ns,
+                    execute_ns: 0,
+                    total_ns: queue_wait_ns,
+                    consumed: 0,
+                    trip: None,
+                    stages: Vec::new(),
+                });
+                return Ok(Response {
+                    verdict: hit.verdict,
+                    tier: hit.tier,
+                    resumed: false,
+                    consumed: 0,
+                    checkpoint: None,
+                    checkpoint_rejected: None,
+                    trace,
+                    queue_wait_ns,
+                    epoch,
+                });
             }
         }
 
@@ -924,9 +1267,9 @@ impl ServeCore {
         ));
         let _rec_guard = qc_obs::install(request_rec.clone() as Arc<dyn qc_obs::Recorder>);
 
-        let outcome = if tier == Tier::MiniconOnly && self.minicon_supported(req) {
+        let outcome = if tier == Tier::MiniconOnly && self.minicon_supported(req, snap) {
             engine::with_options(EngineOptions::sequential(), || {
-                qc_guard::with_guard(&guard, || self.minicon_verdict(req, grant))
+                qc_guard::with_guard(&guard, || self.minicon_verdict(req, grant, snap))
             })
         } else {
             let opts = if tier == Tier::Full {
@@ -936,12 +1279,12 @@ impl ServeCore {
             };
             engine::with_options(opts, || {
                 qc_guard::with_guard(&guard, || {
-                    relatively_contained_verdict_resume_checked(
+                    relatively_contained_verdict_resume_checked_catalog(
                         &req.q1,
                         &req.ans1,
                         &req.q2,
                         &req.ans2,
-                        &self.views,
+                        snap.catalog(),
                         &proven_before,
                         expected_total,
                     )
@@ -950,6 +1293,7 @@ impl ServeCore {
             .map(|(v, state)| {
                 if let ResumeState::Rejected { expected, actual } = state {
                     checkpoint_rejected = Some(CheckpointRejected {
+                        kind: RejectReason::PlanShapeMismatch,
                         reason: format!(
                             "plan shape mismatch: checkpoint expects {expected} disjuncts, plan has {actual}"
                         ),
@@ -1023,6 +1367,8 @@ impl ServeCore {
                 disjuncts_total: p.disjuncts_total,
                 proven: p.disjuncts_proven.clone(),
                 memo_resident: qc_containment::memo::resident(),
+                epoch: Some(epoch),
+                preds: Some(req.pred_names().into_iter().collect()),
             }),
             _ => None,
         };
@@ -1078,6 +1424,27 @@ impl ServeCore {
             trip,
             stages,
         });
+        // Memoize definite verdicts of plain requests (same gate as the
+        // lookup: resumes and chaos instruments bypass the cache).
+        if req.checkpoint.is_none()
+            && req.fault.is_none()
+            && req.budget.is_none()
+            && matches!(verdict, Verdict::Contained | Verdict::NotContained)
+        {
+            let mut cache = self.verdicts_lock();
+            while cache.len() >= VERDICT_CACHE_CAP {
+                cache.pop_first();
+            }
+            cache.insert(
+                fingerprint,
+                CachedVerdict {
+                    verdict: verdict.clone(),
+                    tier,
+                    preds: req.pred_names(),
+                    epoch,
+                },
+            );
+        }
         Ok(Response {
             verdict,
             tier,
@@ -1087,6 +1454,7 @@ impl ServeCore {
             checkpoint_rejected,
             trace,
             queue_wait_ns,
+            epoch,
         })
     }
 
@@ -1103,15 +1471,20 @@ impl ServeCore {
     /// under-approximation may simply be missing the disjunct that
     /// escapes `Q2` — so the answer is `Unknown` (with the checked
     /// rewritings as the sound partial plan), never `Contained`.
-    fn minicon_verdict(&self, req: &Request, grant: u64) -> Result<Verdict, RelativeError> {
+    fn minicon_verdict(
+        &self,
+        req: &Request,
+        grant: u64,
+        snap: &CatalogSnapshot,
+    ) -> Result<Verdict, RelativeError> {
         let u1 = req.q1.unfold(&req.ans1)?;
         let u2 = req.q2.unfold(&req.ans2)?;
         let mut sound: Vec<ConjunctiveQuery> = Vec::new();
         let run = qc_guard::guarded(|| -> Result<bool, RelativeError> {
             for d in &u1.disjuncts {
-                let rewritings = minicon_rewritings(d, &self.views);
+                let rewritings = minicon_rewritings_catalog(d, snap.catalog());
                 for rw in rewritings.disjuncts {
-                    let exp = expand_cq(&rw, &self.views).ok_or_else(|| {
+                    let exp = expand_cq(&rw, snap.views()).ok_or_else(|| {
                         RelativeError::Unsupported("rewriting does not expand".into())
                     })?;
                     if !qc_containment::cq_contained_in_ucq(&exp, &u2) {
@@ -1156,6 +1529,9 @@ impl ServeCore {
 struct Job {
     req: Request,
     trace: TraceId,
+    /// The catalog snapshot captured at admission: the run uses this even
+    /// if a delta lands while the job waits in the queue.
+    snap: Arc<CatalogSnapshot>,
     enqueued: Instant,
     queue_timeout: Option<Duration>,
     /// Coalescing key this job leads (other identical requests attach as
@@ -1202,14 +1578,17 @@ impl QueueShared {
 /// The identity under which two requests may share one computation: the
 /// request fingerprint plus every answer-shaping override (budget,
 /// timeout, checkpoint content). Requests carrying an injected fault are
-/// never coalesced — fault plans are per-request chaos instruments.
-fn coalesce_key(req: &Request, views: &LavSetting) -> Option<u64> {
+/// never coalesced — fault plans are per-request chaos instruments. The
+/// fingerprint folds the relevant views' epoch versions, so a request
+/// admitted after a delta touching its views never attaches to a leader
+/// running against the old catalog.
+fn coalesce_key(req: &Request, snap: &CatalogSnapshot) -> Option<u64> {
     use std::hash::{Hash, Hasher};
     if req.fault.is_some() {
         return None;
     }
     let mut h = std::collections::hash_map::DefaultHasher::new();
-    req.fingerprint(views).hash(&mut h);
+    req.fingerprint(snap).hash(&mut h);
     req.budget.hash(&mut h);
     req.timeout.hash(&mut h);
     if let Some(cp) = &req.checkpoint {
@@ -1301,6 +1680,14 @@ impl Service {
         &self.core
     }
 
+    /// Applies a catalog delta to the live service (see
+    /// [`ServeCore::apply_delta`]). Requests already admitted keep their
+    /// admission-time snapshot; requests admitted after this returns run
+    /// at the new epoch.
+    pub fn apply_delta(&self, delta: &CatalogDelta) -> Result<DeltaReport, CatalogError> {
+        self.core.apply_delta(delta)
+    }
+
     /// Non-blocking admission: sheds when the queue is full, rejects when
     /// draining.
     pub fn submit(&self, req: Request) -> Result<Ticket, ServiceError> {
@@ -1316,8 +1703,11 @@ impl Service {
 
     fn admit(&self, req: Request, wait_for_room: bool) -> Result<Ticket, ServiceError> {
         let counters = self.core.counters();
+        // Snapshot-on-admission: the catalog this request will run
+        // against, whatever deltas land while it queues.
+        let snap = self.core.snapshot();
         let key = if self.core.cfg.coalesce {
-            coalesce_key(&req, self.core.views())
+            coalesce_key(&req, &snap)
         } else {
             None
         };
@@ -1390,6 +1780,7 @@ impl Service {
         jobs.push_back(Job {
             req,
             trace,
+            snap,
             enqueued: Instant::now(),
             queue_timeout: None,
             key,
@@ -1523,7 +1914,7 @@ fn worker_loop(core: Arc<ServeCore>, shared: Arc<QueueShared>) {
                     waited_ms,
                 })
             }
-            None => run_supervised(&core, &job.req, depth, job.trace, waited),
+            None => run_supervised(&core, &job.snap, &job.req, depth, job.trace, waited),
         };
         // Resolve coalesced waiters. The key is removed *before* replies
         // are sent: requests admitted from here on lead a fresh
@@ -1602,6 +1993,7 @@ fn error_with_trace(e: &ServiceError, trace: TraceId) -> ServiceError {
 /// service on one request.
 fn run_supervised(
     core: &ServeCore,
+    snap: &Arc<CatalogSnapshot>,
     req: &Request,
     depth: usize,
     trace: TraceId,
@@ -1609,7 +2001,7 @@ fn run_supervised(
 ) -> Result<Response, ServiceError> {
     let queue_wait_ns = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
     match catch_unwind(AssertUnwindSafe(|| {
-        core.handle_traced(req, depth, trace, queue_wait)
+        core.handle_traced_at(snap, req, depth, trace, queue_wait)
     })) {
         Ok(r) => r,
         Err(p) => {
@@ -1621,7 +2013,7 @@ fn run_supervised(
                 Some(panic_message(p.as_ref())),
             ));
             match catch_unwind(AssertUnwindSafe(|| {
-                core.handle_traced(req, depth, trace, queue_wait)
+                core.handle_traced_at(snap, req, depth, trace, queue_wait)
             })) {
                 Ok(r) => r,
                 Err(p) => {
@@ -1755,11 +2147,14 @@ mod tests {
             disjuncts_total: 2,
             proven: vec![0, 1],
             memo_resident: 0,
+            epoch: None,
+            preds: None,
         });
         let resp = core.handle(&req, 0).unwrap();
         assert!(!resp.resumed, "fingerprint mismatch must not resume");
         assert_eq!(resp.verdict, Verdict::Contained);
         let rejected = resp.checkpoint_rejected.expect("typed rejection");
+        assert_eq!(rejected.kind, RejectReason::FingerprintMismatch);
         assert!(
             rejected.reason.contains("fingerprint mismatch"),
             "{rejected}"
@@ -1777,18 +2172,21 @@ mod tests {
     fn shape_mismatched_checkpoint_is_rejected_with_reason() {
         let core = ServeCore::new(example1_sources(), ServeConfig::default());
         let req = contained_request();
-        let fingerprint = req.fingerprint(core.views());
+        let fingerprint = req.fingerprint(&core.snapshot());
         let mut stale = req.clone();
         stale.checkpoint = Some(Checkpoint {
             fingerprint,
             disjuncts_total: 99, // the rebuilt plan will disagree
             proven: vec![0, 1],
             memo_resident: 0,
+            epoch: None,
+            preds: None,
         });
         let resp = core.handle(&stale, 0).unwrap();
         assert_eq!(resp.verdict, Verdict::Contained, "recomputed from scratch");
         assert!(!resp.resumed, "shape mismatch must not count as resumed");
         let rejected = resp.checkpoint_rejected.expect("typed rejection");
+        assert_eq!(rejected.kind, RejectReason::PlanShapeMismatch);
         assert!(rejected.reason.contains("99"), "{rejected}");
         assert_eq!(core.stats().checkpoint_rejected, 1);
     }

@@ -155,6 +155,7 @@ mod tests {
             checkpoint_rejected: None,
             trace: TraceId(1),
             queue_wait_ns: 0,
+            epoch: 0,
         })
     }
 
@@ -168,6 +169,7 @@ mod tests {
             checkpoint_rejected: None,
             trace: TraceId(2),
             queue_wait_ns: 0,
+            epoch: 0,
         })
     }
 
@@ -237,6 +239,8 @@ mod tests {
                         disjuncts_total: 4,
                         proven: vec![0, 1],
                         memo_resident: 0,
+                        epoch: None,
+                        preds: None,
                     }))
                 } else {
                     contained_response()
@@ -263,6 +267,8 @@ mod tests {
                     disjuncts_total: 4,
                     proven: cp.map(|c| c.proven).unwrap_or_default(),
                     memo_resident: 0,
+                    epoch: None,
+                    preds: None,
                 }))
             },
             |_| {},

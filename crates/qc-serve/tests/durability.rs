@@ -215,6 +215,8 @@ fn resumed_runs_skip_proven_disjuncts() {
             disjuncts_total: total,
             proven,
             memo_resident: 0,
+            epoch: None,
+            preds: None,
         });
         core.handle(&req, 0).unwrap()
     };
@@ -258,6 +260,8 @@ fn stale_client_checkpoints_cannot_erase_durable_progress() {
             disjuncts_total: cp.disjuncts_total,
             proven: Vec::new(),
             memo_resident: 0,
+            epoch: None,
+            preds: None,
         });
         let resp = core.handle(&stale, 0).unwrap();
         assert!(

@@ -58,6 +58,12 @@ commands:
   :retries [N | off]      auto-retry limited `check`s: a partial (Unknown)
                           verdict hands its checkpoint straight back for up
                           to N more attempts before reporting
+  :catalog show           live catalog: epoch and per-view versions
+  :catalog add <rule>.    add a source to the *live* serve core (no rebuild:
+                          only the new view is compiled; unrelated cached
+                          verdicts and checkpoints survive the epoch bump)
+  :catalog rm <name>      remove a source from the live serve core
+  :catalog replace <rule>. swap a source's definition in place
   :serve-stats            service health, ladder tier, shed/resume counters,
                           and latency quantiles (limited `check`s run through
                           the qc-serve core; unknown verdicts are
@@ -104,7 +110,7 @@ impl Session {
         if self
             .serve
             .as_ref()
-            .is_some_and(|c| c.views() != &self.views)
+            .is_some_and(|c| c.snapshot().views() != &self.views)
         {
             self.serve = None;
             self.serve_checkpoints.clear();
@@ -511,6 +517,55 @@ impl Session {
                     )))
                 }
             },
+            ":catalog" | "catalog" => {
+                let (sub, arg) = match rest.split_once(char::is_whitespace) {
+                    Some((s, a)) => (s, a.trim()),
+                    None => (rest, ""),
+                };
+                match sub {
+                    "" | "show" => {
+                        let snap = self.serve_core().snapshot();
+                        let mut out = format!("catalog epoch {}:", snap.epoch());
+                        for e in snap.catalog().entries() {
+                            out.push_str(&format!("\n  [v{}] {}", e.version, e.source));
+                        }
+                        Ok(Some(out))
+                    }
+                    "add" | "rm" | "remove" | "replace" => {
+                        let op = relcont::serve::CatalogOp::parse(&format!("{sub} {arg}"))
+                            .map_err(|e| e.to_string())?;
+                        // Route through the *live* core: only the touched
+                        // view recompiles, and the epoch bump invalidates
+                        // exactly the dependent cached state. Mirror the
+                        // new catalog into `self.views` so the lazy
+                        // rebuild check doesn't tear the core down (and
+                        // plain `check`/`plan` commands see it too).
+                        let (epoch, report, views) = {
+                            let core = self.serve_core();
+                            let delta = relcont::serve::CatalogDelta::one(op);
+                            let report = core.apply_delta(&delta).map_err(|e| e.to_string())?;
+                            let snap = core.snapshot();
+                            (snap.epoch(), report, snap.views().clone())
+                        };
+                        self.views = views;
+                        Ok(Some(format!(
+                            "epoch {epoch}: {} view(s) recompiled, {} reused \
+                             (touched predicates: {})",
+                            report.views_recompiled,
+                            report.views_reused,
+                            report
+                                .touched_preds
+                                .iter()
+                                .cloned()
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )))
+                    }
+                    _ => Err(
+                        "usage: :catalog [show | add <rule>. | rm <name> | replace <rule>.]".into(),
+                    ),
+                }
+            }
             ":serve-stats" | "serve-stats" => match &self.serve {
                 None => Ok(Some(
                     "no serve activity yet (limited `check`s run through the serve core)".into(),

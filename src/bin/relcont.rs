@@ -106,12 +106,17 @@ usage:
   relcont validate --views FILE [--query FILE]
   relcont serve   --views FILE --queries FILE --jobs FILE
                   [--workers N] [--queue N] [--pool UNITS]
-                  [--journal PATH] [--retries N]
+                  [--journal PATH] [--retries N] [--churn-script PATH]
                   (jobs file: one `ANS1 ANS2` pair per line; --budget and
                    --timeout become per-request limits; exit 0 = all
                    contained, 1 = some refuted, 3 = any undecided;
                    --journal makes checkpoints durable across restarts,
-                   --retries re-drives shed/partial jobs deterministically)
+                   --retries re-drives shed/partial jobs deterministically;
+                   --churn-script reconfigures the catalog *while serving*:
+                   `add <rule>.` / `rm <name>` / `replace <rule>.` lines
+                   apply live view deltas, `run N` lines interleave the
+                   next N jobs — cycling through the jobs file — against
+                   the current epoch)
 observability (any command):
   --trace              print the per-stage pipeline tree to stderr
   --metrics-json PATH  write the pipeline report (spans + counters +
@@ -603,35 +608,90 @@ fn cmd_serve(flags: &Flags) -> Result<Outcome, String> {
             req
         })
         .collect();
-    let replies = svc.run_batch(reqs.clone());
-    // `--retries N` grants each job N extra attempts through the
-    // deterministic retry policy: shed/timeout errors back off and
-    // resubmit, resumable Unknowns hand their checkpoint straight back.
-    let replies: Vec<_> = if retries == 0 {
-        replies
-    } else {
-        let policy = relcont::serve::RetryPolicy::with_attempts(retries.saturating_add(1));
-        reqs.iter()
-            .zip(replies)
-            .map(|(req, first)| {
-                let mut first = Some(first);
-                policy.run(|cp| match first.take() {
-                    Some(r) => r,
-                    None => {
-                        let mut retry = req.clone();
-                        retry.checkpoint = cp;
-                        svc.submit(retry).and_then(|t| t.wait())
-                    }
-                })
-            })
-            .collect()
+    let (ran, replies) = match flags.optional("churn-script") {
+        Some(spath) => {
+            // Live reconfiguration: catalog deltas apply between (and
+            // concurrently with) request batches, against the running
+            // service. Jobs are consumed cyclically by `run N` lines.
+            let stext = std::fs::read_to_string(spath).map_err(|e| format!("{spath}: {e}"))?;
+            let mut ran: Vec<(String, String)> = Vec::new();
+            let mut replies = Vec::new();
+            let mut cursor = 0usize;
+            for (lineno, line) in stext.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+                    continue;
+                }
+                if let Some(n) = line.strip_prefix("run ") {
+                    let n: usize = n
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("{spath}:{}: run expects a count", lineno + 1))?;
+                    let batch: Vec<relcont::serve::Request> = (0..n)
+                        .map(|i| reqs[(cursor + i) % reqs.len()].clone())
+                        .collect();
+                    ran.extend((0..n).map(|i| pairs[(cursor + i) % pairs.len()].clone()));
+                    cursor += n;
+                    replies.extend(svc.run_batch(batch));
+                } else {
+                    let op = relcont::serve::CatalogOp::parse(line)
+                        .map_err(|e| format!("{spath}:{}: {e}", lineno + 1))?;
+                    let report = svc
+                        .apply_delta(&relcont::serve::CatalogDelta::one(op))
+                        .map_err(|e| format!("{spath}:{}: {e}", lineno + 1))?;
+                    eprintln!(
+                        "churn: epoch {} ({} recompiled, {} reused; touched: {})",
+                        svc.core().epoch(),
+                        report.views_recompiled,
+                        report.views_reused,
+                        report
+                            .touched_preds
+                            .iter()
+                            .cloned()
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                }
+            }
+            (ran, replies)
+        }
+        None => {
+            let replies = svc.run_batch(reqs.clone());
+            // `--retries N` grants each job N extra attempts through the
+            // deterministic retry policy: shed/timeout errors back off and
+            // resubmit, resumable Unknowns hand their checkpoint straight
+            // back.
+            let replies: Vec<_> = if retries == 0 {
+                replies
+            } else {
+                let policy = relcont::serve::RetryPolicy::with_attempts(retries.saturating_add(1));
+                reqs.iter()
+                    .zip(replies)
+                    .map(|(req, first)| {
+                        let mut first = Some(first);
+                        policy.run(|cp| match first.take() {
+                            Some(r) => r,
+                            None => {
+                                let mut retry = req.clone();
+                                retry.checkpoint = cp;
+                                svc.submit(retry).and_then(|t| t.wait())
+                            }
+                        })
+                    })
+                    .collect()
+            };
+            (pairs.clone(), replies)
+        }
     };
 
     let (mut undecided, mut refuted) = (0usize, 0usize);
-    for ((a, b), reply) in pairs.iter().zip(replies) {
+    for ((a, b), reply) in ran.iter().zip(replies) {
         match reply {
             Ok(resp) => {
-                let mut note = format!("tier={}, trace={}", resp.tier, resp.trace);
+                let mut note = format!(
+                    "tier={}, trace={}, epoch={}",
+                    resp.tier, resp.trace, resp.epoch
+                );
                 if resp.resumed {
                     note.push_str(", resumed");
                 }
@@ -651,7 +711,7 @@ fn cmd_serve(flags: &Flags) -> Result<Outcome, String> {
     let stats = svc.stats();
     eprintln!(
         "serve: {} job(s); health {}; tier {}; {} completed, {} shed, {} resumed, {} worker restart(s)",
-        pairs.len(),
+        ran.len(),
         stats.health,
         stats.tier,
         stats.completed,

@@ -1,0 +1,251 @@
+//! Live catalog churn, end to end: epoch-versioned catalogs on the
+//! public serve API (DESIGN.md §16).
+//!
+//! Pins the two properties the chaos suite samples statistically:
+//!
+//! - Request fingerprints are a function of *resolved strings*, never of
+//!   interned `u32` ids — two processes that intern the same names in
+//!   opposite orders must agree on every fingerprint, or journals and
+//!   client checkpoints would silently stop matching across restarts.
+//! - A one-view delta re-proves strictly fewer plan disjuncts than a
+//!   from-scratch rebuild (the paper's E1/E4 workloads ride untouched
+//!   through the epoch bump on the verdict cache, while the request that
+//!   depends on the replaced view recomputes).
+
+use std::process::Command;
+use std::sync::Arc;
+
+use relcont::datalog::{parse_program, Symbol};
+use relcont::mediator::relative::Verdict;
+use relcont::mediator::schema::{LavSetting, SourceDescription};
+use relcont::obs::Counter;
+use relcont::serve::{CatalogDelta, CatalogOp, CounterSink, Request, ServeConfig, ServeCore};
+
+/// Example 1's sources plus one auxiliary view over predicates the
+/// paper's queries never mention.
+fn churned_catalog() -> LavSetting {
+    let mut views = LavSetting::parse(&[
+        "RedCars(CarNo, Model, Year) :- CarDesc(CarNo, Model, red, Year).",
+        "AntiqueCars(CarNo, Model, Year) :- CarDesc(CarNo, Model, Color, Year), Year < 1970.",
+        "CarAndDriver(Model, Review) :- Review(Model, Review, 10).",
+    ])
+    .unwrap();
+    views
+        .sources
+        .push(SourceDescription::parse("W(A, B) :- wsrc(A, B).").unwrap());
+    views
+}
+
+fn request(q1: &str, a1: &str, q2: &str, a2: &str) -> Request {
+    Request::new(
+        parse_program(q1).unwrap(),
+        Symbol::new(a1),
+        parse_program(q2).unwrap(),
+        Symbol::new(a2),
+    )
+}
+
+/// E1: the paper's running containment q1 ⊑_V q2.
+fn e1_request() -> Request {
+    request(
+        "q1(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, Rating).",
+        "q1",
+        "q2(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).",
+        "q2",
+    )
+}
+
+/// E4 flavor: the semi-interval query (Year < 1970 routes through
+/// `AntiqueCars` and the full tier's comparison reasoning).
+fn e4_request() -> Request {
+    request(
+        "q3(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10), Y < 1970.",
+        "q3",
+        "q2(CarNo, Review) :- CarDesc(CarNo, Model, C, Y), Review(Model, Review, 10).",
+        "q2",
+    )
+}
+
+/// The only workload that depends on the churned view `W`.
+fn w_request() -> Request {
+    request(
+        "qw1(A, B) :- wsrc(A, B).",
+        "qw1",
+        "qw2(A, B) :- wsrc(A, B).",
+        "qw2",
+    )
+}
+
+/// Satellite regression: fingerprints across interner orders.
+///
+/// The symbol interner is process-global, so a single process cannot
+/// intern the same names in two orders. Instead the test re-executes
+/// itself twice as child processes, each pre-interning the workload's
+/// names in a different order (forward/reversed) before computing the
+/// fingerprint, and asserts both children print the same value. A
+/// fingerprint that hashed interned `u32` ids instead of resolved
+/// strings would differ between the two children.
+#[test]
+fn fingerprints_are_independent_of_interner_order() {
+    const NAMES: &[&str] = &[
+        "CarDesc",
+        "Review",
+        "RedCars",
+        "AntiqueCars",
+        "CarAndDriver",
+        "W",
+        "wsrc",
+        "q1",
+        "q2",
+        "q3",
+        "qw1",
+        "qw2",
+        "CarNo",
+        "Model",
+        "Year",
+        "Color",
+        "Rating",
+        "red",
+    ];
+    if let Ok(order) = std::env::var("CHURN_FP_PREWARM") {
+        // Child mode: warp the interner's id assignment, then fingerprint.
+        match order.as_str() {
+            "forward" => NAMES.iter().for_each(|n| {
+                Symbol::new(n);
+            }),
+            "reverse" => NAMES.iter().rev().for_each(|n| {
+                Symbol::new(n);
+            }),
+            other => panic!("unknown prewarm order {other:?}"),
+        }
+        let core = ServeCore::new(churned_catalog(), ServeConfig::default());
+        let snap = core.snapshot();
+        let lines: Vec<String> = [
+            ("e1", e1_request()),
+            ("e4", e4_request()),
+            ("w", w_request()),
+        ]
+        .iter()
+        .map(|(tag, req)| format!("fingerprint:{tag}={:032x}", req.fingerprint(&snap)))
+        .collect();
+        // Report through a file: libtest shares the child's stdout and
+        // can interleave its own chatter mid-line.
+        std::fs::write(std::env::var("CHURN_FP_OUT").unwrap(), lines.join("\n")).unwrap();
+        return;
+    }
+
+    let exe = std::env::current_exe().unwrap();
+    let run = |order: &str| -> Vec<String> {
+        let report = std::env::temp_dir().join(format!(
+            "relcont-churn-fp-{}-{order}.txt",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&report);
+        let out = Command::new(&exe)
+            .args([
+                "fingerprints_are_independent_of_interner_order",
+                "--exact",
+                "--nocapture",
+            ])
+            .env("CHURN_FP_PREWARM", order)
+            .env("CHURN_FP_OUT", &report)
+            .output()
+            .expect("child test process runs");
+        assert!(
+            out.status.success(),
+            "child ({order}) failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = std::fs::read_to_string(&report).expect("child wrote its report");
+        let _ = std::fs::remove_file(&report);
+        let mut fps: Vec<String> = text.lines().map(str::to_string).collect();
+        fps.sort();
+        fps
+    };
+    let forward = run("forward");
+    let reverse = run("reverse");
+    assert_eq!(forward.len(), 3, "child printed all three fingerprints");
+    assert_eq!(
+        forward, reverse,
+        "fingerprints depend on interner order: they would not survive \
+         a restart or match across processes"
+    );
+}
+
+/// The acceptance differential: after a delta replacing only `W`, the
+/// E1/E4 verdicts survive from the verdict cache (zero fresh disjunct
+/// proofs), the `W`-dependent request recomputes, and the total fresh
+/// proof work is strictly below a from-scratch rebuild answering the
+/// same three workloads.
+#[test]
+fn one_view_delta_reproves_strictly_fewer_disjuncts_than_rebuild() {
+    let cfg = ServeConfig {
+        trip_threshold: u32::MAX,
+        ..ServeConfig::default()
+    };
+    let core = ServeCore::new(churned_catalog(), cfg);
+    let _sink = qc_obs::install(Arc::new(CounterSink(Arc::clone(core.counters()))));
+
+    let reqs = [e1_request(), e4_request(), w_request()];
+    let mut verdicts = Vec::new();
+    for req in &reqs {
+        let resp = core.handle(req, 0).unwrap();
+        assert_eq!(resp.epoch, 0);
+        assert!(
+            !matches!(resp.verdict, Verdict::Unknown(_)),
+            "warmup must be definite: {:?}",
+            resp.verdict
+        );
+        verdicts.push(resp.verdict);
+    }
+    let warmed = core.counters().get(Counter::PlanDisjunctsProved);
+    assert!(warmed > 0, "the warmup proved disjuncts");
+
+    // Replace only W (with an equivalent definition): touched preds are
+    // {W, wsrc}, so E1/E4 keep their fingerprints and cached verdicts.
+    let report = core
+        .apply_delta(&CatalogDelta::one(CatalogOp::Replace(
+            SourceDescription::parse("W(A, B) :- wsrc(A, B).").unwrap(),
+        )))
+        .unwrap();
+    assert_eq!(report.views_recompiled, 1);
+    assert_eq!(report.views_reused, 3);
+    assert_eq!(core.epoch(), 1);
+
+    for (req, verdict) in reqs.iter().zip(&verdicts) {
+        let resp = core.handle(req, 0).unwrap();
+        assert_eq!(resp.epoch, 1, "post-delta answers carry the new epoch");
+        assert_eq!(
+            &resp.verdict, verdict,
+            "an equivalent replace cannot change any verdict"
+        );
+    }
+    let delta_cost = core.counters().get(Counter::PlanDisjunctsProved) - warmed;
+    assert!(
+        core.stats().verdict_cache_hits >= 2,
+        "E1 and E4 must ride the verdict cache through the epoch bump"
+    );
+    assert!(
+        delta_cost > 0,
+        "the W-dependent request must actually re-prove its disjuncts"
+    );
+
+    // From-scratch differential: a cold core at the same catalog answers
+    // the same three workloads and pays the full proof bill.
+    let cfg = ServeConfig {
+        trip_threshold: u32::MAX,
+        ..ServeConfig::default()
+    };
+    let rebuild = ServeCore::new(churned_catalog(), cfg);
+    let _sink = qc_obs::install(Arc::new(CounterSink(Arc::clone(rebuild.counters()))));
+    for req in &reqs {
+        rebuild.handle(req, 0).unwrap();
+    }
+    let rebuild_cost = rebuild.counters().get(Counter::PlanDisjunctsProved);
+    assert!(rebuild_cost > 0);
+    assert!(
+        delta_cost < rebuild_cost,
+        "one-view delta must re-prove strictly fewer disjuncts than a \
+         rebuild: {delta_cost} vs {rebuild_cost}"
+    );
+}

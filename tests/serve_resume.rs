@@ -96,10 +96,12 @@ fn resume_from_checkpoint_after_last_disjunct() {
 
     let mut req = contained_request();
     req.checkpoint = Some(Checkpoint {
-        fingerprint: req.fingerprint(core.views()),
+        fingerprint: req.fingerprint(&core.snapshot()),
         disjuncts_total: cp.disjuncts_total,
         proven: (0..cp.disjuncts_total).collect(),
         memo_resident: 0,
+        epoch: None,
+        preds: None,
     });
     req.budget = Some(starve_budget);
     let resp = core.handle(&req, 0).expect("resumed run");
@@ -160,7 +162,13 @@ fn trip_inside_minicon_before_any_disjunct_then_retry() {
 
 /// The one-shot unlimited verdict for a workload, if definite.
 fn oracle_verdict(req: &Request, core: &ServeCore) -> Option<Verdict> {
-    match relatively_contained_verdict(&req.q1, &req.ans1, &req.q2, &req.ans2, core.views()) {
+    match relatively_contained_verdict(
+        &req.q1,
+        &req.ans1,
+        &req.q2,
+        &req.ans2,
+        core.snapshot().views(),
+    ) {
         Ok(v @ (Verdict::Contained | Verdict::NotContained)) => Some(v),
         _ => None,
     }
